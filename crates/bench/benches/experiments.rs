@@ -1,0 +1,58 @@
+//! Criterion-timed miniature reproductions: one abbreviated run per
+//! headline experiment so `cargo bench` exercises the full system path
+//! (cores → caches → mechanisms → DRAM → energy) for the key design
+//! points. The printed per-iteration times also document the simulator's
+//! end-to-end throughput.
+
+use bump_sim::{run_experiment, Preset, RunOptions};
+use bump_workloads::Workload;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn tiny() -> RunOptions {
+    RunOptions {
+        cores: 2,
+        warmup_instructions: 30_000,
+        measure_instructions: 30_000,
+        max_cycles: 3_000_000,
+        seed: 42,
+        small_llc: true,
+    }
+}
+
+fn bench_fig2_rowhits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_row_hits");
+    g.sample_size(10);
+    for p in [Preset::BaseOpen, Preset::Sms, Preset::Vwq] {
+        g.bench_function(p.name(), |b| {
+            b.iter(|| black_box(run_experiment(p, Workload::WebSearch, tiny()).row_hit_ratio()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_energy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_energy_per_access");
+    g.sample_size(10);
+    for p in [Preset::BaseClose, Preset::BaseOpen, Preset::Bump] {
+        g.bench_function(p.name(), |b| {
+            b.iter(|| {
+                black_box(run_experiment(p, Workload::DataServing, tiny()).energy_per_access_nj())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_perf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_throughput");
+    g.sample_size(10);
+    for p in [Preset::BaseClose, Preset::Bump] {
+        g.bench_function(p.name(), |b| {
+            b.iter(|| black_box(run_experiment(p, Workload::OnlineAnalytics, tiny()).ipc()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2_rowhits, bench_fig9_energy, bench_fig10_perf);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the predictor structures: the RDTT
+//! path, BHT/DRT probes, SMS, and the stride table. These bound the
+//! per-LLC-event cost of each mechanism (the hardware equivalent is a
+//! few picojoules per lookup — §V.F).
+
+use bump::{Bump, BumpConfig};
+use bump_prefetch::{Prefetcher, SmsPrefetcher, StridePrefetcher};
+use bump_types::{AccessKind, BlockAddr, MemoryRequest, Pc, RegionAddr, RegionConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn region_block(region: u64, offset: u32) -> BlockAddr {
+    RegionAddr::from_index(region).block_at(RegionConfig::kilobyte(), offset)
+}
+
+fn bench_bump_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bump_engine");
+    g.bench_function("access_stream_dense", |b| {
+        let mut engine = Bump::new(BumpConfig::paper());
+        let mut out = Vec::new();
+        let mut region = 0u64;
+        b.iter(|| {
+            region += 1;
+            for o in 0..12u32 {
+                let req = MemoryRequest::demand(
+                    region_block(region, o),
+                    Pc::new(0x400),
+                    AccessKind::Load,
+                    0,
+                );
+                engine.on_llc_access(black_box(&req), o != 0, &mut out);
+            }
+            engine.on_llc_eviction(region_block(region, 0), false, &mut out);
+            out.clear();
+        });
+    });
+    g.bench_function("eviction_probe_miss", |b| {
+        let mut engine = Bump::new(BumpConfig::paper());
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            engine.on_llc_eviction(black_box(region_block(i, 3)), true, &mut out);
+            out.clear();
+        });
+    });
+    g.finish();
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetchers");
+    g.bench_function("stride_access", |b| {
+        let mut p = StridePrefetcher::paper();
+        let mut out = Vec::new();
+        let mut block = 0u64;
+        b.iter(|| {
+            block += 1;
+            let req = MemoryRequest::demand(
+                BlockAddr::from_index(block),
+                Pc::new(0x400),
+                AccessKind::Load,
+                0,
+            );
+            p.on_demand_access(black_box(&req), false, &mut out);
+            out.clear();
+        });
+    });
+    g.bench_function("sms_generation", |b| {
+        let mut p = SmsPrefetcher::paper();
+        let mut out = Vec::new();
+        let mut region = 0u64;
+        b.iter(|| {
+            region += 1;
+            for o in 0..8u32 {
+                let req = MemoryRequest::demand(
+                    region_block(region, o),
+                    Pc::new(0x400),
+                    AccessKind::Load,
+                    0,
+                );
+                p.on_demand_access(black_box(&req), false, &mut out);
+            }
+            p.on_eviction(region_block(region, 0));
+            out.clear();
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bump_engine, bench_prefetchers
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the substrate: DDR3 scheduler throughput,
+//! LLC access path, and workload-generator speed. These bound the
+//! simulator's own performance (simulated events per second).
+
+use bump_cache::{Llc, LlcConfig};
+use bump_dram::{DramConfig, MemoryController, Transaction};
+use bump_types::{AccessKind, BlockAddr, InstrSource, MemoryRequest, Pc, TrafficClass};
+use bump_workloads::{Workload, WorkloadGen};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.bench_function("fr_fcfs_1k_mixed_transactions", |b| {
+        b.iter(|| {
+            let mut mc = MemoryController::new(DramConfig::paper_open_row());
+            let mut done = Vec::new();
+            let mut state = 0x1234_5678u64;
+            let mut issued = 0u64;
+            let mut now = 0u64;
+            while issued < 1000 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let block = BlockAddr::from_index(state % 500_000);
+                let txn = if state.is_multiple_of(5) {
+                    Transaction::write(block, TrafficClass::DemandWriteback, 0)
+                } else {
+                    Transaction::read(block, TrafficClass::Demand, 0)
+                };
+                if mc.try_enqueue(txn, now).is_ok() {
+                    issued += 1;
+                }
+                mc.tick(now, &mut done);
+                now += 1;
+            }
+            black_box(done.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc");
+    g.bench_function("access_fill_evict_1k", |b| {
+        b.iter(|| {
+            let mut llc = Llc::new(LlcConfig::paper());
+            for i in 0..1000u64 {
+                let req = MemoryRequest::demand(
+                    BlockAddr::from_index(i * 97),
+                    Pc::new(0x400),
+                    AccessKind::Load,
+                    0,
+                );
+                let out = llc.access(req, i);
+                if out.action == bump_cache::AccessAction::IssueDramRead {
+                    llc.fill(req.block, i + 50);
+                }
+            }
+            black_box(llc.stats().fills)
+        });
+    });
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    for w in [Workload::WebSearch, Workload::SoftwareTesting] {
+        g.bench_function(format!("gen_10k_{}", w.name().replace(' ', "_")), |b| {
+            let mut gen = WorkloadGen::new(w, 0, 42);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    black_box(gen.next_instr());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_dram, bench_llc, bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Latency/stall comparison between Base-open and BuMP (dev tool).
+
+use bump_bench::Scale;
+use bump_sim::{run_experiment, Preset};
+use bump_workloads::Workload;
+
+fn main() {
+    for w in [Workload::OnlineAnalytics, Workload::MediaStreaming, Workload::WebSearch] {
+        for p in [Preset::BaseClose, Preset::BaseOpen, Preset::Bump] {
+            let r = run_experiment(p, w, Scale::from_args().options());
+            println!(
+                "{:<18} {:<11} ipc={:.3} stall/core-kcyc={:.0} dem_rd_lat(mem)={:.0} rd_q_total={} wr={} rd={}",
+                w.name(), p.name(), r.ipc(),
+                r.load_stall_cycles as f64 / (r.cycles as f64 / 1000.0) / 8.0,
+                if r.dram.demand_reads_completed > 0 { r.dram.total_demand_read_latency as f64 / r.dram.demand_reads_completed as f64 } else { 0.0 },
+                r.dram.reads_completed, r.traffic.total_writes(), r.traffic.total_reads(),
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs the full reproduction suite: every figure/table binary in this
+//! crate, writing each result under `results/`.
+//!
+//! Usage: `cargo run --release -p bump-bench --bin repro_all [-- --full]`
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "tab23_parameters",
+    "fig01_energy_breakdown",
+    "fig02_row_buffer_hit",
+    "fig03_traffic_breakdown",
+    "fig05_region_density",
+    "tab1_late_modifications",
+    "fig08_prediction_accuracy",
+    "fig09_energy_per_access",
+    "fig10_performance",
+    "fig11_design_space",
+    "fig12_onchip_overheads",
+    "fig13_summary",
+    "tab4_bump_row_hits",
+    "ablations",
+    "virtualization",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe has a parent directory");
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        let path = dir.join(bin);
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(&path).args(&forward).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {}: {e} (build with `cargo build --release -p bump-bench` first)", path.display());
+                failures.push(*bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll reproduction targets completed; results/ holds the outputs.");
+    } else {
+        eprintln!("\nFailed targets: {failures:?}");
+        std::process::exit(1);
+    }
+}

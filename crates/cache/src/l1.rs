@@ -1,0 +1,177 @@
+//! Per-core L1 data cache.
+//!
+//! The L1 is a write-back, write-allocate cache. Lines allocate
+//! immediately on a miss (the "magic fill" trace-simulation idiom); the
+//! *latency* of the miss is modelled by the core's MSHR bookkeeping in
+//! `bump-cpu`, which is where overlap and dependence live. Dirty victims
+//! are surfaced to the caller so the system can forward them to the LLC
+//! as L1 writebacks.
+
+use crate::set_assoc::SetAssocCache;
+use bump_types::{BlockAddr, CacheGeometry, Ratio};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct L1Meta {
+    dirty: bool,
+}
+
+/// Statistics kept by an L1 cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L1Stats {
+    /// Hit ratio over all accesses.
+    pub hits: Ratio,
+    /// Load accesses.
+    pub loads: u64,
+    /// Store accesses.
+    pub stores: u64,
+    /// Dirty victims handed to the LLC.
+    pub writebacks: u64,
+}
+
+/// The result of an L1 access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L1Outcome {
+    /// The block was resident.
+    Hit,
+    /// The block missed; it is now resident (magic fill) and the dirty
+    /// victim, if any, must be written back to the LLC.
+    Miss {
+        /// Dirty victim to forward to the LLC, if one was evicted.
+        writeback: Option<BlockAddr>,
+    },
+}
+
+impl L1Outcome {
+    /// Whether the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, L1Outcome::Hit)
+    }
+}
+
+/// A per-core L1 data cache (paper Table II: 32KB, 2-way, 64B blocks).
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    cache: SetAssocCache<L1Meta>,
+    stats: L1Stats,
+}
+
+impl L1Cache {
+    /// Creates an empty L1 with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        L1Cache {
+            cache: SetAssocCache::new(geometry),
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// An L1 with the paper's geometry (32KB, 2-way).
+    pub fn paper() -> Self {
+        L1Cache::new(CacheGeometry::l1d())
+    }
+
+    /// Performs a load or store access to `block`.
+    pub fn access(&mut self, block: BlockAddr, is_store: bool) -> L1Outcome {
+        if is_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        if let Some(line) = self.cache.touch(block) {
+            line.meta.dirty |= is_store;
+            self.stats.hits.add_hit();
+            return L1Outcome::Hit;
+        }
+        self.stats.hits.add_miss();
+        let victim = self.cache.insert(block, L1Meta { dirty: is_store });
+        let writeback = victim.and_then(|v| {
+            if v.meta.dirty {
+                self.stats.writebacks += 1;
+                Some(v.block)
+            } else {
+                None
+            }
+        });
+        L1Outcome::Miss { writeback }
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.cache.probe(block).is_some()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut l1 = L1Cache::paper();
+        assert!(!l1.access(b(0), false).is_hit());
+        assert!(l1.access(b(0), false).is_hit());
+        assert_eq!(l1.stats().hits.hits, 1);
+        assert_eq!(l1.stats().hits.total, 2);
+    }
+
+    #[test]
+    fn store_dirties_and_eviction_writes_back() {
+        // 2-way L1 with 256 sets: three blocks in the same set.
+        let mut l1 = L1Cache::paper();
+        let sets = CacheGeometry::l1d().sets();
+        l1.access(b(0), true); // store: dirty
+        l1.access(b(sets), false);
+        let out = l1.access(b(2 * sets), false); // evicts block 0
+        assert_eq!(
+            out,
+            L1Outcome::Miss {
+                writeback: Some(b(0))
+            }
+        );
+        assert_eq!(l1.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_produces_no_writeback() {
+        let mut l1 = L1Cache::paper();
+        let sets = CacheGeometry::l1d().sets();
+        l1.access(b(0), false);
+        l1.access(b(sets), false);
+        let out = l1.access(b(2 * sets), false);
+        assert_eq!(out, L1Outcome::Miss { writeback: None });
+    }
+
+    #[test]
+    fn store_hit_dirties_resident_line() {
+        let mut l1 = L1Cache::paper();
+        let sets = CacheGeometry::l1d().sets();
+        l1.access(b(0), false); // clean fill
+        l1.access(b(0), true); // store hit dirties it
+        l1.access(b(sets), false);
+        let out = l1.access(b(2 * sets), false);
+        assert_eq!(
+            out,
+            L1Outcome::Miss {
+                writeback: Some(b(0))
+            }
+        );
+    }
+
+    #[test]
+    fn load_and_store_counters() {
+        let mut l1 = L1Cache::paper();
+        l1.access(b(1), false);
+        l1.access(b(2), true);
+        l1.access(b(3), true);
+        assert_eq!(l1.stats().loads, 1);
+        assert_eq!(l1.stats().stores, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests: the set-associative cache behaves like a
+//! bounded map with per-set LRU; the LLC's MSHR protocol and
+//! coverage accounting stay consistent under arbitrary access mixes.
+
+use bump_cache::{AccessAction, Llc, LlcConfig, SetAssocCache};
+use bump_types::{
+    AccessKind, BlockAddr, CacheGeometry, CacheGeometry as CG, MemoryRequest, Pc, TrafficClass,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Occupancy per set never exceeds associativity, and a resident
+    /// block is always found.
+    #[test]
+    fn set_assoc_residency(
+        blocks in prop::collection::vec(0u64..512, 1..300),
+        ways in 1u32..8,
+    ) {
+        let geometry = CacheGeometry::new(u64::from(ways) * 16 * 64, ways);
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(geometry);
+        let mut resident: HashSet<u64> = HashSet::new();
+        for b in blocks {
+            let block = BlockAddr::from_index(b);
+            if cache.probe(block).is_some() {
+                cache.touch(block);
+            } else if let Some(victim) = cache.insert(block, ()) {
+                prop_assert!(resident.remove(&victim.block.index()));
+                resident.insert(b);
+            } else {
+                resident.insert(b);
+            }
+            prop_assert!(cache.len() <= geometry.blocks() as usize);
+            prop_assert!(cache.set_lines(block).len() <= ways as usize);
+        }
+        for b in &resident {
+            prop_assert!(cache.probe(BlockAddr::from_index(*b)).is_some());
+        }
+    }
+
+    /// LRU: re-touching a block always protects it from the next single
+    /// eviction in its set.
+    #[test]
+    fn touched_block_survives_next_eviction(seed in 0u64..1000) {
+        let geometry = CG::new(4 * 64, 4); // 1 set, 4 ways
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(geometry);
+        for i in 0..4u64 {
+            cache.insert(BlockAddr::from_index(i), ());
+        }
+        let protect = BlockAddr::from_index(seed % 4);
+        cache.touch(protect);
+        let victim = cache.insert(BlockAddr::from_index(100), ()).unwrap();
+        prop_assert_ne!(victim.block, protect);
+    }
+
+    /// The LLC's MSHR protocol: every IssueDramRead is answered by one
+    /// fill; fills never panic; waiters are delivered exactly once.
+    #[test]
+    fn llc_mshr_protocol(
+        accesses in prop::collection::vec((0u64..256, any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        let mut llc = Llc::new(LlcConfig {
+            geometry: CG::new(64 * 64, 4),
+            banks: 2,
+            hit_latency: 8,
+            mshrs: 16,
+            demand_reserved_mshrs: 4,
+        });
+        let mut outstanding: Vec<BlockAddr> = Vec::new();
+        let mut now = 0u64;
+        let mut waiters_delivered = 0u64;
+        let mut demand_misses_accepted = 0u64;
+        for (b, store, spec) in accesses {
+            now += 1;
+            let block = BlockAddr::from_index(b);
+            let req = if spec {
+                MemoryRequest::speculative(block, Pc::new(1), TrafficClass::BulkRead, 0)
+            } else {
+                let kind = if store { AccessKind::Store } else { AccessKind::Load };
+                MemoryRequest::demand(block, Pc::new(1), kind, 0)
+            };
+            let out = llc.access(req, now);
+            if out.action == AccessAction::IssueDramRead {
+                outstanding.push(block);
+            }
+            if !spec && !out.hit && out.action != AccessAction::MshrFull {
+                demand_misses_accepted += 1;
+            }
+            // Occasionally complete the oldest outstanding fill.
+            if outstanding.len() > 4 {
+                let fill = llc.fill(outstanding.remove(0), now);
+                waiters_delivered += fill.waiters.len() as u64;
+            }
+        }
+        for b in outstanding.drain(..) {
+            let fill = llc.fill(b, now);
+            waiters_delivered += fill.waiters.len() as u64;
+        }
+        prop_assert_eq!(llc.mshrs_in_use(), 0, "all MSHRs must drain");
+        prop_assert_eq!(
+            waiters_delivered, demand_misses_accepted,
+            "each accepted demand miss waits exactly once"
+        );
+    }
+
+    /// Coverage conservation: every speculative fill ends up covered,
+    /// overfetched, or still resident/accounted — never double-counted.
+    #[test]
+    fn coverage_conservation(
+        accesses in prop::collection::vec((0u64..128, any::<bool>()), 1..250),
+    ) {
+        let mut llc = Llc::new(LlcConfig {
+            geometry: CG::new(32 * 64, 2),
+            banks: 1,
+            hit_latency: 8,
+            mshrs: 8,
+            demand_reserved_mshrs: 2,
+        });
+        let mut pending: Vec<BlockAddr> = Vec::new();
+        let mut now = 0u64;
+        for (b, spec) in accesses {
+            now += 1;
+            let block = BlockAddr::from_index(b);
+            let req = if spec {
+                MemoryRequest::speculative(block, Pc::new(1), TrafficClass::BulkRead, 0)
+            } else {
+                MemoryRequest::demand(block, Pc::new(1), AccessKind::Load, 0)
+            };
+            if llc.access(req, now).action == AccessAction::IssueDramRead {
+                pending.push(block);
+            }
+            if pending.len() > 2 {
+                llc.fill(pending.remove(0), now);
+            }
+        }
+        for b in pending.drain(..) {
+            llc.fill(b, now);
+        }
+        let s = llc.stats();
+        let spec_fills = s.fills_by_class.get(TrafficClass::BulkRead);
+        let accounted = s.covered.get(TrafficClass::BulkRead)
+            + s.overfetch.get(TrafficClass::BulkRead);
+        prop_assert!(
+            accounted <= spec_fills + s.covered_late.get(TrafficClass::BulkRead),
+            "accounted {} vs spec fills {}",
+            accounted,
+            spec_fills
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! BuMP configuration (paper §IV.D).
+
+use bump_types::{DensityThreshold, RegionConfig};
+
+/// Configuration of the BuMP engine.
+///
+/// The defaults reproduce the paper's §IV.D sizing: 1KB regions,
+/// high-density threshold of 50% (8 of 16 blocks), 256-entry trigger
+/// and density tables, 1024-entry bulk history and dirty region tables,
+/// all 16-way set-associative — ~14KB of total state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BumpConfig {
+    /// Tracked region geometry.
+    pub region: RegionConfig,
+    /// Fraction of a region's blocks that must be touched for the
+    /// region to count as high-density.
+    pub threshold: DensityThreshold,
+    /// Trigger-table entries (regions with a single accessed block).
+    pub trigger_entries: usize,
+    /// Density-table entries (regions accumulating patterns).
+    pub density_entries: usize,
+    /// Bulk-history-table entries (learned `(PC, offset)` triggers).
+    pub bht_entries: usize,
+    /// Dirty-region-table entries (displaced high-density modified
+    /// regions).
+    pub drt_entries: usize,
+    /// Recently-streamed-region filter entries. The access generation
+    /// logic suppresses a second bulk read for a region it streamed
+    /// recently, so cache-thrash-induced generation churn cannot spam
+    /// the LLC with redundant region lookups (implementation refinement
+    /// of the paper's access generation logic; ablatable with 0).
+    pub stream_filter_entries: usize,
+    /// Ablation: index the BHT by PC only, discarding the region offset
+    /// (the paper's §IV.B argues the offset is needed for misaligned
+    /// software objects).
+    pub pc_only_indexing: bool,
+    /// Associativity of all four tables.
+    pub ways: usize,
+}
+
+impl BumpConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        BumpConfig {
+            region: RegionConfig::kilobyte(),
+            threshold: DensityThreshold::paper(),
+            trigger_entries: 256,
+            density_entries: 256,
+            bht_entries: 1024,
+            drt_entries: 1024,
+            stream_filter_entries: 128,
+            pc_only_indexing: false,
+            ways: 16,
+        }
+    }
+
+    /// A Figure 11 design-space point: `region_bytes` region with a
+    /// `threshold_percent` density threshold, other parameters as in
+    /// the paper.
+    pub fn design_point(region_bytes: u64, threshold_percent: u32) -> Self {
+        BumpConfig {
+            region: RegionConfig::new(region_bytes),
+            threshold: DensityThreshold::from_percent(threshold_percent),
+            ..Self::paper()
+        }
+    }
+
+    /// Estimated storage in bits, using the paper's per-entry budgets
+    /// (§IV.D: trigger 2.5KB, density 3KB, BHT 4.5KB, DRT 4.25KB —
+    /// ~14KB total for the default sizing).
+    pub fn storage_bits(&self) -> u64 {
+        let pattern_bits = u64::from(self.region.blocks_per_region());
+        // Trigger entry: region tag + (PC, offset) + dirty + valid.
+        let trigger_entry = 80;
+        // Density entry adds the access-pattern bit vector.
+        let density_entry = trigger_entry + pattern_bits;
+        // BHT entry: (PC, offset) tag + valid.
+        let bht_entry = 36;
+        // DRT entry: region tag + valid.
+        let drt_entry = 34;
+        self.trigger_entries as u64 * trigger_entry
+            + self.density_entries as u64 * density_entry
+            + self.bht_entries as u64 * bht_entry
+            + self.drt_entries as u64 * drt_entry
+    }
+
+    /// Estimated storage in kilobytes.
+    pub fn storage_kb(&self) -> f64 {
+        self.storage_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+impl Default for BumpConfig {
+    fn default() -> Self {
+        BumpConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_storage_is_about_fourteen_kilobytes() {
+        let kb = BumpConfig::paper().storage_kb();
+        assert!(
+            (13.0..16.0).contains(&kb),
+            "paper quotes ~14KB, computed {kb:.2}KB"
+        );
+    }
+
+    #[test]
+    fn design_points_cover_figure_11_grid() {
+        for bytes in [512, 1024, 2048] {
+            for pct in [25, 50, 75, 100] {
+                let c = BumpConfig::design_point(bytes, pct);
+                assert_eq!(c.region.bytes(), bytes);
+                assert_eq!(
+                    c.threshold.min_blocks(c.region.blocks_per_region()),
+                    (c.region.blocks_per_region() * pct).div_ceil(100)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_regions_cost_more_density_storage() {
+        let small = BumpConfig::design_point(512, 50).storage_bits();
+        let large = BumpConfig::design_point(2048, 50).storage_bits();
+        assert!(large > small);
+    }
+}

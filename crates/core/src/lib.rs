@@ -1,0 +1,59 @@
+//! BuMP: Bulk Memory Access Prediction and Streaming.
+//!
+//! This crate implements the primary contribution of Volos, Picorel,
+//! Falsafi, and Grot, *BuMP: Bulk Memory Access Prediction and
+//! Streaming* (MICRO 2014): a shared, LLC-side predictor that identifies
+//! DRAM accesses — reads **and** writes — destined for *high-density*
+//! memory regions and converts them into bulk transfers serviced from a
+//! single DRAM row activation.
+//!
+//! # Structure (paper §IV)
+//!
+//! * [`RegionDensityTracker`] (RDTT) — a **trigger table** for regions
+//!   with one accessed block and a **density table** for regions with
+//!   more, monitoring the LLC access/eviction streams. A region is
+//!   *active* from its first access until the first LLC eviction of one
+//!   of its blocks (or a table conflict).
+//! * [`BulkHistoryTable`] (BHT) — learns which `(PC, offset)` tuples
+//!   trigger high-density regions; probed on every LLC miss to launch
+//!   bulk reads.
+//! * [`DirtyRegionTable`] (DRT) — remembers cache-resident high-density
+//!   *modified* regions whose density-table entry was displaced; probed
+//!   on dirty LLC evictions to launch bulk writebacks.
+//! * [`Bump`] — the engine tying the three together, emitting
+//!   [`BulkAction`]s for the system to execute.
+//! * [`FullRegion`] — the always-stream strawman the paper evaluates as
+//!   "Full-region" (Figures 8–10), included as a baseline.
+//!
+//! The paper's default configuration ([`BumpConfig::paper`]) uses 1KB
+//! regions, an 8-of-16-blocks density threshold, 256+256 RDTT entries,
+//! and 1024-entry BHT/DRT — about 14KB of state shared by all cores.
+//!
+//! # Example
+//!
+//! ```
+//! use bump::{Bump, BumpConfig};
+//! use bump_types::{AccessKind, BlockAddr, MemoryRequest, Pc};
+//!
+//! let mut engine = Bump::new(BumpConfig::paper());
+//! let mut actions = Vec::new();
+//! // A miss from a PC the engine has never seen predicts nothing...
+//! let req = MemoryRequest::demand(BlockAddr::from_index(2), Pc::new(0x400), AccessKind::Load, 0);
+//! engine.on_llc_access(&req, false, &mut actions);
+//! assert!(actions.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod full_region;
+mod predictor;
+mod rdtt;
+
+pub use config::BumpConfig;
+pub use engine::{BulkAction, Bump, BumpStats};
+pub use full_region::FullRegion;
+pub use predictor::{BulkHistoryTable, DirtyRegionTable};
+pub use rdtt::{RegionDensityTracker, TerminatedRegion, TerminationReason};

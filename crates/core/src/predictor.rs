@@ -1,0 +1,200 @@
+//! The Bulk History Table and Dirty Region Table (paper §IV.B–C).
+
+use crate::config::BumpConfig;
+use bump_types::{AssocTable, PcOffset, RegionAddr};
+
+/// The Bulk History Table: the set of `(PC, offset)` tuples observed to
+/// trigger high-density regions.
+///
+/// An entry is just a tagged valid bit (§IV.B: "indexing the bulk
+/// history table with the PC,offset tuple and setting a valid bit").
+/// On an LLC miss whose `(PC, offset)` hits here, BuMP streams the
+/// whole region.
+#[derive(Debug)]
+pub struct BulkHistoryTable {
+    table: AssocTable<PcOffset, ()>,
+    insertions: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl BulkHistoryTable {
+    /// Creates a BHT sized per `config`.
+    pub fn new(config: &BumpConfig) -> Self {
+        BulkHistoryTable {
+            table: AssocTable::with_entries(config.bht_entries, config.ways),
+            insertions: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Learns that `trigger` opens high-density regions.
+    pub fn insert(&mut self, trigger: PcOffset) {
+        self.insertions += 1;
+        self.table.insert(trigger, ());
+    }
+
+    /// Unlearns `trigger` (not used by the paper's design, but exposed
+    /// for ablations on negative feedback).
+    pub fn remove(&mut self, trigger: PcOffset) {
+        self.table.remove(&trigger);
+    }
+
+    /// Whether a miss from `trigger` should launch a bulk read.
+    pub fn predict(&mut self, trigger: PcOffset) -> bool {
+        self.lookups += 1;
+        let hit = self.table.touch(&trigger).is_some();
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Entries currently valid.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// (lookups, hits, insertions) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.lookups, self.hits, self.insertions)
+    }
+}
+
+/// The Dirty Region Table: cache-resident high-density *modified*
+/// regions whose density-table entry was displaced before their first
+/// dirty eviction (§IV.C).
+///
+/// Probed on dirty LLC evictions; a hit launches bulk writebacks for
+/// the region and invalidates the entry.
+#[derive(Debug)]
+pub struct DirtyRegionTable {
+    table: AssocTable<RegionAddr, ()>,
+    insertions: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl DirtyRegionTable {
+    /// Creates a DRT sized per `config`.
+    pub fn new(config: &BumpConfig) -> Self {
+        DirtyRegionTable {
+            table: AssocTable::with_entries(config.drt_entries, config.ways),
+            insertions: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Remembers a displaced high-density modified region.
+    pub fn insert(&mut self, region: RegionAddr) {
+        self.insertions += 1;
+        self.table.insert(region, ());
+    }
+
+    /// Probes on a dirty LLC eviction; a hit consumes the entry.
+    pub fn probe_and_invalidate(&mut self, region: RegionAddr) -> bool {
+        self.lookups += 1;
+        let hit = self.table.remove(&region).is_some();
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Drops `region` without counting a hit (used when the region's
+    /// blocks left the cache through other means).
+    pub fn invalidate(&mut self, region: RegionAddr) {
+        self.table.remove(&region);
+    }
+
+    /// Entries currently valid.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// (lookups, hits, insertions) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.lookups, self.hits, self.insertions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_types::Pc;
+
+    fn cfg() -> BumpConfig {
+        BumpConfig::paper()
+    }
+
+    #[test]
+    fn bht_learns_and_predicts() {
+        let mut bht = BulkHistoryTable::new(&cfg());
+        let t = PcOffset::new(Pc::new(0x400), 3);
+        assert!(!bht.predict(t));
+        bht.insert(t);
+        assert!(bht.predict(t));
+        assert!(!bht.predict(PcOffset::new(Pc::new(0x400), 4)), "offset matters");
+        let (lookups, hits, insertions) = bht.counters();
+        assert_eq!((lookups, hits, insertions), (3, 1, 1));
+    }
+
+    #[test]
+    fn bht_remove_unlearns() {
+        let mut bht = BulkHistoryTable::new(&cfg());
+        let t = PcOffset::new(Pc::new(0x8), 0);
+        bht.insert(t);
+        bht.remove(t);
+        assert!(!bht.predict(t));
+    }
+
+    #[test]
+    fn bht_capacity_bounds_entries() {
+        let mut bht = BulkHistoryTable::new(&cfg());
+        for i in 0..5000u64 {
+            bht.insert(PcOffset::new(Pc::new(i * 4), (i % 16) as u32));
+        }
+        assert!(bht.len() <= 1024);
+    }
+
+    #[test]
+    fn drt_hit_consumes_entry() {
+        let mut drt = DirtyRegionTable::new(&cfg());
+        let r = RegionAddr::from_index(42);
+        drt.insert(r);
+        assert!(drt.probe_and_invalidate(r));
+        assert!(!drt.probe_and_invalidate(r), "one bulk writeback per entry");
+    }
+
+    #[test]
+    fn drt_invalidate_is_silent() {
+        let mut drt = DirtyRegionTable::new(&cfg());
+        let r = RegionAddr::from_index(7);
+        drt.insert(r);
+        drt.invalidate(r);
+        assert!(!drt.probe_and_invalidate(r));
+        let (_, hits, _) = drt.counters();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn drt_capacity_bounds_entries() {
+        let mut drt = DirtyRegionTable::new(&cfg());
+        for i in 0..5000u64 {
+            drt.insert(RegionAddr::from_index(i));
+        }
+        assert!(drt.len() <= 1024);
+    }
+}

@@ -1,0 +1,371 @@
+//! The Region Density Tracking Table (paper §IV.B, Figure 7).
+//!
+//! The RDTT is split into a *trigger table* (regions with exactly one
+//! accessed block) and a *density table* (regions with two or more).
+//! The split (a) keeps single-access regions from interfering with
+//! high-density regions and (b) keeps the common case — accesses to
+//! regions already accumulating — cheap.
+
+use crate::config::BumpConfig;
+use bump_types::{AssocTable, BlockAddr, DensityThreshold, Pc, PcOffset, RegionAddr, RegionConfig};
+
+#[derive(Clone, Copy, Debug)]
+struct TriggerEntry {
+    pc_offset: PcOffset,
+    trigger_block: BlockAddr,
+    dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DensityEntry {
+    pc_offset: PcOffset,
+    pattern: u64,
+    dirty: bool,
+}
+
+/// Why a region's tracking ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// A block of the region was evicted from the LLC (the natural end
+    /// of the region's on-chip generation).
+    Eviction,
+    /// The entry was displaced by a table conflict — the common case
+    /// for the density table under server working sets (§IV.C).
+    TableConflict,
+}
+
+/// A region whose tracking just ended, with everything the engine
+/// needs to update the BHT/DRT.
+#[derive(Clone, Copy, Debug)]
+pub struct TerminatedRegion {
+    /// The region.
+    pub region: RegionAddr,
+    /// The `(PC, offset)` that triggered the region.
+    pub pc_offset: PcOffset,
+    /// Bit vector of accessed blocks.
+    pub pattern: u64,
+    /// Whether any block was written.
+    pub dirty: bool,
+    /// How the tracking ended.
+    pub reason: TerminationReason,
+}
+
+impl TerminatedRegion {
+    /// Number of distinct blocks accessed during the generation.
+    pub fn touched(&self) -> u32 {
+        self.pattern.count_ones()
+    }
+
+    /// Whether the region met `threshold` for `region_blocks`.
+    pub fn is_high_density(&self, threshold: DensityThreshold, region_blocks: u32) -> bool {
+        threshold.is_high_density(self.touched(), region_blocks)
+    }
+}
+
+/// RDTT statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RdttStats {
+    /// Regions allocated in the trigger table.
+    pub trigger_allocations: u64,
+    /// Promotions from trigger to density table.
+    pub promotions: u64,
+    /// Terminations due to LLC evictions.
+    pub eviction_terminations: u64,
+    /// Terminations due to table conflicts.
+    pub conflict_terminations: u64,
+}
+
+/// The split trigger/density tracking structure.
+#[derive(Debug)]
+pub struct RegionDensityTracker {
+    region_cfg: RegionConfig,
+    trigger: AssocTable<RegionAddr, TriggerEntry>,
+    density: AssocTable<RegionAddr, DensityEntry>,
+    stats: RdttStats,
+}
+
+impl RegionDensityTracker {
+    /// Creates the RDTT sized per `config`.
+    pub fn new(config: &BumpConfig) -> Self {
+        RegionDensityTracker {
+            region_cfg: config.region,
+            trigger: AssocTable::with_entries(config.trigger_entries, config.ways),
+            density: AssocTable::with_entries(config.density_entries, config.ways),
+            stats: RdttStats::default(),
+        }
+    }
+
+    /// The region geometry being tracked.
+    pub fn region_config(&self) -> RegionConfig {
+        self.region_cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &RdttStats {
+        &self.stats
+    }
+
+    /// Currently tracked access pattern for `region`, if active in the
+    /// density table.
+    pub fn pattern_of(&self, region: RegionAddr) -> Option<u64> {
+        self.density.get(&region).map(|e| e.pattern)
+    }
+
+    /// Whether `region` is active (in either table).
+    pub fn is_active(&self, region: RegionAddr) -> bool {
+        self.density.get(&region).is_some() || self.trigger.get(&region).is_some()
+    }
+
+    /// Records a PC-carrying access (load or store arriving at the LLC)
+    /// to `block`. Returns a region displaced by a table conflict, if
+    /// the bookkeeping evicted one.
+    pub fn on_access(
+        &mut self,
+        block: BlockAddr,
+        pc: Pc,
+        is_write: bool,
+    ) -> Option<TerminatedRegion> {
+        let region = block.region(self.region_cfg);
+        let offset = self.region_cfg.block_offset(block);
+
+        if let Some(e) = self.density.touch(&region) {
+            e.pattern |= 1 << offset;
+            e.dirty |= is_write;
+            return None;
+        }
+        if let Some(t) = self.trigger.get(&region).copied() {
+            if t.trigger_block == block {
+                // Repeat access to the trigger block: refresh dirtiness.
+                if let Some(t) = self.trigger.get_mut(&region) {
+                    t.dirty |= is_write;
+                }
+                return None;
+            }
+            // Second distinct block: promote into the density table.
+            self.trigger.remove(&region);
+            self.stats.promotions += 1;
+            let pattern = (1u64 << self.region_cfg.block_offset(t.trigger_block)) | (1u64 << offset);
+            let entry = DensityEntry {
+                pc_offset: t.pc_offset,
+                pattern,
+                dirty: t.dirty || is_write,
+            };
+            return self.insert_density(region, entry);
+        }
+        // First access to the region: allocate a trigger entry.
+        self.stats.trigger_allocations += 1;
+        let victim = self.trigger.insert(
+            region,
+            TriggerEntry {
+                pc_offset: PcOffset::new(pc, offset),
+                trigger_block: block,
+                dirty: is_write,
+            },
+        );
+        victim.map(|(r, t)| {
+            self.stats.conflict_terminations += 1;
+            TerminatedRegion {
+                region: r,
+                pc_offset: t.pc_offset,
+                pattern: 1u64 << self.region_cfg.block_offset(t.trigger_block),
+                dirty: t.dirty,
+                reason: TerminationReason::TableConflict,
+            }
+        })
+    }
+
+    fn insert_density(
+        &mut self,
+        region: RegionAddr,
+        entry: DensityEntry,
+    ) -> Option<TerminatedRegion> {
+        let victim = self.density.insert(region, entry);
+        victim.map(|(r, e)| {
+            self.stats.conflict_terminations += 1;
+            TerminatedRegion {
+                region: r,
+                pc_offset: e.pc_offset,
+                pattern: e.pattern,
+                dirty: e.dirty,
+                reason: TerminationReason::TableConflict,
+            }
+        })
+    }
+
+    /// Records a dirty block arriving from an L1 (write/writeback
+    /// notification). Updates pattern and dirty bits of an active
+    /// region; never allocates (writebacks carry no PC).
+    pub fn on_l1_writeback(&mut self, block: BlockAddr) {
+        let region = block.region(self.region_cfg);
+        let offset = self.region_cfg.block_offset(block);
+        if let Some(e) = self.density.touch(&region) {
+            e.pattern |= 1 << offset;
+            e.dirty = true;
+        } else if let Some(t) = self.trigger.get_mut(&region) {
+            t.dirty = true;
+        }
+    }
+
+    /// Records an LLC eviction of `block`: if its region is active, the
+    /// region terminates and is returned for BHT/DRT processing.
+    pub fn on_eviction(&mut self, block: BlockAddr) -> Option<TerminatedRegion> {
+        let region = block.region(self.region_cfg);
+        if let Some(e) = self.density.remove(&region) {
+            self.stats.eviction_terminations += 1;
+            return Some(TerminatedRegion {
+                region,
+                pc_offset: e.pc_offset,
+                pattern: e.pattern,
+                dirty: e.dirty,
+                reason: TerminationReason::Eviction,
+            });
+        }
+        if let Some(t) = self.trigger.remove(&region) {
+            self.stats.eviction_terminations += 1;
+            return Some(TerminatedRegion {
+                region,
+                pc_offset: t.pc_offset,
+                pattern: 1u64 << self.region_cfg.block_offset(t.trigger_block),
+                dirty: t.dirty,
+                reason: TerminationReason::Eviction,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_types::DensityThreshold;
+
+    fn rdtt() -> RegionDensityTracker {
+        RegionDensityTracker::new(&BumpConfig::paper())
+    }
+
+    fn block(region: u64, offset: u32) -> BlockAddr {
+        RegionAddr::from_index(region).block_at(RegionConfig::kilobyte(), offset)
+    }
+
+    #[test]
+    fn figure_7_walkthrough() {
+        // Event 1: read A+2 allocates a trigger entry.
+        let mut r = rdtt();
+        assert!(r.on_access(block(0xA, 2), Pc::new(0x400), false).is_none());
+        assert!(r.is_active(RegionAddr::from_index(0xA)));
+        assert!(r.pattern_of(RegionAddr::from_index(0xA)).is_none());
+
+        // Event 2: read A+3 promotes to the density table with pattern 1100.
+        assert!(r.on_access(block(0xA, 3), Pc::new(0x999), false).is_none());
+        assert_eq!(
+            r.pattern_of(RegionAddr::from_index(0xA)),
+            Some(0b1100),
+            "third and fourth bits set"
+        );
+
+        // Event 3: read A+0 updates the pattern to 1101.
+        r.on_access(block(0xA, 0), Pc::new(0x999), false);
+        assert_eq!(r.pattern_of(RegionAddr::from_index(0xA)), Some(0b1101));
+
+        // Event 4: eviction of A+2 terminates the region.
+        let t = r.on_eviction(block(0xA, 2)).expect("region terminates");
+        assert_eq!(t.pattern, 0b1101);
+        assert_eq!(t.touched(), 3);
+        assert_eq!(t.reason, TerminationReason::Eviction);
+        // The trigger's (PC, offset) is retained through promotion.
+        assert_eq!(t.pc_offset, PcOffset::new(Pc::new(0x400), 2));
+        assert!(!r.is_active(RegionAddr::from_index(0xA)));
+    }
+
+    #[test]
+    fn repeat_trigger_block_access_does_not_promote() {
+        let mut r = rdtt();
+        r.on_access(block(1, 5), Pc::new(0x10), false);
+        r.on_access(block(1, 5), Pc::new(0x10), false);
+        assert!(r.pattern_of(RegionAddr::from_index(1)).is_none());
+        assert_eq!(r.stats().promotions, 0);
+    }
+
+    #[test]
+    fn stores_set_the_dirty_bit() {
+        let mut r = rdtt();
+        r.on_access(block(2, 0), Pc::new(0x10), true);
+        r.on_access(block(2, 1), Pc::new(0x10), false);
+        let t = r.on_eviction(block(2, 0)).unwrap();
+        assert!(t.dirty, "store in trigger phase must carry to density");
+    }
+
+    #[test]
+    fn l1_writeback_dirties_and_extends_pattern() {
+        let mut r = rdtt();
+        r.on_access(block(3, 0), Pc::new(0x10), false);
+        r.on_access(block(3, 1), Pc::new(0x10), false);
+        r.on_l1_writeback(block(3, 9));
+        let t = r.on_eviction(block(3, 0)).unwrap();
+        assert!(t.dirty);
+        assert_eq!(t.touched(), 3);
+    }
+
+    #[test]
+    fn l1_writeback_never_allocates() {
+        let mut r = rdtt();
+        r.on_l1_writeback(block(4, 0));
+        assert!(!r.is_active(RegionAddr::from_index(4)));
+    }
+
+    #[test]
+    fn eviction_of_inactive_region_is_ignored() {
+        let mut r = rdtt();
+        assert!(r.on_eviction(block(9, 0)).is_none());
+    }
+
+    #[test]
+    fn high_density_classification_uses_threshold() {
+        let mut r = rdtt();
+        for o in 0..8 {
+            r.on_access(block(5, o), Pc::new(0x20), false);
+        }
+        let t = r.on_eviction(block(5, 0)).unwrap();
+        assert!(t.is_high_density(DensityThreshold::paper(), 16));
+        let mut r2 = rdtt();
+        for o in 0..7 {
+            r2.on_access(block(5, o), Pc::new(0x20), false);
+        }
+        let t2 = r2.on_eviction(block(5, 0)).unwrap();
+        assert!(!t2.is_high_density(DensityThreshold::paper(), 16));
+    }
+
+    #[test]
+    fn density_conflicts_terminate_displaced_regions() {
+        // Flood the 256-entry density table with active regions; the
+        // displaced ones must surface as conflict terminations.
+        let mut r = rdtt();
+        let mut conflicts = 0;
+        for reg in 0..4096u64 {
+            r.on_access(block(reg, 0), Pc::new(0x30), false);
+            if r.on_access(block(reg, 1), Pc::new(0x30), false).is_some() {
+                conflicts += 1;
+            }
+        }
+        assert!(conflicts > 0, "256-entry table must conflict under 4096 regions");
+        assert_eq!(r.stats().conflict_terminations as usize, conflicts + trigger_conflicts(&r));
+    }
+
+    fn trigger_conflicts(r: &RegionDensityTracker) -> usize {
+        // In this test every region is promoted out of the trigger
+        // table before the next allocation round touches the same set,
+        // so all conflicts come from the density table. Validate that.
+        let _ = r;
+        0
+    }
+
+    #[test]
+    fn promotion_keeps_the_original_trigger_pc() {
+        let mut r = rdtt();
+        r.on_access(block(7, 4), Pc::new(0xAAA), false);
+        r.on_access(block(7, 5), Pc::new(0xBBB), false);
+        let t = r.on_eviction(block(7, 4)).unwrap();
+        assert_eq!(t.pc_offset.pc, Pc::new(0xAAA));
+        assert_eq!(t.pc_offset.offset, 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the BuMP engine's invariants.
+
+use bump::{BulkAction, Bump, BumpConfig};
+use bump_types::{
+    AccessKind, BlockAddr, MemoryRequest, Pc, RegionAddr, RegionConfig,
+};
+use proptest::prelude::*;
+
+fn block(region: u64, offset: u32) -> BlockAddr {
+    RegionAddr::from_index(region).block_at(RegionConfig::kilobyte(), offset)
+}
+
+proptest! {
+    /// RDTT pattern popcount equals the number of distinct blocks
+    /// accessed in the generation, regardless of access order.
+    #[test]
+    fn rdtt_pattern_counts_distinct_blocks(
+        offsets in prop::collection::vec(0u32..16, 1..40),
+    ) {
+        let mut engine = Bump::new(BumpConfig::paper());
+        let mut out = Vec::new();
+        for (i, &o) in offsets.iter().enumerate() {
+            let req = MemoryRequest::demand(block(7, o), Pc::new(0x10), AccessKind::Load, 0);
+            engine.on_llc_access(&req, i != 0, &mut out);
+        }
+        let distinct: std::collections::HashSet<u32> = offsets.iter().copied().collect();
+        if distinct.len() >= 2 {
+            let pattern = engine
+                .rdtt()
+                .pattern_of(RegionAddr::from_index(7))
+                .expect("promoted to density table");
+            prop_assert_eq!(pattern.count_ones() as usize, distinct.len());
+        }
+    }
+
+    /// Bulk actions never include the excluded (triggering) block, and
+    /// always target the triggering block's region.
+    #[test]
+    fn bulk_actions_are_well_formed(
+        train_region in 0u64..64,
+        trigger_region in 64u64..128,
+        offset in 0u32..16,
+        pc in 1u64..1000,
+    ) {
+        let mut engine = Bump::new(BumpConfig::paper());
+        let mut out = Vec::new();
+        let pc = Pc::new(pc * 4);
+        // Train a dense generation triggered at `offset`.
+        for k in 0..12u32 {
+            let o = (offset + k) % 16;
+            let req = MemoryRequest::demand(block(train_region, o), pc, AccessKind::Load, 0);
+            engine.on_llc_access(&req, k != 0, &mut out);
+        }
+        engine.on_llc_eviction(block(train_region, offset), false, &mut out);
+        out.clear();
+        // Trigger from the learned (pc, offset).
+        let trig = block(trigger_region, offset);
+        let req = MemoryRequest::demand(trig, pc, AccessKind::Load, 0);
+        engine.on_llc_access(&req, false, &mut out);
+        for a in &out {
+            match a {
+                BulkAction::BulkRead { region, exclude, .. } => {
+                    prop_assert_eq!(*region, RegionAddr::from_index(trigger_region));
+                    prop_assert_eq!(*exclude, trig);
+                }
+                BulkAction::BulkWriteback { .. } => {
+                    prop_assert!(false, "read path must not write back");
+                }
+            }
+        }
+    }
+
+    /// Clean, read-only traffic never generates bulk writebacks, no
+    /// matter the interleaving of regions.
+    #[test]
+    fn read_only_streams_never_write_back(
+        ops in prop::collection::vec((0u64..32, 0u32..16, any::<bool>()), 1..300),
+    ) {
+        let mut engine = Bump::new(BumpConfig::paper());
+        let mut out = Vec::new();
+        for (r, o, evict) in ops {
+            if evict {
+                engine.on_llc_eviction(block(r, o), false, &mut out);
+            } else {
+                let req = MemoryRequest::demand(block(r, o), Pc::new(0x40), AccessKind::Load, 0);
+                engine.on_llc_access(&req, false, &mut out);
+            }
+        }
+        prop_assert!(
+            out.iter().all(|a| matches!(a, BulkAction::BulkRead { .. })),
+            "writebacks from clean traffic"
+        );
+    }
+
+    /// The engine's tables never exceed their configured capacities.
+    #[test]
+    fn table_capacities_hold(
+        ops in prop::collection::vec((0u64..4096, 0u32..16, any::<bool>(), any::<bool>()), 1..500),
+    ) {
+        let cfg = BumpConfig::paper();
+        let mut engine = Bump::new(cfg);
+        let mut out = Vec::new();
+        for (r, o, store, evict) in ops {
+            if evict {
+                engine.on_llc_eviction(block(r, o), store, &mut out);
+            } else {
+                let kind = if store { AccessKind::Store } else { AccessKind::Load };
+                let req = MemoryRequest::demand(block(r, o), Pc::new(0x40 + (r % 32) * 4), kind, 0);
+                engine.on_llc_access(&req, false, &mut out);
+            }
+            out.clear();
+        }
+        prop_assert!(engine.bht().len() <= cfg.bht_entries);
+        prop_assert!(engine.drt().len() <= cfg.drt_entries);
+    }
+}

@@ -1,0 +1,28 @@
+//! Lean out-of-order core timing model (paper Table II: 3-way OoO,
+//! 48-entry ROB/LSQ, mobile-class).
+//!
+//! This is the substitution for the paper's Flexus core model. It keeps
+//! exactly the mechanisms BuMP's evaluation depends on:
+//!
+//! * **In-order retirement bounded by the ROB**: a load miss stalls the
+//!   core when it reaches the ROB head, so off-chip latency costs
+//!   throughput unless it is overlapped.
+//! * **Dependent loads serialize**: a pointer-chase load cannot issue
+//!   until the previous load's data returns (the fine-grained access
+//!   mode of §III.A), which is why low-density traffic is both
+//!   unprefetchable and latency-bound.
+//! * **Bounded memory-level parallelism**: 10 L1 MSHRs per core.
+//! * **Stores retire through a store buffer**: store misses fetch their
+//!   block from memory (store-triggered reads — 21–38% of traffic) but
+//!   do not block the ROB head unless the store buffer fills.
+//!
+//! The core pulls instructions from an [`InstrSource`](bump_types::InstrSource) and interacts
+//! with the memory system through an explicit request/response
+//! interface owned by the system simulator.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod core_model;
+
+pub use core_model::{CoreStats, LeanCore, PendingAccess};

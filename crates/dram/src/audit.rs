@@ -1,0 +1,323 @@
+//! Independent DDR3 timing checker.
+//!
+//! The [`TimingAuditor`] receives every command the scheduler issues and
+//! re-validates the full constraint set from first principles, with its
+//! own bookkeeping, so a scheduler bug cannot hide behind its own state.
+//! It is wired into the channel behind a flag and used heavily by unit,
+//! integration, and property tests.
+
+use crate::bank::{CommandKind, DramTimingExt};
+use bump_types::{DramTiming, MemCycle};
+use std::collections::VecDeque;
+
+/// A command the scheduler issued, as seen by the auditor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Issue cycle.
+    pub at: MemCycle,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Command class.
+    pub kind: CommandKind,
+    /// Row operand (meaningful for ACT and column commands).
+    pub row: u64,
+}
+
+/// A detected timing violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditError {
+    /// The offending command.
+    pub command: CommandRecord,
+    /// Which constraint was violated.
+    pub constraint: &'static str,
+}
+
+#[derive(Clone, Debug, Default)]
+struct BankAudit {
+    open_row: Option<u64>,
+    last_act: Option<MemCycle>,
+    /// Cycle at which the (possibly auto-) precharge completes (tRP done).
+    pre_done: MemCycle,
+    last_read: Option<MemCycle>,
+    last_write_end: Option<MemCycle>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RankAudit {
+    acts: VecDeque<MemCycle>,
+    last_write_end: Option<MemCycle>,
+    refresh_until: MemCycle,
+}
+
+/// Re-validates every issued command against the DDR3 constraint set.
+#[derive(Clone, Debug, Default)]
+pub struct TimingAuditor {
+    banks: Vec<Vec<BankAudit>>,
+    ranks: Vec<RankAudit>,
+    bus: Vec<(MemCycle, MemCycle)>,
+    errors: Vec<AuditError>,
+    commands: u64,
+}
+
+impl TimingAuditor {
+    /// Creates an empty auditor; rank/bank state grows on demand.
+    pub fn new() -> Self {
+        TimingAuditor::default()
+    }
+
+    /// Violations detected so far.
+    pub fn errors(&self) -> &[AuditError] {
+        &self.errors
+    }
+
+    /// Number of commands validated.
+    pub fn commands_checked(&self) -> u64 {
+        self.commands
+    }
+
+    fn ensure(&mut self, rank: u32, bank: u32) {
+        while self.ranks.len() <= rank as usize {
+            self.ranks.push(RankAudit::default());
+            self.banks.push(Vec::new());
+        }
+        while self.banks[rank as usize].len() <= bank as usize {
+            self.banks[rank as usize].push(BankAudit::default());
+        }
+    }
+
+    /// Records and validates one command.
+    pub fn record(
+        &mut self,
+        at: MemCycle,
+        rank: u32,
+        bank: u32,
+        kind: CommandKind,
+        row: u64,
+        t: &DramTiming,
+    ) {
+        self.ensure(rank, bank);
+        self.commands += 1;
+        let rec = CommandRecord {
+            at,
+            rank,
+            bank,
+            kind,
+            row,
+        };
+        let fail = |constraint: &'static str, errors: &mut Vec<AuditError>| {
+            errors.push(AuditError {
+                command: rec,
+                constraint,
+            });
+        };
+        let mut errors = std::mem::take(&mut self.errors);
+        match kind {
+            CommandKind::Activate => {
+                let r = &self.ranks[rank as usize];
+                if at < r.refresh_until {
+                    fail("ACT during refresh", &mut errors);
+                }
+                if r.acts.len() >= 4 {
+                    let fourth_last = r.acts[r.acts.len() - 4];
+                    if at < fourth_last + t.t_faw {
+                        fail("tFAW", &mut errors);
+                    }
+                }
+                if let Some(&last) = r.acts.back() {
+                    if at < last + t.t_rrd {
+                        fail("tRRD", &mut errors);
+                    }
+                }
+                let b = &self.banks[rank as usize][bank as usize];
+                if b.open_row.is_some() {
+                    fail("ACT to open bank", &mut errors);
+                }
+                if let Some(last) = b.last_act {
+                    if at < last + t.t_rc {
+                        fail("tRC", &mut errors);
+                    }
+                }
+                if at < b.pre_done {
+                    fail("tRP", &mut errors);
+                }
+                let b = &mut self.banks[rank as usize][bank as usize];
+                b.open_row = Some(row);
+                b.last_act = Some(at);
+                b.last_read = None;
+                b.last_write_end = None;
+                let r = &mut self.ranks[rank as usize];
+                r.acts.push_back(at);
+                if r.acts.len() > 8 {
+                    r.acts.pop_front();
+                }
+            }
+            CommandKind::Read | CommandKind::ReadAuto | CommandKind::Write | CommandKind::WriteAuto => {
+                let is_write = kind.is_write_column();
+                let r = &self.ranks[rank as usize];
+                if at < r.refresh_until {
+                    fail("column during refresh", &mut errors);
+                }
+                if !is_write {
+                    if let Some(wend) = r.last_write_end {
+                        if at < wend + t.t_wtr {
+                            fail("tWTR", &mut errors);
+                        }
+                    }
+                }
+                let b = &self.banks[rank as usize][bank as usize];
+                match b.open_row {
+                    None => fail("column to closed bank", &mut errors),
+                    Some(open) if open != row => fail("column to wrong row", &mut errors),
+                    _ => {}
+                }
+                if let Some(act) = b.last_act {
+                    if at < act + t.t_rcd {
+                        fail("tRCD", &mut errors);
+                    }
+                }
+                let data_start = at + if is_write { t.cwl() } else { t.t_cas };
+                let data_end = data_start + t.t_burst;
+                for &(s, e) in &self.bus {
+                    if data_start < e && s < data_end {
+                        fail("data bus overlap", &mut errors);
+                    }
+                }
+                self.bus.push((data_start, data_end));
+                if self.bus.len() > 16 {
+                    self.bus.remove(0);
+                }
+                let b = &mut self.banks[rank as usize][bank as usize];
+                if is_write {
+                    b.last_write_end = Some(data_end);
+                    self.ranks[rank as usize].last_write_end = Some(data_end);
+                } else {
+                    b.last_read = Some(at);
+                }
+                if matches!(kind, CommandKind::ReadAuto | CommandKind::WriteAuto) {
+                    // Implicit precharge once tRAS/tRTP/tWR allow.
+                    let act = b.last_act.unwrap_or(0);
+                    let pre_start = if is_write {
+                        (act + t.t_ras).max(data_end + t.t_wr)
+                    } else {
+                        (act + t.t_ras).max(at + t.t_rtp)
+                    };
+                    b.open_row = None;
+                    b.pre_done = pre_start + t.t_rp;
+                }
+            }
+            CommandKind::Precharge => {
+                let b = &self.banks[rank as usize][bank as usize];
+                if b.open_row.is_none() {
+                    fail("PRE to closed bank", &mut errors);
+                }
+                if let Some(act) = b.last_act {
+                    if at < act + t.t_ras {
+                        fail("tRAS", &mut errors);
+                    }
+                }
+                if let Some(rd) = b.last_read {
+                    if at < rd + t.t_rtp {
+                        fail("tRTP", &mut errors);
+                    }
+                }
+                if let Some(wend) = b.last_write_end {
+                    if at < wend + t.t_wr {
+                        fail("tWR", &mut errors);
+                    }
+                }
+                let b = &mut self.banks[rank as usize][bank as usize];
+                b.open_row = None;
+                b.pre_done = at + t.t_rp;
+            }
+            CommandKind::Refresh => {
+                for (bi, b) in self.banks[rank as usize].iter().enumerate() {
+                    if b.open_row.is_some() {
+                        let _ = bi;
+                        fail("REF with open bank", &mut errors);
+                    }
+                    if at < b.pre_done {
+                        fail("REF before tRP", &mut errors);
+                    }
+                }
+                let r = &mut self.ranks[rank as usize];
+                r.refresh_until = at + t.rfc();
+                for b in &mut self.banks[rank as usize] {
+                    b.pre_done = b.pre_done.max(at + t.rfc());
+                }
+            }
+        }
+        self.errors = errors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::ddr3_1600()
+    }
+
+    #[test]
+    fn legal_sequence_passes() {
+        let t = t();
+        let mut a = TimingAuditor::new();
+        a.record(0, 0, 0, CommandKind::Activate, 5, &t);
+        a.record(t.t_rcd, 0, 0, CommandKind::Read, 5, &t);
+        a.record(t.t_ras, 0, 0, CommandKind::Precharge, 5, &t);
+        a.record(t.t_rc, 0, 0, CommandKind::Activate, 9, &t);
+        assert!(a.errors().is_empty(), "{:?}", a.errors());
+        assert_eq!(a.commands_checked(), 4);
+    }
+
+    #[test]
+    fn early_column_is_flagged() {
+        let t = t();
+        let mut a = TimingAuditor::new();
+        a.record(0, 0, 0, CommandKind::Activate, 5, &t);
+        a.record(t.t_rcd - 1, 0, 0, CommandKind::Read, 5, &t);
+        assert_eq!(a.errors().len(), 1);
+        assert_eq!(a.errors()[0].constraint, "tRCD");
+    }
+
+    #[test]
+    fn wrong_row_is_flagged() {
+        let t = t();
+        let mut a = TimingAuditor::new();
+        a.record(0, 0, 0, CommandKind::Activate, 5, &t);
+        a.record(t.t_rcd, 0, 0, CommandKind::Read, 6, &t);
+        assert!(a.errors().iter().any(|e| e.constraint == "column to wrong row"));
+    }
+
+    #[test]
+    fn early_precharge_flagged_by_tras() {
+        let t = t();
+        let mut a = TimingAuditor::new();
+        a.record(0, 0, 0, CommandKind::Activate, 5, &t);
+        a.record(t.t_ras - 1, 0, 0, CommandKind::Precharge, 5, &t);
+        assert!(a.errors().iter().any(|e| e.constraint == "tRAS"));
+    }
+
+    #[test]
+    fn five_fast_acts_flagged_by_tfaw() {
+        let t = t();
+        let mut a = TimingAuditor::new();
+        for i in 0..5u64 {
+            a.record(i * t.t_rrd, 0, i as u32, CommandKind::Activate, 1, &t);
+        }
+        assert!(a.errors().iter().any(|e| e.constraint == "tFAW"));
+    }
+
+    #[test]
+    fn bus_overlap_flagged() {
+        let t = t();
+        let mut a = TimingAuditor::new();
+        a.record(0, 0, 0, CommandKind::Activate, 1, &t);
+        a.record(0, 0, 1, CommandKind::Activate, 1, &t); // tRRD violation too
+        a.record(t.t_rcd, 0, 0, CommandKind::Read, 1, &t);
+        a.record(t.t_rcd + 1, 0, 1, CommandKind::Read, 1, &t);
+        assert!(a.errors().iter().any(|e| e.constraint == "data bus overlap"));
+    }
+}

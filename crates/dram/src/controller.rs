@@ -1,0 +1,419 @@
+//! The memory controller facade: address mapping, channel fan-out, and
+//! system-wide DRAM statistics.
+
+use crate::channel::{Channel, RowPolicy, WriteQueueConfig};
+use crate::energy::DramEnergyCounters;
+use crate::mapping::AddressMapper;
+use crate::transaction::{Completion, Transaction, TransactionId};
+use bump_types::{DramGeometry, DramTiming, Interleaving, MemCycle, Ratio, TrafficClass};
+
+/// Complete configuration of the memory system.
+#[derive(Clone, Copy, Debug)]
+pub struct DramConfig {
+    /// Channel/rank/bank geometry.
+    pub geometry: DramGeometry,
+    /// DDR3 timing set.
+    pub timing: DramTiming,
+    /// Row-buffer management policy.
+    pub policy: RowPolicy,
+    /// Address interleaving scheme.
+    pub interleaving: Interleaving,
+    /// Read transaction queue capacity per channel (paper: 64).
+    pub read_queue_capacity: usize,
+    /// Write queue configuration per channel.
+    pub write_queue: WriteQueueConfig,
+    /// Enable the independent timing auditor (slow; for tests).
+    pub audit: bool,
+}
+
+impl DramConfig {
+    /// Base-close: FR-FCFS close-row with block interleaving.
+    pub fn paper_close_row() -> Self {
+        DramConfig {
+            geometry: DramGeometry::paper(),
+            timing: DramTiming::ddr3_1600(),
+            policy: RowPolicy::Close,
+            interleaving: Interleaving::Block,
+            read_queue_capacity: 64,
+            write_queue: WriteQueueConfig::default(),
+            audit: false,
+        }
+    }
+
+    /// Base-open / BuMP: FR-FCFS open-row with region interleaving.
+    pub fn paper_open_row() -> Self {
+        DramConfig {
+            policy: RowPolicy::Open,
+            interleaving: Interleaving::Region,
+            ..Self::paper_close_row()
+        }
+    }
+}
+
+/// Why an enqueue was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The target channel's queue for this traffic direction is full;
+    /// retry on a later cycle.
+    QueueFull,
+}
+
+impl std::fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnqueueError::QueueFull => write!(f, "transaction queue full"),
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
+
+/// Aggregated DRAM statistics, split by traffic direction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DramStats {
+    /// Row-buffer hit ratio over reads.
+    pub read_row_hits: Ratio,
+    /// Row-buffer hit ratio over writes.
+    pub write_row_hits: Ratio,
+    /// Row conflicts (a different open row had to be closed first).
+    pub row_conflicts: u64,
+    /// Completed read transactions.
+    pub reads_completed: u64,
+    /// Completed write transactions.
+    pub writes_completed: u64,
+    /// Sum of read latencies (memory cycles) for average-latency reports.
+    pub total_read_latency: u64,
+    /// Completed reads that were demand (non-speculative) traffic.
+    pub demand_reads_completed: u64,
+    /// Sum of demand read latencies.
+    pub total_demand_read_latency: u64,
+    /// Row-buffer hits over demand reads only.
+    pub demand_read_row_hits: Ratio,
+    /// Row-buffer hits over speculative (prefetch/bulk) reads only.
+    /// BuMP's bulk reads should hit at very high rates — that is the
+    /// whole mechanism.
+    pub spec_read_row_hits: Ratio,
+}
+
+impl DramStats {
+    /// Row-buffer hit ratio over all accesses, the paper's headline
+    /// locality metric (Figure 2 / Table IV / Figure 13).
+    pub fn row_hit_ratio(&self) -> Ratio {
+        self.read_row_hits + self.write_row_hits
+    }
+
+    /// Mean read latency in memory cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads_completed as f64
+        }
+    }
+}
+
+/// The processor-side memory controller: one scheduler per channel.
+#[derive(Debug)]
+pub struct MemoryController {
+    config: DramConfig,
+    mapper: AddressMapper,
+    channels: Vec<Channel>,
+    next_id: u64,
+    stats: DramStats,
+}
+
+impl MemoryController {
+    /// Builds the controller and its channels.
+    pub fn new(config: DramConfig) -> Self {
+        let mapper = AddressMapper::new(config.geometry, config.interleaving);
+        let channels = (0..config.geometry.channels)
+            .map(|c| {
+                Channel::new(
+                    config.geometry,
+                    config.timing,
+                    config.policy,
+                    config.write_queue,
+                    config.read_queue_capacity,
+                    // Stagger refresh across channels too.
+                    100 + u64::from(c) * 37,
+                    config.audit,
+                )
+            })
+            .collect();
+        MemoryController {
+            config,
+            mapper,
+            channels,
+            next_id: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapper in force.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Attempts to enqueue `txn` at memory cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqueueError::QueueFull`] when the target channel has no
+    /// room; the caller should apply backpressure and retry later.
+    pub fn try_enqueue(
+        &mut self,
+        txn: Transaction,
+        now: MemCycle,
+    ) -> Result<TransactionId, EnqueueError> {
+        let coord = self.mapper.decode(txn.block);
+        let ch = &mut self.channels[coord.channel as usize];
+        if !ch.has_room(txn.is_write) {
+            return Err(EnqueueError::QueueFull);
+        }
+        let id = TransactionId(self.next_id);
+        self.next_id += 1;
+        let ok = ch.enqueue(id, txn, coord, now);
+        debug_assert!(ok, "has_room said yes but enqueue failed");
+        Ok(id)
+    }
+
+    /// Whether the channel that owns `txn` can accept it right now.
+    pub fn can_accept(&self, txn: &Transaction) -> bool {
+        let coord = self.mapper.decode(txn.block);
+        self.channels[coord.channel as usize].has_room(txn.is_write)
+    }
+
+    /// Promotes a queued speculative read of `block` to demand priority
+    /// (called when a demand access merges into a prefetch MSHR).
+    pub fn promote_to_demand(&mut self, block: bump_types::BlockAddr) -> bool {
+        let coord = self.mapper.decode(block);
+        self.channels[coord.channel as usize].promote_to_demand(block)
+    }
+
+    /// Advances every channel by one memory cycle, appending completions.
+    pub fn tick(&mut self, now: MemCycle, completions: &mut Vec<Completion>) {
+        let start = completions.len();
+        for ch in &mut self.channels {
+            ch.tick(now, completions);
+        }
+        for c in &completions[start..] {
+            self.record_completion(c);
+        }
+    }
+
+    fn record_completion(&mut self, c: &Completion) {
+        let record = |r: &mut Ratio| {
+            if c.row_hit {
+                r.add_hit();
+            } else {
+                r.add_miss();
+            }
+        };
+        if c.txn.is_write {
+            self.stats.writes_completed += 1;
+            record(&mut self.stats.write_row_hits);
+        } else {
+            self.stats.reads_completed += 1;
+            self.stats.total_read_latency += c.latency();
+            if c.txn.class == TrafficClass::Demand {
+                self.stats.demand_reads_completed += 1;
+                self.stats.total_demand_read_latency += c.latency();
+                record(&mut self.stats.demand_read_row_hits);
+            } else {
+                record(&mut self.stats.spec_read_row_hits);
+            }
+            record(&mut self.stats.read_row_hits);
+        }
+        if c.row_conflict {
+            self.stats.row_conflicts += 1;
+        }
+    }
+
+    /// Aggregated statistics so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Zeroes statistics and energy counters without disturbing bank
+    /// state or queued transactions (warmup/measurement boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+        for ch in &mut self.channels {
+            ch.reset_energy();
+        }
+    }
+
+    /// Merged energy counters across channels.
+    pub fn energy(&self) -> DramEnergyCounters {
+        let mut e = DramEnergyCounters::default();
+        for ch in &self.channels {
+            e.merge(ch.energy());
+        }
+        e
+    }
+
+    /// Total timing-audit violations (0 when auditing is disabled).
+    pub fn audit_errors(&self) -> usize {
+        self.channels
+            .iter()
+            .filter_map(|c| c.auditor())
+            .map(|a| a.errors().len())
+            .sum()
+    }
+
+    /// Sum of queued transactions across channels (for backpressure
+    /// introspection and tests).
+    pub fn queued(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|c| c.read_queue_len() + c.write_queue_len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_types::BlockAddr;
+
+    fn read(i: u64) -> Transaction {
+        Transaction::read(BlockAddr::from_index(i), TrafficClass::Demand, 0)
+    }
+
+    fn write(i: u64) -> Transaction {
+        Transaction::write(BlockAddr::from_index(i), TrafficClass::DemandWriteback, 0)
+    }
+
+    fn run(mc: &mut MemoryController, from: MemCycle, to: MemCycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for now in from..to {
+            mc.tick(now, &mut done);
+        }
+        done
+    }
+
+    #[test]
+    fn sequential_region_reads_mostly_hit_with_region_interleaving() {
+        let mut cfg = DramConfig::paper_open_row();
+        cfg.audit = true;
+        let mut mc = MemoryController::new(cfg);
+        for i in 0..16u64 {
+            mc.try_enqueue(read(i), 0).unwrap();
+        }
+        let done = run(&mut mc, 0, 2_000);
+        assert_eq!(done.len(), 16);
+        // One activation, fifteen row hits.
+        assert_eq!(mc.stats().read_row_hits.hits, 15);
+        assert_eq!(mc.energy().activations, 1);
+        assert_eq!(mc.audit_errors(), 0);
+    }
+
+    #[test]
+    fn sequential_region_reads_spread_with_block_interleaving() {
+        let mut cfg = DramConfig::paper_close_row();
+        cfg.audit = true;
+        let mut mc = MemoryController::new(cfg);
+        for i in 0..16u64 {
+            mc.try_enqueue(read(i), 0).unwrap();
+        }
+        let done = run(&mut mc, 0, 2_000);
+        assert_eq!(done.len(), 16);
+        // Blocks fan out over many banks: many activations.
+        assert!(
+            mc.energy().activations >= 8,
+            "expected bank-parallel activations, got {}",
+            mc.energy().activations
+        );
+        assert_eq!(mc.audit_errors(), 0);
+    }
+
+    #[test]
+    fn block_interleaving_is_faster_for_scattered_parallel_reads() {
+        // 16 consecutive blocks: close/block exploits bank parallelism,
+        // open/region serializes on one bank but hits the row buffer.
+        let mut close = MemoryController::new(DramConfig::paper_close_row());
+        let mut open = MemoryController::new(DramConfig::paper_open_row());
+        for i in 0..16u64 {
+            close.try_enqueue(read(i), 0).unwrap();
+            open.try_enqueue(read(i), 0).unwrap();
+        }
+        let dc = run(&mut close, 0, 4_000);
+        let do_ = run(&mut open, 0, 4_000);
+        let end_close = dc.iter().map(|c| c.done_at).max().unwrap();
+        let end_open = do_.iter().map(|c| c.done_at).max().unwrap();
+        assert!(
+            end_close < end_open,
+            "block interleaving should finish first ({end_close} vs {end_open})"
+        );
+    }
+
+    #[test]
+    fn writes_complete_and_count_in_stats() {
+        let mut mc = MemoryController::new(DramConfig::paper_open_row());
+        for i in 0..8u64 {
+            mc.try_enqueue(write(i), 0).unwrap();
+        }
+        let _ = run(&mut mc, 0, 3_000);
+        assert_eq!(mc.stats().writes_completed, 8);
+        assert_eq!(mc.energy().writes, 8);
+    }
+
+    #[test]
+    fn queue_full_surfaces_as_error() {
+        let mut mc = MemoryController::new(DramConfig::paper_open_row());
+        let mut rejected = 0;
+        // All to one channel: region-interleaved consecutive regions
+        // alternate channels, so step by 2 regions.
+        for i in 0..200u64 {
+            let t = read(i * 32);
+            if mc.try_enqueue(t, 0).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "backpressure must kick in");
+    }
+
+    #[test]
+    fn stats_row_hit_ratio_combines_reads_and_writes() {
+        let mut mc = MemoryController::new(DramConfig::paper_open_row());
+        for i in 0..4u64 {
+            mc.try_enqueue(read(i), 0).unwrap();
+            mc.try_enqueue(write(i + 16), 0).unwrap();
+        }
+        let _ = run(&mut mc, 0, 3_000);
+        let r = mc.stats().row_hit_ratio();
+        assert_eq!(r.total, 8);
+    }
+
+    #[test]
+    fn long_audited_run_stays_legal_under_both_configs() {
+        for cfg in [DramConfig::paper_close_row(), DramConfig::paper_open_row()] {
+            let mut cfg = cfg;
+            cfg.audit = true;
+            let mut mc = MemoryController::new(cfg);
+            let mut state = 0xDEADBEEFu64;
+            let mut done = Vec::new();
+            for now in 0..20_000u64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(4) {
+                    let t = if state.is_multiple_of(8) {
+                        write(state % 1_000_000)
+                    } else {
+                        read(state % 1_000_000)
+                    };
+                    let _ = mc.try_enqueue(t, now);
+                }
+                mc.tick(now, &mut done);
+            }
+            assert_eq!(mc.audit_errors(), 0, "config {:?}", mc.config().policy);
+            assert!(done.len() > 1000);
+        }
+    }
+}

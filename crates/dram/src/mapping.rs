@@ -1,0 +1,273 @@
+//! Physical-address ⇄ DRAM-coordinate mapping.
+//!
+//! Both interleavings follow the paper's addressing scheme
+//! `Row:ColumnHigh:Rank:Bank:Channel:ColumnLow:ByteOffset` over 8-byte
+//! DRAM column words (§IV.D and §V.A):
+//!
+//! * **Block interleaving** (Base-close): `ColumnLow` is 3 bits, so one
+//!   64-byte cache block is contiguous and consecutive blocks rotate
+//!   across channels, banks, and ranks — maximum parallelism.
+//! * **Region interleaving** (Base-open, BuMP): `ColumnLow` is 7 bits,
+//!   so an entire 1KB region is contiguous within one DRAM row of one
+//!   bank — bulk transfers hit the row buffer.
+
+use bump_types::{BlockAddr, DramGeometry, Interleaving, BLOCK_OFFSET_BITS};
+
+/// Bits addressing one 8-byte DRAM column word.
+const WORD_BITS: u32 = 3;
+
+/// Word bits per cache block (a 64B block spans 8 column words).
+const WORDS_PER_BLOCK_BITS: u32 = BLOCK_OFFSET_BITS - WORD_BITS;
+
+/// The location of a cache block in the memory system.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Memory channel.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank (the DRAM page).
+    pub row: u64,
+    /// Block-granular column within the row (0..blocks_per_row).
+    pub col_block: u32,
+}
+
+impl DramCoord {
+    /// A dense index identifying this coordinate's bank across the whole
+    /// memory system.
+    pub fn global_bank(self, geom: DramGeometry) -> u32 {
+        (self.channel * geom.ranks_per_channel + self.rank) * geom.banks_per_rank + self.bank
+    }
+}
+
+/// Translates cache-block addresses to DRAM coordinates under a chosen
+/// interleaving.
+#[derive(Clone, Copy, Debug)]
+pub struct AddressMapper {
+    geom: DramGeometry,
+    interleaving: Interleaving,
+    ch_bits: u32,
+    rank_bits: u32,
+    bank_bits: u32,
+    col_lo_bits: u32,
+    col_hi_bits: u32,
+    row_bits: u32,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for `geom` with the given interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry dimension is not a power of two, or if the
+    /// row is too small to hold one `ColumnLow` unit of the chosen
+    /// interleaving.
+    pub fn new(geom: DramGeometry, interleaving: Interleaving) -> Self {
+        assert!(geom.channels.is_power_of_two(), "channels must be 2^n");
+        assert!(geom.ranks_per_channel.is_power_of_two(), "ranks must be 2^n");
+        assert!(geom.banks_per_rank.is_power_of_two(), "banks must be 2^n");
+        assert!(geom.row_bytes.is_power_of_two(), "row size must be 2^n");
+
+        let total_col_bits = geom.row_bytes.trailing_zeros() - WORD_BITS;
+        // Block interleaving: ColumnLow covers exactly one cache block
+        // (64B = 8 words = 3 bits). Region interleaving: ColumnLow covers
+        // one 1KB region (128 words = 7 bits).
+        let col_lo_bits = match interleaving {
+            Interleaving::Block => BLOCK_OFFSET_BITS - WORD_BITS,
+            Interleaving::Region => 10 - WORD_BITS,
+        };
+        assert!(
+            col_lo_bits <= total_col_bits,
+            "row of {} bytes is too small for the interleaving unit",
+            geom.row_bytes
+        );
+        let capacity_bits = geom.capacity_bytes.trailing_zeros();
+        let ch_bits = geom.channels.trailing_zeros();
+        let rank_bits = geom.ranks_per_channel.trailing_zeros();
+        let bank_bits = geom.banks_per_rank.trailing_zeros();
+        let col_hi_bits = total_col_bits - col_lo_bits;
+        let row_bits = capacity_bits
+            - WORD_BITS
+            - total_col_bits
+            - ch_bits
+            - rank_bits
+            - bank_bits;
+        AddressMapper {
+            geom,
+            interleaving,
+            ch_bits,
+            rank_bits,
+            bank_bits,
+            col_lo_bits,
+            col_hi_bits,
+            row_bits,
+        }
+    }
+
+    /// The geometry this mapper was built for.
+    pub fn geometry(&self) -> DramGeometry {
+        self.geom
+    }
+
+    /// The interleaving this mapper implements.
+    pub fn interleaving(&self) -> Interleaving {
+        self.interleaving
+    }
+
+    /// Maps a cache block to its DRAM coordinate.
+    ///
+    /// Addresses beyond the installed capacity wrap within the row bits
+    /// (the simulator's synthetic address space is virtually unbounded).
+    pub fn decode(&self, block: BlockAddr) -> DramCoord {
+        // Work in column-word units; a 64B block is 8 words, so the low
+        // WORDS_PER_BLOCK_BITS word bits are zero for block addresses.
+        let mut addr = block.index() << WORDS_PER_BLOCK_BITS;
+        let mut take = |bits: u32| -> u64 {
+            let v = addr & ((1u64 << bits) - 1);
+            addr >>= bits;
+            v
+        };
+        let col_lo = take(self.col_lo_bits);
+        let channel = take(self.ch_bits) as u32;
+        let bank = take(self.bank_bits) as u32;
+        let rank = take(self.rank_bits) as u32;
+        let col_hi = take(self.col_hi_bits);
+        let row = take(self.row_bits);
+
+        // Reassemble the column: ColumnHigh above ColumnLow, then convert
+        // word-granular to block-granular.
+        let col_words = (col_hi << self.col_lo_bits) | col_lo;
+        let col_block = (col_words >> WORDS_PER_BLOCK_BITS) as u32;
+        DramCoord {
+            channel,
+            rank,
+            bank,
+            row,
+            col_block,
+        }
+    }
+
+    /// Inverse of [`decode`](Self::decode) for addresses within capacity.
+    pub fn encode(&self, coord: DramCoord) -> BlockAddr {
+        let col_words = u64::from(coord.col_block) << WORDS_PER_BLOCK_BITS;
+        let col_lo = col_words & ((1u64 << self.col_lo_bits) - 1);
+        let col_hi = col_words >> self.col_lo_bits;
+
+        let mut addr = coord.row;
+        addr = (addr << self.col_hi_bits) | col_hi;
+        addr = (addr << self.rank_bits) | u64::from(coord.rank);
+        addr = (addr << self.bank_bits) | u64::from(coord.bank);
+        addr = (addr << self.ch_bits) | u64::from(coord.channel);
+        addr = (addr << self.col_lo_bits) | col_lo;
+        BlockAddr::from_index(addr >> WORDS_PER_BLOCK_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_types::RegionConfig;
+
+    fn mappers() -> [AddressMapper; 2] {
+        [
+            AddressMapper::new(DramGeometry::paper(), Interleaving::Block),
+            AddressMapper::new(DramGeometry::paper(), Interleaving::Region),
+        ]
+    }
+
+    #[test]
+    fn decode_encode_round_trip() {
+        for m in mappers() {
+            for i in [0u64, 1, 2, 15, 16, 127, 128, 1 << 20, (1 << 27) - 1] {
+                let b = BlockAddr::from_index(i);
+                let c = m.decode(b);
+                assert_eq!(m.encode(c), b, "round trip failed for {i} ({:?})", m.interleaving());
+            }
+        }
+    }
+
+    #[test]
+    fn region_interleaving_keeps_region_in_one_row() {
+        let m = AddressMapper::new(DramGeometry::paper(), Interleaving::Region);
+        let region = RegionConfig::kilobyte();
+        let base = BlockAddr::from_index(0xABCD0);
+        let r = base.region(region);
+        let first = m.decode(r.block_at(region, 0));
+        for b in r.blocks(region) {
+            let c = m.decode(b);
+            assert_eq!((c.channel, c.rank, c.bank, c.row),
+                       (first.channel, first.rank, first.bank, first.row),
+                       "block {b:?} left the row");
+        }
+    }
+
+    #[test]
+    fn region_interleaving_consecutive_regions_rotate_channels() {
+        let m = AddressMapper::new(DramGeometry::paper(), Interleaving::Region);
+        let region = RegionConfig::kilobyte();
+        let r0 = BlockAddr::from_index(0).region(region);
+        let r1 = BlockAddr::from_index(16).region(region);
+        let c0 = m.decode(r0.block_at(region, 0));
+        let c1 = m.decode(r1.block_at(region, 0));
+        assert_ne!(c0.channel, c1.channel, "adjacent regions share a channel");
+    }
+
+    #[test]
+    fn block_interleaving_consecutive_blocks_rotate_channels() {
+        let m = AddressMapper::new(DramGeometry::paper(), Interleaving::Block);
+        let c0 = m.decode(BlockAddr::from_index(0));
+        let c1 = m.decode(BlockAddr::from_index(1));
+        assert_ne!(c0.channel, c1.channel, "adjacent blocks share a channel");
+    }
+
+    #[test]
+    fn block_interleaving_spreads_region_across_banks() {
+        let m = AddressMapper::new(DramGeometry::paper(), Interleaving::Block);
+        let region = RegionConfig::kilobyte();
+        let r = BlockAddr::from_index(0x5000).region(region);
+        let distinct: std::collections::HashSet<u32> = r
+            .blocks(region)
+            .map(|b| m.decode(b).global_bank(DramGeometry::paper()))
+            .collect();
+        assert!(distinct.len() > 1, "block interleaving kept region in one bank");
+    }
+
+    #[test]
+    fn coordinates_stay_within_geometry() {
+        let g = DramGeometry::paper();
+        for m in mappers() {
+            for i in (0..200_000u64).step_by(977) {
+                let c = m.decode(BlockAddr::from_index(i));
+                assert!(c.channel < g.channels);
+                assert!(c.rank < g.ranks_per_channel);
+                assert!(c.bank < g.banks_per_rank);
+                assert!(u64::from(c.col_block) < g.blocks_per_row());
+                assert!(c.row < g.rows_per_bank());
+            }
+        }
+    }
+
+    #[test]
+    fn global_bank_is_dense_and_unique() {
+        let g = DramGeometry::paper();
+        let mut seen = std::collections::HashSet::new();
+        for ch in 0..g.channels {
+            for rk in 0..g.ranks_per_channel {
+                for bk in 0..g.banks_per_rank {
+                    let c = DramCoord {
+                        channel: ch,
+                        rank: rk,
+                        bank: bk,
+                        row: 0,
+                        col_block: 0,
+                    };
+                    assert!(seen.insert(c.global_bank(g)));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u32, g.total_banks());
+        assert_eq!(*seen.iter().max().unwrap(), g.total_banks() - 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Server energy model for the BuMP reproduction (paper Table III).
+//!
+//! The paper's energy framework draws on published core measurements,
+//! McPAT, CACTI, and Micron's DDR3 power model. This crate reimplements
+//! the resulting *parameters* (Table III) and the accounting the paper
+//! uses:
+//!
+//! * **Cores** — dynamic power scales a 700mW peak figure by achieved
+//!   IPC relative to a reference IPC (§V.A); 70mW leakage per core.
+//! * **LLC** — 0.63nJ/0.70nJ per read/write, 750mW leakage total.
+//! * **NOC** — per-byte dynamic energy calibrated to 55mW peak dynamic
+//!   power; 30mW leakage.
+//! * **Memory controller** — 250mW dynamic at 12.8GB/s, scaled by the
+//!   achieved DRAM bandwidth.
+//! * **DRAM** — activation/burst/IO/background from the event counters
+//!   kept by `bump-dram` ([`DramEnergyCounters`]).
+//!
+//! The two headline metrics are [`ServerEnergy::total_j`] (Figure 1's
+//! breakdown) and [`MemoryEnergy::per_access_nj`] (Figures 9/11/13).
+//!
+//! [`DramEnergyCounters`]: bump_dram::DramEnergyCounters
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use bump_dram::{DramEnergyBreakdown, DramEnergyCounters, DramEnergyParams};
+
+/// Chip-side energy parameters (paper Table III).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChipEnergyParams {
+    /// Peak dynamic power of one core, watts.
+    pub core_peak_dynamic_w: f64,
+    /// Reference IPC at which a core draws its peak dynamic power.
+    pub core_reference_ipc: f64,
+    /// Leakage power of one core, watts.
+    pub core_leakage_w: f64,
+    /// LLC read energy, nanojoules.
+    pub llc_read_nj: f64,
+    /// LLC write energy, nanojoules.
+    pub llc_write_nj: f64,
+    /// LLC leakage power (whole cache), watts.
+    pub llc_leakage_w: f64,
+    /// NOC dynamic energy per byte moved, nanojoules.
+    pub noc_nj_per_byte: f64,
+    /// NOC leakage power, watts.
+    pub noc_leakage_w: f64,
+    /// Memory-controller dynamic power at the reference bandwidth, watts.
+    pub mc_dynamic_w_at_ref: f64,
+    /// Reference bandwidth for the MC figure, bytes/second.
+    pub mc_reference_bw: f64,
+    /// CPU clock frequency, hertz (2.5GHz).
+    pub cpu_hz: f64,
+}
+
+impl ChipEnergyParams {
+    /// The paper's Table III values.
+    pub fn paper() -> Self {
+        ChipEnergyParams {
+            core_peak_dynamic_w: 0.700,
+            core_reference_ipc: 1.5,
+            core_leakage_w: 0.070,
+            llc_read_nj: 0.63,
+            llc_write_nj: 0.70,
+            llc_leakage_w: 0.750,
+            // 55mW peak dynamic at ~5.5GB/s of crossbar traffic.
+            noc_nj_per_byte: 0.010,
+            noc_leakage_w: 0.030,
+            mc_dynamic_w_at_ref: 0.250,
+            mc_reference_bw: 12.8e9,
+            cpu_hz: 2.5e9,
+        }
+    }
+}
+
+impl Default for ChipEnergyParams {
+    fn default() -> Self {
+        ChipEnergyParams::paper()
+    }
+}
+
+/// Raw activity counts for one simulation, gathered by `bump-sim`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemActivity {
+    /// CPU cycles simulated.
+    pub cycles: u64,
+    /// Number of cores.
+    pub cores: u32,
+    /// Total instructions retired across cores.
+    pub instructions: u64,
+    /// LLC lookups (reads of the tag/data arrays).
+    pub llc_reads: u64,
+    /// LLC updates (fills and writebacks into the array).
+    pub llc_writes: u64,
+    /// Bytes moved across the NOC.
+    pub noc_bytes: u64,
+    /// Bytes moved on the DRAM bus (64 × accesses).
+    pub dram_bytes: u64,
+    /// DRAM event counters.
+    pub dram: DramEnergyCounters,
+}
+
+impl SystemActivity {
+    /// Wall-clock seconds simulated.
+    pub fn seconds(&self, params: &ChipEnergyParams) -> f64 {
+        self.cycles as f64 / params.cpu_hz
+    }
+
+    /// Aggregate IPC across the chip.
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// DRAM-side energy metrics (Figures 9, 11, 13).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryEnergy {
+    /// The DRAM energy split.
+    pub breakdown: DramEnergyBreakdown,
+    /// DRAM accesses (read + write bursts).
+    pub accesses: u64,
+}
+
+impl MemoryEnergy {
+    /// Activation energy per access, nanojoules.
+    pub fn activation_per_access_nj(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.breakdown.activation_nj / self.accesses as f64
+        }
+    }
+
+    /// Burst + IO energy per access, nanojoules.
+    pub fn burst_io_per_access_nj(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.breakdown.burst_io_nj() / self.accesses as f64
+        }
+    }
+
+    /// Dynamic memory energy per access — the paper's headline metric.
+    pub fn per_access_nj(&self) -> f64 {
+        self.activation_per_access_nj() + self.burst_io_per_access_nj()
+    }
+}
+
+/// Full-chip energy breakdown in joules (Figure 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerEnergy {
+    /// Core dynamic + leakage energy.
+    pub cores_j: f64,
+    /// LLC dynamic + leakage energy.
+    pub llc_j: f64,
+    /// NOC dynamic + leakage energy.
+    pub noc_j: f64,
+    /// Memory-controller energy.
+    pub mc_j: f64,
+    /// DRAM activation energy.
+    pub dram_activation_j: f64,
+    /// DRAM burst + IO energy.
+    pub dram_burst_io_j: f64,
+    /// DRAM background energy.
+    pub dram_background_j: f64,
+}
+
+impl ServerEnergy {
+    /// Total DRAM energy.
+    pub fn dram_j(&self) -> f64 {
+        self.dram_activation_j + self.dram_burst_io_j + self.dram_background_j
+    }
+
+    /// Total server energy.
+    pub fn total_j(&self) -> f64 {
+        self.cores_j + self.llc_j + self.noc_j + self.mc_j + self.dram_j()
+    }
+
+    /// Memory's share of total energy (the paper reports 48–62%).
+    pub fn memory_fraction(&self) -> f64 {
+        self.dram_j() / self.total_j()
+    }
+}
+
+/// The energy model: parameters + costing functions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyModel {
+    /// Chip-side parameters.
+    pub chip: ChipEnergyParams,
+    /// DRAM parameters.
+    pub dram: DramEnergyParams,
+}
+
+impl EnergyModel {
+    /// The paper's model.
+    pub fn paper() -> Self {
+        EnergyModel {
+            chip: ChipEnergyParams::paper(),
+            dram: DramEnergyParams::paper(),
+        }
+    }
+
+    /// DRAM-side energy metrics for `activity`.
+    pub fn memory_energy(&self, activity: &SystemActivity) -> MemoryEnergy {
+        MemoryEnergy {
+            breakdown: activity.dram.cost(&self.dram),
+            accesses: activity.dram.accesses(),
+        }
+    }
+
+    /// Full-server energy breakdown for `activity`.
+    pub fn server_energy(&self, activity: &SystemActivity) -> ServerEnergy {
+        let p = &self.chip;
+        let secs = activity.seconds(p);
+        let n = f64::from(activity.cores);
+
+        let ipc_per_core = activity.aggregate_ipc() / n.max(1.0);
+        let core_dynamic_w =
+            p.core_peak_dynamic_w * (ipc_per_core / p.core_reference_ipc).min(1.0);
+        let cores_j = (core_dynamic_w + p.core_leakage_w) * n * secs;
+
+        let llc_dynamic_j = (activity.llc_reads as f64 * p.llc_read_nj
+            + activity.llc_writes as f64 * p.llc_write_nj)
+            * 1e-9;
+        let llc_j = llc_dynamic_j + p.llc_leakage_w * secs;
+
+        let noc_dynamic_j = activity.noc_bytes as f64 * p.noc_nj_per_byte * 1e-9;
+        let noc_j = noc_dynamic_j + p.noc_leakage_w * secs;
+
+        let bw = if secs > 0.0 {
+            activity.dram_bytes as f64 / secs
+        } else {
+            0.0
+        };
+        let mc_j = p.mc_dynamic_w_at_ref * (bw / p.mc_reference_bw) * secs;
+
+        let dram = activity.dram.cost(&self.dram);
+        ServerEnergy {
+            cores_j,
+            llc_j,
+            noc_j,
+            mc_j,
+            dram_activation_j: dram.activation_nj * 1e-9,
+            dram_burst_io_j: dram.burst_io_nj() * 1e-9,
+            dram_background_j: dram.background_nj * 1e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_server_activity() -> SystemActivity {
+        // 1ms of a 16-core chip with a memory-heavy profile.
+        let cycles = 2_500_000u64; // 1ms at 2.5GHz
+        let dram_accesses = 150_000u64;
+        SystemActivity {
+            cycles,
+            cores: 16,
+            instructions: 16 * cycles / 2, // IPC 0.5/core
+            llc_reads: 600_000,
+            llc_writes: 300_000,
+            noc_bytes: 80_000_000,
+            dram_bytes: dram_accesses * 64,
+            dram: DramEnergyCounters {
+                activations: 110_000, // poor row locality
+                reads: 100_000,
+                writes: 50_000,
+                refreshes: 1000,
+                active_rank_cycles: 8 * 500_000,
+                idle_rank_cycles: 8 * 300_000,
+            },
+        }
+    }
+
+    #[test]
+    fn memory_dominates_server_energy_like_figure_1() {
+        let m = EnergyModel::paper();
+        let e = m.server_energy(&busy_server_activity());
+        let f = e.memory_fraction();
+        assert!(
+            (0.35..0.75).contains(&f),
+            "memory fraction {f:.2} out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn per_access_energy_decreases_with_row_hits() {
+        let m = EnergyModel::paper();
+        let mut a = busy_server_activity();
+        let poor = m.memory_energy(&a).per_access_nj();
+        a.dram.activations = 15_000; // excellent locality
+        let good = m.memory_energy(&a).per_access_nj();
+        assert!(good < poor * 0.7, "good {good:.1} vs poor {poor:.1}");
+    }
+
+    #[test]
+    fn core_dynamic_power_saturates_at_peak() {
+        let m = EnergyModel::paper();
+        let mut a = busy_server_activity();
+        a.instructions = a.cycles * 16 * 3; // impossible IPC 3/core
+        let e = m.server_energy(&a);
+        let max_cores_j =
+            (0.700 + 0.070) * 16.0 * a.seconds(&m.chip) * 1.0001;
+        assert!(e.cores_j <= max_cores_j);
+    }
+
+    #[test]
+    fn empty_activity_is_all_zeroes_but_total_is_finite() {
+        let m = EnergyModel::paper();
+        let e = m.server_energy(&SystemActivity::default());
+        assert_eq!(e.total_j(), 0.0);
+        let me = m.memory_energy(&SystemActivity::default());
+        assert_eq!(me.per_access_nj(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let m = EnergyModel::paper();
+        let e = m.server_energy(&busy_server_activity());
+        let sum = e.cores_j + e.llc_j + e.noc_j + e.mc_j + e.dram_j();
+        assert!((sum - e.total_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activation_share_tracks_activation_count() {
+        let m = EnergyModel::paper();
+        let a = busy_server_activity();
+        let me = m.memory_energy(&a);
+        // 110k activations × 29.7nJ / 150k accesses ≈ 21.8 nJ/access.
+        assert!((me.activation_per_access_nj() - 21.78).abs() < 0.5);
+    }
+}

@@ -1,0 +1,438 @@
+//! Unbounded region-density profiler.
+//!
+//! Implements the paper's §III characterization methodology with
+//! *unlimited* tracking state (unlike the hardware RDTT): every region
+//! generation — first access to first LLC eviction — is recorded with
+//! its accessed and modified block patterns. The profiler produces:
+//!
+//! * Figure 5's density histograms (DRAM reads and writes binned by the
+//!   density band of their region),
+//! * Table I's late-modification fraction (blocks of a high-density
+//!   modified region dirtied after the generation ended),
+//! * the Ideal system's row-buffer locality bound (every access after
+//!   the first to a region during its generation could be a row hit
+//!   under region-level interleaving).
+
+use bump_types::{
+    BlockAddr, DensityClass, DensityThreshold, MemoryRequest, Ratio, RegionAddr, RegionConfig,
+    TrafficClass,
+};
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Generation {
+    accessed: u64,
+    dirtied: u64,
+    dram_reads: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PostWindow {
+    /// Blocks dirtied during the generation window. An L1 *writeback*
+    /// arriving post-termination for one of these is attributed to the
+    /// in-window store (the writeback is just late plumbing), not to a
+    /// post-eviction modification.
+    window_dirty: u64,
+    /// Blocks counted as modified after the first eviction (each once).
+    late_pattern: u64,
+    /// Popcount of `late_pattern`.
+    late_dirty: u64,
+    /// Whether the terminated generation was high-density modified.
+    counted: bool,
+}
+
+/// Accumulated density statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DensityProfile {
+    /// DRAM reads from low/medium/high-density regions.
+    pub reads_by_density: [u64; 3],
+    /// DRAM writes (modified blocks) from low/medium/high-density regions.
+    pub writes_by_density: [u64; 3],
+    /// Ideal row-buffer hit bound over reads.
+    pub ideal_read_hits: Ratio,
+    /// Ideal row-buffer hit bound over writes.
+    pub ideal_write_hits: Ratio,
+    /// Blocks of high-density modified regions dirtied inside the
+    /// generation window.
+    pub dirty_in_window: u64,
+    /// Blocks of high-density modified regions dirtied after the first
+    /// eviction (Table I numerator).
+    pub dirty_late: u64,
+    /// Completed generations.
+    pub generations: u64,
+}
+
+impl DensityProfile {
+    fn density_index(class: DensityClass) -> usize {
+        match class {
+            DensityClass::Low => 0,
+            DensityClass::Medium => 1,
+            DensityClass::High => 2,
+        }
+    }
+
+    /// Fraction of DRAM reads from high-density regions (Figure 5 "R").
+    pub fn read_high_fraction(&self) -> f64 {
+        let total: u64 = self.reads_by_density.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.reads_by_density[2] as f64 / total as f64
+        }
+    }
+
+    /// Fraction of DRAM writes from high-density regions (Figure 5 "W").
+    pub fn write_high_fraction(&self) -> f64 {
+        let total: u64 = self.writes_by_density.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.writes_by_density[2] as f64 / total as f64
+        }
+    }
+
+    /// Normalized read histogram `[low, medium, high]`.
+    pub fn read_histogram(&self) -> [f64; 3] {
+        normalize(self.reads_by_density)
+    }
+
+    /// Normalized write histogram `[low, medium, high]`.
+    pub fn write_histogram(&self) -> [f64; 3] {
+        normalize(self.writes_by_density)
+    }
+
+    /// Table I: fraction of high-density-region blocks modified after
+    /// the region's first LLC eviction.
+    pub fn late_modification_fraction(&self) -> f64 {
+        let total = self.dirty_in_window + self.dirty_late;
+        if total == 0 {
+            0.0
+        } else {
+            self.dirty_late as f64 / total as f64
+        }
+    }
+
+    /// Combined ideal row-hit bound (reads + writes).
+    pub fn ideal_row_hits(&self) -> Ratio {
+        self.ideal_read_hits + self.ideal_write_hits
+    }
+}
+
+fn normalize(counts: [u64; 3]) -> [f64; 3] {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        [0.0; 3]
+    } else {
+        counts.map(|c| c as f64 / total as f64)
+    }
+}
+
+/// The profiler: feed it the demand LLC streams; read the profile out.
+#[derive(Debug)]
+pub struct DensityProfiler {
+    region_cfg: RegionConfig,
+    threshold: DensityThreshold,
+    active: HashMap<RegionAddr, Generation>,
+    post: HashMap<RegionAddr, PostWindow>,
+    profile: DensityProfile,
+}
+
+impl DensityProfiler {
+    /// Creates a profiler for `region_cfg` with the paper's 50%
+    /// high-density threshold.
+    pub fn new(region_cfg: RegionConfig) -> Self {
+        DensityProfiler {
+            region_cfg,
+            threshold: DensityThreshold::paper(),
+            active: HashMap::new(),
+            post: HashMap::new(),
+            profile: DensityProfile::default(),
+        }
+    }
+
+    /// The profile accumulated so far (not including active generations;
+    /// call [`finalize`](Self::finalize) at the end of a run first for
+    /// full coverage).
+    pub fn profile(&self) -> &DensityProfile {
+        &self.profile
+    }
+
+    /// Number of currently active generations (a measure of how much
+    /// region state the hardware RDTT would need).
+    pub fn active_generations(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Observes a demand LLC access.
+    pub fn on_access(&mut self, req: &MemoryRequest, hit: bool) {
+        if req.class != TrafficClass::Demand {
+            return;
+        }
+        let region = req.block.region(self.region_cfg);
+        let offset = self.region_cfg.block_offset(req.block);
+        // A new access to a terminated region closes its post-window; a
+        // *store* arriving after the first eviction is exactly the late
+        // modification Table I counts.
+        if let Some(mut p) = self.post.remove(&region) {
+            if req.kind.is_store() && p.counted && p.late_pattern & (1 << offset) == 0 {
+                p.late_pattern |= 1 << offset;
+                p.late_dirty += 1;
+            }
+            self.fold_post(p);
+        }
+        let g = self.active.entry(region).or_default();
+        g.accessed |= 1 << offset;
+        if req.kind.is_store() {
+            g.dirtied |= 1 << offset;
+        }
+        if !hit {
+            g.dram_reads += 1;
+        }
+    }
+
+    /// Observes a dirty block arriving at the LLC from an L1.
+    pub fn on_writeback_in(&mut self, block: BlockAddr) {
+        let region = block.region(self.region_cfg);
+        let offset = self.region_cfg.block_offset(block);
+        if let Some(g) = self.active.get_mut(&region) {
+            g.accessed |= 1 << offset;
+            g.dirtied |= 1 << offset;
+        } else if let Some(p) = self.post.get_mut(&region) {
+            // A post-window writeback is only a late *modification* if
+            // the block was not already dirtied inside the window.
+            if p.counted
+                && p.window_dirty & (1 << offset) == 0
+                && p.late_pattern & (1 << offset) == 0
+            {
+                p.late_pattern |= 1 << offset;
+                p.late_dirty += 1;
+            }
+        }
+    }
+
+    /// Observes an LLC eviction: terminates the block's generation.
+    pub fn on_eviction(&mut self, block: BlockAddr) {
+        let region = block.region(self.region_cfg);
+        let Some(g) = self.active.remove(&region) else {
+            return;
+        };
+        self.finish_generation(region, g);
+    }
+
+    fn finish_generation(&mut self, region: RegionAddr, g: Generation) {
+        let blocks = self.region_cfg.blocks_per_region();
+        let touched = g.accessed.count_ones();
+        let dirty = g.dirtied.count_ones();
+        if touched == 0 {
+            return;
+        }
+        let class = DensityClass::classify(touched, blocks);
+        let di = DensityProfile::density_index(class);
+        self.profile.generations += 1;
+        self.profile.reads_by_density[di] += g.dram_reads;
+        self.profile.writes_by_density[di] += u64::from(dirty);
+
+        // Ideal locality: with region-level interleaving, every DRAM
+        // read after the first within the generation can hit the row.
+        if g.dram_reads > 0 {
+            self.profile.ideal_read_hits += Ratio::new(g.dram_reads - 1, g.dram_reads);
+        }
+        if dirty > 0 {
+            self.profile.ideal_write_hits += Ratio::new(u64::from(dirty) - 1, u64::from(dirty));
+        }
+
+        let high_modified = dirty > 0 && self.threshold.is_high_density(touched, blocks);
+        if high_modified {
+            self.profile.dirty_in_window += u64::from(dirty);
+        }
+        self.post.insert(
+            region,
+            PostWindow {
+                window_dirty: g.dirtied,
+                late_pattern: 0,
+                late_dirty: 0,
+                counted: high_modified,
+            },
+        );
+    }
+
+    fn fold_post(&mut self, p: PostWindow) {
+        if p.counted {
+            self.profile.dirty_late += p.late_dirty;
+        }
+    }
+
+    /// Folds all remaining state into the profile (end of run).
+    pub fn finalize(&mut self) {
+        let active: Vec<(RegionAddr, Generation)> = self.active.drain().collect();
+        for (r, g) in active {
+            self.finish_generation(r, g);
+        }
+        let post: Vec<PostWindow> = self.post.drain().map(|(_, p)| p).collect();
+        for p in post {
+            self.fold_post(p);
+        }
+    }
+
+    /// Clears accumulated statistics but keeps active generation state
+    /// (used at the warmup/measurement boundary). DRAM-read counts of
+    /// in-flight generations are zeroed so the measured histograms only
+    /// contain measurement-window traffic; access/dirty *patterns* are
+    /// kept, since a generation's density is a property of its whole
+    /// lifetime.
+    pub fn reset_stats(&mut self) {
+        self.profile = DensityProfile::default();
+        for g in self.active.values_mut() {
+            g.dram_reads = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_types::{AccessKind, Pc};
+
+    fn cfg() -> RegionConfig {
+        RegionConfig::kilobyte()
+    }
+
+    fn block(region: u64, offset: u32) -> BlockAddr {
+        RegionAddr::from_index(region).block_at(cfg(), offset)
+    }
+
+    fn load(region: u64, offset: u32) -> MemoryRequest {
+        MemoryRequest::demand(block(region, offset), Pc::new(0x1), AccessKind::Load, 0)
+    }
+
+    fn store(region: u64, offset: u32) -> MemoryRequest {
+        MemoryRequest::demand(block(region, offset), Pc::new(0x2), AccessKind::Store, 0)
+    }
+
+    #[test]
+    fn dense_generation_classified_high() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..12 {
+            p.on_access(&load(1, o), false);
+        }
+        p.on_eviction(block(1, 0));
+        assert_eq!(p.profile().reads_by_density[2], 12);
+        assert_eq!(p.profile().read_high_fraction(), 1.0);
+    }
+
+    #[test]
+    fn sparse_generation_classified_low() {
+        let mut p = DensityProfiler::new(cfg());
+        p.on_access(&load(1, 0), false);
+        p.on_access(&load(1, 1), false);
+        p.on_eviction(block(1, 0));
+        assert_eq!(p.profile().reads_by_density[0], 2);
+    }
+
+    #[test]
+    fn medium_band_covers_quarter_to_half() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..6 {
+            p.on_access(&load(1, o), false);
+        }
+        p.on_eviction(block(1, 0));
+        assert_eq!(p.profile().reads_by_density[1], 6);
+    }
+
+    #[test]
+    fn llc_hits_do_not_count_as_dram_reads() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..12 {
+            p.on_access(&load(1, o), true); // all hits
+        }
+        p.on_eviction(block(1, 0));
+        let total: u64 = p.profile().reads_by_density.iter().sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn writes_binned_by_dirty_count() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..10 {
+            p.on_access(&store(1, o), false);
+        }
+        p.on_eviction(block(1, 0));
+        assert_eq!(p.profile().writes_by_density[2], 10);
+        assert_eq!(p.profile().write_high_fraction(), 1.0);
+    }
+
+    #[test]
+    fn ideal_hits_amortize_within_generation() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..16 {
+            p.on_access(&load(1, o), false);
+        }
+        p.on_eviction(block(1, 0));
+        // 16 reads, 15 could hit.
+        assert_eq!(p.profile().ideal_read_hits, Ratio::new(15, 16));
+    }
+
+    #[test]
+    fn table1_late_modifications_counted() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..10 {
+            p.on_access(&store(1, o), false);
+        }
+        p.on_eviction(block(1, 0)); // generation ends: 10 dirty in window
+        p.on_writeback_in(block(1, 12)); // late modification
+        p.on_access(&load(1, 0), false); // next generation closes the window
+        assert_eq!(p.profile().dirty_in_window, 10);
+        assert_eq!(p.profile().dirty_late, 1);
+        let f = p.profile().late_modification_fraction();
+        assert!((f - 1.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_density_regions_do_not_contribute_to_table1() {
+        let mut p = DensityProfiler::new(cfg());
+        p.on_access(&store(1, 0), false);
+        p.on_eviction(block(1, 0));
+        p.on_writeback_in(block(1, 5));
+        p.on_access(&load(1, 1), false);
+        assert_eq!(p.profile().dirty_late, 0);
+    }
+
+    #[test]
+    fn finalize_flushes_active_generations() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..12 {
+            p.on_access(&load(1, o), false);
+        }
+        assert_eq!(p.profile().generations, 0);
+        p.finalize();
+        assert_eq!(p.profile().generations, 1);
+        assert_eq!(p.active_generations(), 0);
+    }
+
+    #[test]
+    fn speculative_accesses_are_invisible() {
+        let mut p = DensityProfiler::new(cfg());
+        let spec = MemoryRequest::speculative(
+            block(1, 0),
+            Pc::new(0x1),
+            TrafficClass::BulkRead,
+            0,
+        );
+        p.on_access(&spec, false);
+        p.finalize();
+        assert_eq!(p.profile().generations, 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_active_state() {
+        let mut p = DensityProfiler::new(cfg());
+        for o in 0..12 {
+            p.on_access(&load(1, o), false);
+        }
+        p.reset_stats();
+        p.on_eviction(block(1, 0));
+        // The generation survived the reset and still counts fully.
+        assert_eq!(p.profile().reads_by_density[2], 0, "reads counted pre-reset are gone");
+        assert_eq!(p.profile().generations, 1);
+    }
+}

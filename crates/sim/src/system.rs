@@ -1,0 +1,555 @@
+//! The cycle-driven full-system model.
+//!
+//! Per CPU cycle the system: delivers due NOC messages (LLC requests,
+//! L1 writebacks, core responses), ticks every core, drains the
+//! LLC-miss→DRAM issue queue under backpressure, advances the memory
+//! controller in its own clock domain, and feeds the LLC event stream
+//! to whichever mechanism the preset configures (stride/SMS prefetcher,
+//! VWQ, BuMP, or the Full-region strawman).
+
+use crate::config::{Preset, SystemConfig};
+use crate::profiler::DensityProfiler;
+use crate::report::{SimReport, TrafficBreakdown};
+use bump::{BulkAction, Bump, FullRegion};
+use bump_cache::{AccessAction, L1Cache, Llc, LlcEvent};
+use bump_cpu::{LeanCore, PendingAccess};
+use bump_dram::{MemoryController, Transaction};
+use bump_energy::{EnergyModel, SystemActivity};
+use bump_noc::{MessageKind, Noc};
+use bump_prefetch::{Prefetcher, SmsPrefetcher, StridePrefetcher};
+use bump_types::{
+    AccessKind, BlockAddr, CoreId, Cycle, MemCycle, MemoryRequest, TrafficClass,
+};
+use bump_vwq::VirtualWriteQueue;
+use bump_workloads::WorkloadGen;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug)]
+enum Pending {
+    LlcRequest(MemoryRequest),
+    L1Writeback(BlockAddr),
+    CoreResponse { core: CoreId, block: BlockAddr },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: Cycle,
+    seq: u64,
+    what: Pending,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated chip + memory system.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<LeanCore>,
+    l1s: Vec<L1Cache>,
+    gens: Vec<WorkloadGen>,
+    llc: Llc,
+    noc: Noc,
+    mc: MemoryController,
+    stride: Option<StridePrefetcher>,
+    sms: Option<SmsPrefetcher>,
+    vwq: Option<VirtualWriteQueue>,
+    bump: Option<Bump>,
+    full: Option<FullRegion>,
+    profiler: DensityProfiler,
+
+    now: Cycle,
+    events: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    pending_dram: VecDeque<Transaction>,
+    mem_cycle: MemCycle,
+    mem_clock_acc: u64,
+
+    traffic: TrafficBreakdown,
+    measured_instructions: u64,
+    measured_cycles: u64,
+    /// Speculative requests dropped because no MSHR was free.
+    spec_dropped: u64,
+
+    // Scratch buffers reused across cycles.
+    scratch_requests: Vec<PendingAccess>,
+    scratch_writebacks: Vec<BlockAddr>,
+    scratch_candidates: Vec<BlockAddr>,
+    scratch_actions: Vec<BulkAction>,
+    scratch_completions: Vec<bump_dram::Completion>,
+}
+
+impl System {
+    /// Builds the system described by `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let cores = (0..cfg.cores)
+            .map(|i| LeanCore::new(i, cfg.core_params))
+            .collect();
+        let l1s = (0..cfg.cores).map(|_| L1Cache::paper()).collect();
+        let gens = (0..cfg.cores)
+            .map(|i| {
+                let w = match &cfg.workload_mix {
+                    Some(mix) if !mix.is_empty() => mix[i % mix.len()],
+                    _ => cfg.workload,
+                };
+                WorkloadGen::new(w, i, cfg.seed)
+            })
+            .collect();
+        let stride = cfg.preset.has_stride().then(StridePrefetcher::paper);
+        let sms = cfg.preset.has_sms().then(SmsPrefetcher::paper);
+        let vwq = cfg.preset.has_vwq().then(VirtualWriteQueue::paper);
+        let bump_engine = (cfg.preset == Preset::Bump).then(|| Bump::new(cfg.bump));
+        let full = (cfg.preset == Preset::FullRegion).then(|| FullRegion::new(cfg.bump.region));
+        System {
+            cores,
+            l1s,
+            gens,
+            llc: Llc::new(cfg.llc),
+            noc: Noc::new(cfg.noc_latency),
+            mc: MemoryController::new(cfg.dram),
+            stride,
+            sms,
+            vwq,
+            bump: bump_engine,
+            full,
+            profiler: DensityProfiler::new(cfg.bump.region),
+            now: 0,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            pending_dram: VecDeque::new(),
+            mem_cycle: 0,
+            mem_clock_acc: 0,
+            traffic: TrafficBreakdown::default(),
+            measured_instructions: 0,
+            measured_cycles: 0,
+            spec_dropped: 0,
+            scratch_requests: Vec::new(),
+            scratch_writebacks: Vec::new(),
+            scratch_candidates: Vec::new(),
+            scratch_actions: Vec::new(),
+            scratch_completions: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The BuMP engine, when the preset includes it.
+    pub fn bump(&self) -> Option<&Bump> {
+        self.bump.as_ref()
+    }
+
+    /// The density profiler.
+    pub fn profiler(&self) -> &DensityProfiler {
+        &self.profiler
+    }
+
+    fn schedule(&mut self, at: Cycle, what: Pending) {
+        self.event_seq += 1;
+        self.events.push(Reverse(Event {
+            at: at.max(self.now + 1),
+            seq: self.event_seq,
+            what,
+        }));
+    }
+
+    /// Queues a DRAM transaction, recording the traffic taxonomy.
+    fn queue_dram(&mut self, txn: Transaction, kind: Option<AccessKind>) {
+        match (txn.class, kind) {
+            (TrafficClass::Demand, Some(AccessKind::Load)) => {
+                self.traffic.demand_load_reads += 1;
+            }
+            (TrafficClass::Demand, Some(AccessKind::Store)) => {
+                self.traffic.demand_store_reads += 1;
+            }
+            (TrafficClass::Demand, None) => self.traffic.demand_load_reads += 1,
+            (TrafficClass::StridePrefetch, _) => self.traffic.stride_reads += 1,
+            (TrafficClass::SmsPrefetch, _) => self.traffic.sms_reads += 1,
+            (TrafficClass::BulkRead, _) => self.traffic.bulk_reads += 1,
+            (TrafficClass::FullRegionRead, _) => self.traffic.full_region_reads += 1,
+            (TrafficClass::DemandWriteback, _) => self.traffic.demand_writebacks += 1,
+            (TrafficClass::EagerWriteback, _) => self.traffic.eager_writebacks += 1,
+        }
+        self.pending_dram.push_back(txn);
+    }
+
+    fn handle_llc_request(&mut self, req: MemoryRequest) {
+        let outcome = self.llc.access(req, self.now);
+        let is_demand = req.class == TrafficClass::Demand;
+        if outcome.hit {
+            if is_demand {
+                let arrival = self.noc.send(MessageKind::Data, outcome.ready_at);
+                self.schedule(
+                    arrival,
+                    Pending::CoreResponse {
+                        core: req.core,
+                        block: req.block,
+                    },
+                );
+            }
+            return;
+        }
+        match outcome.action {
+            AccessAction::IssueDramRead => {
+                let class = if is_demand {
+                    TrafficClass::Demand
+                } else {
+                    req.class
+                };
+                let txn = Transaction::read(req.block, class, req.core);
+                self.queue_dram(txn, is_demand.then_some(req.kind));
+            }
+            AccessAction::None => {
+                if outcome.merged_spec {
+                    // A demand merged into an in-flight speculative
+                    // fetch: promote the DRAM transaction so the
+                    // prefetch inherits demand priority.
+                    if !self.mc.promote_to_demand(req.block) {
+                        for t in self.pending_dram.iter_mut() {
+                            if t.block == req.block && t.class.is_speculative() {
+                                t.class = TrafficClass::Demand;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            AccessAction::MshrFull => {
+                if is_demand {
+                    // Retry next cycle; the core keeps waiting.
+                    self.schedule(self.now + 1, Pending::LlcRequest(req));
+                } else if req.class == TrafficClass::FullRegionRead {
+                    // The Full-region strawman has no notion of backing
+                    // off: its floods retry and keep thrashing (the §V.B
+                    // pathology).
+                    self.schedule(self.now + 16, Pending::LlcRequest(req));
+                } else {
+                    self.spec_dropped += 1;
+                }
+            }
+        }
+    }
+
+    fn handle_l1_writeback(&mut self, block: BlockAddr) {
+        if let Some(victim) = self.llc.writeback_from_l1(block, self.now) {
+            let txn = Transaction::write(victim, TrafficClass::DemandWriteback, 0);
+            self.queue_dram(txn, None);
+        }
+    }
+
+    fn tick_cores(&mut self) {
+        let is_bump = self.bump.is_some();
+        for i in 0..self.cores.len() {
+            self.scratch_requests.clear();
+            self.scratch_writebacks.clear();
+            let retired = self.cores[i].tick(
+                self.now,
+                &mut self.gens[i],
+                &mut self.l1s[i],
+                &mut self.scratch_requests,
+                &mut self.scratch_writebacks,
+            );
+            self.measured_instructions += u64::from(retired);
+            let requests: Vec<PendingAccess> = self.scratch_requests.drain(..).collect();
+            for r in requests {
+                let mut arrival = self.noc.send(MessageKind::Request, self.now);
+                if is_bump {
+                    // BuMP augments L1→LLC requests with the PC (§V.F).
+                    arrival = arrival.max(self.noc.send(MessageKind::PcOverhead, self.now));
+                }
+                self.schedule(arrival, Pending::LlcRequest(r.request));
+            }
+            let writebacks: Vec<BlockAddr> = self.scratch_writebacks.drain(..).collect();
+            for wb in writebacks {
+                self.noc.send(MessageKind::Request, self.now);
+                let arrival = self.noc.send(MessageKind::Data, self.now);
+                self.schedule(arrival, Pending::L1Writeback(wb));
+            }
+        }
+    }
+
+    fn drain_dram_queue(&mut self) {
+        let mut tries = self.pending_dram.len();
+        let mut deferred: Vec<Transaction> = Vec::new();
+        while tries > 0 {
+            tries -= 1;
+            let Some(txn) = self.pending_dram.pop_front() else {
+                break;
+            };
+            if self.mc.try_enqueue(txn, self.mem_cycle).is_err() {
+                deferred.push(txn);
+            }
+        }
+        for txn in deferred.into_iter().rev() {
+            self.pending_dram.push_front(txn);
+        }
+    }
+
+    fn tick_dram(&mut self) {
+        let ratio = self.cfg.dram.timing.cpu_cycles_per_mem_cycle_milli;
+        self.mem_clock_acc += 1000;
+        while self.mem_clock_acc >= ratio {
+            self.mem_clock_acc -= ratio;
+            self.scratch_completions.clear();
+            let mut completions = std::mem::take(&mut self.scratch_completions);
+            self.mc.tick(self.mem_cycle, &mut completions);
+            self.mem_cycle += 1;
+            for c in &completions {
+                if c.txn.is_write {
+                    continue;
+                }
+                let fill = self.llc.fill(c.txn.block, self.now);
+                if let Some(victim) = fill.writeback {
+                    let txn = Transaction::write(victim, TrafficClass::DemandWriteback, 0);
+                    self.queue_dram(txn, None);
+                }
+                for w in fill.waiters {
+                    let arrival = self.noc.send(MessageKind::Data, self.now);
+                    self.schedule(
+                        arrival,
+                        Pending::CoreResponse {
+                            core: w.core,
+                            block: c.txn.block,
+                        },
+                    );
+                }
+            }
+            self.scratch_completions = completions;
+        }
+    }
+
+    fn process_llc_events(&mut self) {
+        let events = self.llc.take_events();
+        if events.is_empty() {
+            return;
+        }
+        self.scratch_actions.clear();
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        for ev in events {
+            match ev {
+                LlcEvent::Access { req, hit } => {
+                    self.profiler.on_access(&req, hit);
+                    if req.class != TrafficClass::Demand {
+                        continue;
+                    }
+                    self.scratch_candidates.clear();
+                    let mut cands = std::mem::take(&mut self.scratch_candidates);
+                    if let Some(p) = self.stride.as_mut() {
+                        p.on_demand_access(&req, hit, &mut cands);
+                        let class = p.traffic_class();
+                        self.spawn_spec(&cands, req, class);
+                    }
+                    if let Some(p) = self.sms.as_mut() {
+                        p.on_demand_access(&req, hit, &mut cands);
+                        let class = p.traffic_class();
+                        self.spawn_spec(&cands, req, class);
+                    }
+                    self.scratch_candidates = cands;
+                    if let Some(b) = self.bump.as_mut() {
+                        self.noc.send(MessageKind::BumpMonitor, self.now);
+                        b.on_llc_access(&req, hit, &mut actions);
+                    }
+                    if let Some(f) = self.full.as_mut() {
+                        f.on_llc_access(&req, hit, &mut actions);
+                    }
+                }
+                LlcEvent::WritebackIn { block } => {
+                    self.profiler.on_writeback_in(block);
+                    if let Some(b) = self.bump.as_mut() {
+                        self.noc.send(MessageKind::BumpMonitor, self.now);
+                        b.on_l1_writeback(block);
+                    }
+                }
+                LlcEvent::Evict { block, dirty } => {
+                    self.profiler.on_eviction(block);
+                    if let Some(p) = self.sms.as_mut() {
+                        p.on_eviction(block);
+                    }
+                    if let Some(b) = self.bump.as_mut() {
+                        self.noc.send(MessageKind::BumpMonitor, self.now);
+                        b.on_llc_eviction(block, dirty, &mut actions);
+                    }
+                    if let Some(f) = self.full.as_mut() {
+                        f.on_llc_eviction(block, dirty, &mut actions);
+                    }
+                    if dirty {
+                        if let Some(v) = self.vwq.as_mut() {
+                            self.scratch_candidates.clear();
+                            let mut cands = std::mem::take(&mut self.scratch_candidates);
+                            v.on_dirty_eviction(block, &mut cands);
+                            for c in &cands {
+                                if self.llc.probe_and_clean(*c, self.now) {
+                                    let txn =
+                                        Transaction::write(*c, TrafficClass::EagerWriteback, 0);
+                                    self.queue_dram(txn, None);
+                                }
+                            }
+                            self.scratch_candidates = cands;
+                        }
+                    }
+                }
+                LlcEvent::Fill { .. } => {}
+            }
+        }
+        let bulk_class = if self.full.is_some() {
+            TrafficClass::FullRegionRead
+        } else {
+            TrafficClass::BulkRead
+        };
+        let region_cfg = self.cfg.region();
+        for a in actions.drain(..) {
+            match a {
+                BulkAction::BulkRead {
+                    region,
+                    exclude,
+                    pc,
+                } => {
+                    for block in region.blocks(region_cfg) {
+                        if block == exclude {
+                            continue;
+                        }
+                        self.noc.send(MessageKind::BumpCommand, self.now);
+                        let req = MemoryRequest::speculative(block, pc, bulk_class, 0);
+                        self.schedule(self.now + 1, Pending::LlcRequest(req));
+                    }
+                }
+                BulkAction::BulkWriteback { region, exclude } => {
+                    self.noc.send(MessageKind::BumpCommand, self.now);
+                    let cleaned = self.llc.clean_region(region, region_cfg, exclude, self.now);
+                    for b in cleaned {
+                        let txn = Transaction::write(b, TrafficClass::EagerWriteback, 0);
+                        self.queue_dram(txn, None);
+                    }
+                }
+            }
+        }
+        self.scratch_actions = actions;
+    }
+
+    fn spawn_spec(&mut self, candidates: &[BlockAddr], trigger: MemoryRequest, class: TrafficClass) {
+        for c in candidates {
+            let req = MemoryRequest::speculative(*c, trigger.pc, class, trigger.core);
+            self.schedule(self.now + 1, Pending::LlcRequest(req));
+        }
+    }
+
+    /// Advances the system by one CPU cycle.
+    pub fn step(&mut self) {
+        self.measured_cycles += 1;
+        // 1. Deliver due NOC messages.
+        while matches!(self.events.peek(), Some(Reverse(e)) if e.at <= self.now) {
+            let Reverse(e) = self.events.pop().expect("peeked");
+            match e.what {
+                Pending::LlcRequest(req) => self.handle_llc_request(req),
+                Pending::L1Writeback(b) => self.handle_l1_writeback(b),
+                Pending::CoreResponse { core, block } => {
+                    self.cores[core].memory_response(block, self.now);
+                }
+            }
+        }
+        // 2. Cores.
+        self.tick_cores();
+        // 3. LLC-miss queue → DRAM (backpressure applies).
+        self.drain_dram_queue();
+        // 4. DRAM clock domain.
+        self.tick_dram();
+        // 5. Mechanisms consume this cycle's LLC events.
+        self.process_llc_events();
+        self.now += 1;
+    }
+
+    /// Runs until `instructions` have retired in the measurement window
+    /// or `max_cycles` elapse. Returns (instructions, cycles) measured.
+    pub fn run(&mut self, instructions: u64, max_cycles: u64) -> (u64, u64) {
+        let start_instr = self.measured_instructions;
+        let start_cycles = self.measured_cycles;
+        while self.measured_instructions - start_instr < instructions
+            && self.measured_cycles - start_cycles < max_cycles
+        {
+            self.step();
+        }
+        (
+            self.measured_instructions - start_instr,
+            self.measured_cycles - start_cycles,
+        )
+    }
+
+    /// Clears all measurement state at the warmup/measurement boundary
+    /// while keeping architectural state (caches, predictor tables,
+    /// in-flight traffic) intact.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.llc.reset_stats();
+        self.mc.reset_stats();
+        self.noc.reset_stats();
+        self.profiler.reset_stats();
+        if let Some(b) = self.bump.as_mut() {
+            b.reset_stats();
+        }
+        self.traffic = TrafficBreakdown::default();
+        self.measured_instructions = 0;
+        self.measured_cycles = 0;
+        self.spec_dropped = 0;
+    }
+
+    /// Produces the final report (finalizes the density profiler).
+    pub fn report(&mut self) -> SimReport {
+        self.profiler.finalize();
+        let energy_model = EnergyModel::paper();
+        let dram_energy = self.mc.energy();
+        let activity = SystemActivity {
+            cycles: self.measured_cycles,
+            cores: self.cores.len() as u32,
+            instructions: self.measured_instructions,
+            llc_reads: self.llc.stats().total_lookups(),
+            llc_writes: self.llc.stats().total_updates(),
+            noc_bytes: self.noc.stats().bytes,
+            dram_bytes: dram_energy.accesses() * 64,
+            dram: dram_energy,
+        };
+        let load_stall_cycles = self.cores.iter().map(|c| c.stats().load_stall_cycles).sum();
+        SimReport {
+            preset: self.cfg.preset,
+            workload: self.cfg.workload,
+            cycles: self.measured_cycles,
+            instructions: self.measured_instructions,
+            load_stall_cycles,
+            dram: *self.mc.stats(),
+            dram_energy,
+            llc: self.llc.stats().clone(),
+            noc: *self.noc.stats(),
+            traffic: self.traffic,
+            bump: self.bump.as_ref().map(|b| *b.stats()),
+            density: *self.profiler.profile(),
+            memory_energy: energy_model.memory_energy(&activity),
+            server_energy: energy_model.server_energy(&activity),
+            spec_dropped: self.spec_dropped,
+            audit_errors: self.mc.audit_errors(),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Physical address arithmetic: blocks, regions, and program counters.
+
+use crate::config::RegionConfig;
+use std::fmt;
+
+/// Size of a cache block in bytes. The entire system (paper Table II)
+/// uses 64-byte blocks.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Number of low address bits covered by a cache block.
+pub const BLOCK_OFFSET_BITS: u32 = BLOCK_BYTES.trailing_zeros();
+
+/// A byte-granular physical address.
+///
+/// ```
+/// use bump_types::PhysAddr;
+/// let a = PhysAddr::new(0x40);
+/// assert_eq!(a.block().index(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Raw byte value of the address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache block containing this address.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_OFFSET_BITS)
+    }
+
+    /// The region containing this address under `region` geometry.
+    pub fn region(self, region: RegionConfig) -> RegionAddr {
+        RegionAddr(self.0 >> region.offset_bits())
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block-granular address (a physical address shifted right by
+/// [`BLOCK_OFFSET_BITS`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block index (*not* a byte address).
+    pub const fn from_index(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// The block index (byte address divided by the block size).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the block.
+    pub const fn phys(self) -> PhysAddr {
+        PhysAddr(self.0 << BLOCK_OFFSET_BITS)
+    }
+
+    /// The region containing this block under `region` geometry.
+    pub fn region(self, region: RegionConfig) -> RegionAddr {
+        self.phys().region(region)
+    }
+
+    /// The block `delta` blocks after (`delta > 0`) or before this one.
+    ///
+    /// Saturates at zero rather than wrapping below address zero.
+    pub fn offset_by(self, delta: i64) -> BlockAddr {
+        BlockAddr(self.0.saturating_add_signed(delta))
+    }
+}
+
+/// A region-granular address: a physical address shifted right by the
+/// region offset bits of the [`RegionConfig`] in force.
+///
+/// Regions are the granularity at which BuMP tracks access density
+/// (1KB = 16 blocks by default). A `RegionAddr` is only meaningful
+/// together with the `RegionConfig` that produced it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionAddr(u64);
+
+impl RegionAddr {
+    /// Creates a region address from a raw region index.
+    pub const fn from_index(index: u64) -> Self {
+        RegionAddr(index)
+    }
+
+    /// Raw region index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the region.
+    pub fn base(self, region: RegionConfig) -> PhysAddr {
+        PhysAddr(self.0 << region.offset_bits())
+    }
+
+    /// The `offset`-th block of this region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= region.blocks_per_region()`.
+    pub fn block_at(self, region: RegionConfig, offset: u32) -> BlockAddr {
+        assert!(
+            offset < region.blocks_per_region(),
+            "block offset {offset} out of range for {}B region",
+            region.bytes()
+        );
+        BlockAddr((self.0 << region.block_bits()) | u64::from(offset))
+    }
+
+    /// Iterates over all blocks of this region in ascending order.
+    pub fn blocks(self, region: RegionConfig) -> impl Iterator<Item = BlockAddr> {
+        (0..region.blocks_per_region()).map(move |o| self.block_at(region, o))
+    }
+}
+
+/// The program counter (virtual address) of a memory instruction.
+///
+/// BuMP correlates code with data: the PC of the instruction that
+/// triggers the first access to a region predicts the region's density.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a PC from a raw instruction address.
+    pub const fn new(raw: u64) -> Self {
+        Pc(raw)
+    }
+
+    /// Raw instruction address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::LowerHex for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// The `(PC, offset)` tuple BuMP uses as its prediction index.
+///
+/// `offset` is the distance (in blocks) between the triggering block and
+/// the beginning of its region; carrying it accounts for software objects
+/// that are not aligned to region boundaries (paper §IV.B). For a 1KB
+/// region the offset is 4 bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PcOffset {
+    /// PC of the instruction that triggered the access.
+    pub pc: Pc,
+    /// Block offset of the triggering access within its region.
+    pub offset: u32,
+}
+
+impl PcOffset {
+    /// Creates the prediction index for `pc` touching block `offset` of a region.
+    pub const fn new(pc: Pc, offset: u32) -> Self {
+        PcOffset { pc, offset }
+    }
+
+    /// A stable 64-bit hash of the tuple, used to index predictor tables.
+    pub fn index_hash(self) -> u64 {
+        // Fibonacci hashing; mixes the PC (whose low bits are often
+        // aligned) with the region offset.
+        let x = self.pc.raw().rotate_left(7) ^ (u64::from(self.offset).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_round_trips_through_phys() {
+        let b = BlockAddr::from_index(12345);
+        assert_eq!(b.phys().block(), b);
+    }
+
+    #[test]
+    fn phys_to_block_truncates_offset() {
+        assert_eq!(PhysAddr::new(0x7F).block().index(), 1);
+        assert_eq!(PhysAddr::new(0x80).block().index(), 2);
+    }
+
+    #[test]
+    fn region_of_block_matches_region_of_phys() {
+        let cfg = RegionConfig::kilobyte();
+        let a = PhysAddr::new(0xDEAD_BEEF);
+        assert_eq!(a.block().region(cfg), a.region(cfg));
+    }
+
+    #[test]
+    fn region_blocks_enumerates_all_offsets() {
+        let cfg = RegionConfig::kilobyte();
+        let r = RegionAddr::from_index(7);
+        let blocks: Vec<_> = r.blocks(cfg).collect();
+        assert_eq!(blocks.len(), 16);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.region(cfg), r);
+            assert_eq!(cfg.block_offset(*b), i as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_at_rejects_out_of_range_offset() {
+        RegionAddr::from_index(0).block_at(RegionConfig::kilobyte(), 16);
+    }
+
+    #[test]
+    fn offset_by_saturates_at_zero() {
+        assert_eq!(BlockAddr::from_index(1).offset_by(-5).index(), 0);
+        assert_eq!(BlockAddr::from_index(10).offset_by(3).index(), 13);
+    }
+
+    #[test]
+    fn pc_offset_hash_differs_for_different_offsets() {
+        let pc = Pc::new(0x400_1000);
+        assert_ne!(
+            PcOffset::new(pc, 0).index_hash(),
+            PcOffset::new(pc, 3).index_hash()
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Configuration structs for the simulated machine (paper Table II).
+
+use crate::addr::{BlockAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
+
+/// Geometry of the memory regions BuMP tracks (1KB in the paper; 512B
+/// and 2KB appear in the Figure 11 design-space sweep).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegionConfig {
+    bytes: u64,
+}
+
+impl RegionConfig {
+    /// Creates a region geometry of `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two or is smaller than one
+    /// cache block (64B).
+    pub fn new(bytes: u64) -> Self {
+        assert!(
+            bytes.is_power_of_two() && bytes >= BLOCK_BYTES,
+            "region size must be a power of two of at least {BLOCK_BYTES} bytes, got {bytes}"
+        );
+        RegionConfig { bytes }
+    }
+
+    /// The paper's default geometry: 1KB regions (16 blocks).
+    pub fn kilobyte() -> Self {
+        RegionConfig::new(1024)
+    }
+
+    /// Region size in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of cache blocks per region.
+    pub const fn blocks_per_region(self) -> u32 {
+        (self.bytes / BLOCK_BYTES) as u32
+    }
+
+    /// Number of address bits covered by a region.
+    pub const fn offset_bits(self) -> u32 {
+        self.bytes.trailing_zeros()
+    }
+
+    /// Number of address bits selecting a block within a region.
+    pub const fn block_bits(self) -> u32 {
+        self.offset_bits() - BLOCK_OFFSET_BITS
+    }
+
+    /// The block offset (0-based position) of `block` within its region.
+    pub fn block_offset(self, block: BlockAddr) -> u32 {
+        (block.index() & (u64::from(self.blocks_per_region()) - 1)) as u32
+    }
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig::kilobyte()
+    }
+}
+
+/// Geometry of a set-associative cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (number of ways per set).
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, validating that the set count is a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived number of sets is not a positive power of two.
+    pub fn new(capacity_bytes: u64, ways: u32) -> Self {
+        let g = CacheGeometry {
+            capacity_bytes,
+            ways,
+        };
+        let sets = g.sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "cache of {capacity_bytes}B / {ways} ways yields invalid set count {sets}"
+        );
+        g
+    }
+
+    /// The paper's L1-D: 32KB, 2-way.
+    pub fn l1d() -> Self {
+        CacheGeometry::new(32 * 1024, 2)
+    }
+
+    /// The paper's LLC: 4MB, 16-way.
+    pub fn llc() -> Self {
+        CacheGeometry::new(4 * 1024 * 1024, 16)
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> u64 {
+        self.capacity_bytes / BLOCK_BYTES / u64::from(self.ways)
+    }
+
+    /// Total number of blocks the cache can hold.
+    pub fn blocks(self) -> u64 {
+        self.capacity_bytes / BLOCK_BYTES
+    }
+
+    /// Set index for a block address.
+    pub fn set_of(self, block: BlockAddr) -> u64 {
+        block.index() & (self.sets() - 1)
+    }
+}
+
+/// DRAM channel/rank/bank geometry (paper Table II: 16GB, 2 channels,
+/// 4 ranks per channel, 8 banks per rank, 8KB row buffer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Number of independent memory channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Row buffer (DRAM page at rank level) size in bytes.
+    pub row_bytes: u64,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl DramGeometry {
+    /// The paper's configuration: 16GB, 2 channels × 4 ranks × 8 banks, 8KB rows.
+    pub fn paper() -> Self {
+        DramGeometry {
+            channels: 2,
+            ranks_per_channel: 4,
+            banks_per_rank: 8,
+            row_bytes: 8 * 1024,
+            capacity_bytes: 16 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Total number of banks across the whole memory system.
+    pub fn total_banks(self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Number of rows per bank implied by the capacity.
+    pub fn rows_per_bank(self) -> u64 {
+        self.capacity_bytes / u64::from(self.total_banks()) / self.row_bytes
+    }
+
+    /// Blocks per row buffer.
+    pub fn blocks_per_row(self) -> u64 {
+        self.row_bytes / BLOCK_BYTES
+    }
+}
+
+/// Physical-address-to-DRAM-coordinate interleaving schemes (paper §IV.D
+/// and §V.A).
+///
+/// Both schemes follow `Row:ColHi:Rank:Bank:Channel:ColLo:ByteOffset`
+/// with an 8-byte DRAM column word; they differ in how the column bits
+/// are split around the rank/bank/channel bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Interleaving {
+    /// Block-level interleaving (`ColLo` covers one cache block):
+    /// consecutive blocks rotate across channels/banks/ranks. Used by
+    /// Base-close to maximize parallelism.
+    Block,
+    /// Region-level interleaving (`ColLo` covers one 1KB region): an
+    /// entire region maps to a single DRAM row. Used by Base-open and
+    /// BuMP.
+    #[default]
+    Region,
+}
+
+/// DDR3 timing parameters, in memory-bus clock cycles (paper Table II:
+/// DDR3-1600, i.e. an 800MHz bus clock and a 3.125 CPU:MEM clock ratio).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramTiming {
+    /// CAS latency: column command to first data beat.
+    pub t_cas: u64,
+    /// RAS-to-CAS delay: activation to column command.
+    pub t_rcd: u64,
+    /// Precharge latency.
+    pub t_rp: u64,
+    /// Minimum row-active time (activate to precharge).
+    pub t_ras: u64,
+    /// Activate-to-activate delay within a bank.
+    pub t_rc: u64,
+    /// Write recovery: end of write burst to precharge.
+    pub t_wr: u64,
+    /// Write-to-read turnaround within a rank.
+    pub t_wtr: u64,
+    /// Read-to-precharge delay.
+    pub t_rtp: u64,
+    /// Activate-to-activate delay across banks of one rank.
+    pub t_rrd: u64,
+    /// Four-activate window per rank.
+    pub t_faw: u64,
+    /// Data burst length in bus cycles (BL8 on a 64-bit bus = 4 cycles).
+    pub t_burst: u64,
+    /// CPU clock cycles per memory bus cycle, times 1000 (3125 = 3.125).
+    pub cpu_cycles_per_mem_cycle_milli: u64,
+}
+
+impl DramTiming {
+    /// The paper's DDR3-1600 timing: 11-11-11-28, 39-12-6-6, 5-24.
+    pub fn ddr3_1600() -> Self {
+        DramTiming {
+            t_cas: 11,
+            t_rcd: 11,
+            t_rp: 11,
+            t_ras: 28,
+            t_rc: 39,
+            t_wr: 12,
+            t_wtr: 6,
+            t_rtp: 6,
+            t_rrd: 5,
+            t_faw: 24,
+            t_burst: 4,
+            cpu_cycles_per_mem_cycle_milli: 3125,
+        }
+    }
+
+    /// Converts a CPU-cycle timestamp into (whole) memory cycles.
+    pub fn cpu_to_mem(self, cpu_cycle: u64) -> u64 {
+        cpu_cycle * 1000 / self.cpu_cycles_per_mem_cycle_milli
+    }
+
+    /// Converts a memory-cycle timestamp into CPU cycles (rounding up).
+    pub fn mem_to_cpu(self, mem_cycle: u64) -> u64 {
+        (mem_cycle * self.cpu_cycles_per_mem_cycle_milli).div_ceil(1000)
+    }
+}
+
+/// Parameters of the lean out-of-order core model (paper Table II:
+/// 3-way OoO, 48-entry ROB and LSQ, modelled after a mobile-class core).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Maximum instructions retired per cycle.
+    pub retire_width: u32,
+    /// Reorder buffer capacity (bounds in-flight instructions).
+    pub rob_entries: u32,
+    /// Load/store queue capacity (bounds in-flight memory ops).
+    pub lsq_entries: u32,
+    /// Store buffer capacity (store misses drain in the background).
+    pub store_buffer_entries: u32,
+    /// L1 load-to-use latency in CPU cycles.
+    pub l1_latency: u64,
+    /// Number of L1 MSHRs (bounds memory-level parallelism per core).
+    pub l1_mshrs: u32,
+}
+
+impl CoreParams {
+    /// The paper's core: 3-way, 48-entry ROB/LSQ, 2-cycle L1, 10 MSHRs.
+    pub fn paper() -> Self {
+        CoreParams {
+            retire_width: 3,
+            rob_entries: 48,
+            lsq_entries: 48,
+            store_buffer_entries: 16,
+            l1_latency: 2,
+            l1_mshrs: 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kilobyte_region_is_sixteen_blocks() {
+        let r = RegionConfig::kilobyte();
+        assert_eq!(r.blocks_per_region(), 16);
+        assert_eq!(r.offset_bits(), 10);
+        assert_eq!(r.block_bits(), 4);
+    }
+
+    #[test]
+    fn region_sweep_sizes_are_valid() {
+        for bytes in [512, 1024, 2048] {
+            let r = RegionConfig::new(bytes);
+            assert_eq!(u64::from(r.blocks_per_region()) * BLOCK_BYTES, bytes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn region_rejects_non_power_of_two() {
+        RegionConfig::new(1000);
+    }
+
+    #[test]
+    fn paper_l1_and_llc_geometry() {
+        assert_eq!(CacheGeometry::l1d().sets(), 256);
+        assert_eq!(CacheGeometry::llc().sets(), 4096);
+        assert_eq!(CacheGeometry::llc().blocks(), 65536);
+    }
+
+    #[test]
+    fn paper_dram_geometry_row_math() {
+        let g = DramGeometry::paper();
+        assert_eq!(g.total_banks(), 64);
+        assert_eq!(g.blocks_per_row(), 128);
+        // 16GB / 64 banks / 8KB rows = 32768 rows per bank.
+        assert_eq!(g.rows_per_bank(), 32768);
+    }
+
+    #[test]
+    fn clock_domain_conversion_round_trips_within_one_cycle() {
+        let t = DramTiming::ddr3_1600();
+        for cpu in [0u64, 1, 3, 4, 1000, 12345] {
+            let mem = t.cpu_to_mem(cpu);
+            let back = t.mem_to_cpu(mem);
+            assert!(back <= cpu + 4, "cpu={cpu} mem={mem} back={back}");
+        }
+        // 3.125 CPU cycles per memory cycle.
+        assert_eq!(t.cpu_to_mem(3125), 1000);
+        assert_eq!(t.mem_to_cpu(1000), 3125);
+    }
+}

@@ -1,0 +1,131 @@
+//! Region access-density classification (paper §III, Figure 5).
+
+/// The density bands the paper's characterization uses for Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DensityClass {
+    /// Fewer than 25% of the region's blocks touched before the first
+    /// eviction (e.g. hashed key lookups, pointer chasing).
+    Low,
+    /// 25%–50% touched (often coarse objects unaligned to region
+    /// boundaries).
+    Medium,
+    /// At least 50% touched — the accesses BuMP targets.
+    High,
+}
+
+impl DensityClass {
+    /// Classifies a region in which `touched` of `total` blocks were
+    /// accessed before its first eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or `touched > total`.
+    pub fn classify(touched: u32, total: u32) -> Self {
+        assert!(total > 0, "region must contain at least one block");
+        assert!(
+            touched <= total,
+            "touched {touched} exceeds region size {total}"
+        );
+        // Integer arithmetic: touched/total >= 1/2  <=>  2*touched >= total.
+        if 2 * touched >= total {
+            DensityClass::High
+        } else if 4 * touched >= total {
+            DensityClass::Medium
+        } else {
+            DensityClass::Low
+        }
+    }
+}
+
+/// The block-count threshold above which BuMP labels a region
+/// high-density and worth a bulk transfer (paper §IV.D: 8 blocks of a
+/// 1KB region, i.e. 50%; Figure 11 sweeps 25/50/75/100%).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DensityThreshold {
+    /// Numerator of the fraction of region blocks that must be touched.
+    pub percent: u32,
+}
+
+impl DensityThreshold {
+    /// The paper's default: 50% of the region's blocks.
+    pub fn paper() -> Self {
+        DensityThreshold { percent: 50 }
+    }
+
+    /// Creates a threshold from a percentage in `(0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is zero or greater than 100.
+    pub fn from_percent(percent: u32) -> Self {
+        assert!(
+            percent > 0 && percent <= 100,
+            "threshold must be in (0, 100], got {percent}"
+        );
+        DensityThreshold { percent }
+    }
+
+    /// The minimum number of touched blocks (out of `blocks_per_region`)
+    /// that qualifies a region as high-density.
+    ///
+    /// Rounds up, so `50%` of 16 blocks is 8 and `75%` of 16 is 12.
+    pub fn min_blocks(self, blocks_per_region: u32) -> u32 {
+        (blocks_per_region * self.percent).div_ceil(100)
+    }
+
+    /// Whether a region with `touched` of `total` blocks accessed meets
+    /// the threshold.
+    pub fn is_high_density(self, touched: u32, total: u32) -> bool {
+        touched >= self.min_blocks(total)
+    }
+}
+
+impl Default for DensityThreshold {
+    fn default() -> Self {
+        DensityThreshold::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_bands_match_paper_definitions() {
+        // 16-block (1KB) regions.
+        assert_eq!(DensityClass::classify(0, 16), DensityClass::Low);
+        assert_eq!(DensityClass::classify(3, 16), DensityClass::Low);
+        assert_eq!(DensityClass::classify(4, 16), DensityClass::Medium);
+        assert_eq!(DensityClass::classify(7, 16), DensityClass::Medium);
+        assert_eq!(DensityClass::classify(8, 16), DensityClass::High);
+        assert_eq!(DensityClass::classify(16, 16), DensityClass::High);
+    }
+
+    #[test]
+    fn paper_threshold_is_eight_blocks_of_sixteen() {
+        assert_eq!(DensityThreshold::paper().min_blocks(16), 8);
+    }
+
+    #[test]
+    fn sweep_thresholds() {
+        assert_eq!(DensityThreshold::from_percent(25).min_blocks(16), 4);
+        assert_eq!(DensityThreshold::from_percent(75).min_blocks(16), 12);
+        assert_eq!(DensityThreshold::from_percent(100).min_blocks(16), 16);
+        // 512B regions have 8 blocks.
+        assert_eq!(DensityThreshold::from_percent(50).min_blocks(8), 4);
+        // 2KB regions have 32 blocks.
+        assert_eq!(DensityThreshold::from_percent(50).min_blocks(32), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        DensityThreshold::from_percent(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region size")]
+    fn classify_rejects_overcount() {
+        DensityClass::classify(17, 16);
+    }
+}

@@ -1,0 +1,100 @@
+//! The instruction-stream vocabulary consumed by the core model.
+//!
+//! Workload generators (`bump-workloads`) produce [`Instr`] streams; the
+//! lean core model (`bump-cpu`) executes them. Only the properties that
+//! matter to the paper's mechanisms are represented: which blocks are
+//! touched, by which PCs, with load/store semantics, and whether a load
+//! depends on the previous load (pointer chasing serializes misses —
+//! the fine-grained access mode of §III.A).
+
+use crate::addr::{BlockAddr, Pc};
+
+/// One (or a batch of) instruction(s) for the core model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `count` non-memory instructions, each single-cycle.
+    Compute {
+        /// How many back-to-back non-memory instructions this batch holds.
+        count: u32,
+    },
+    /// A load from `block` issued by the instruction at `pc`.
+    Load {
+        /// Block read.
+        block: BlockAddr,
+        /// PC of the load.
+        pc: Pc,
+        /// Whether the effective address depends on the previous load
+        /// (a pointer-chase step): the load cannot issue until that
+        /// load's data returns.
+        dep: bool,
+    },
+    /// A store to `block` issued by the instruction at `pc`. Stores
+    /// retire through the store buffer and never stall the ROB head;
+    /// their misses fetch the block (a store-triggered DRAM read).
+    Store {
+        /// Block written.
+        block: BlockAddr,
+        /// PC of the store.
+        pc: Pc,
+    },
+}
+
+impl Instr {
+    /// Number of dynamic instructions this item represents.
+    pub fn count(self) -> u64 {
+        match self {
+            Instr::Compute { count } => u64::from(count),
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a memory instruction.
+    pub fn is_memory(self) -> bool {
+        !matches!(self, Instr::Compute { .. })
+    }
+}
+
+/// A source of instructions for one core.
+///
+/// Implemented by the synthetic workload generators; also implemented
+/// for iterators over `Instr` so tests can drive cores from vectors.
+pub trait InstrSource {
+    /// Produces the next instruction, or `None` when the stream ends.
+    fn next_instr(&mut self) -> Option<Instr>;
+}
+
+impl<I: Iterator<Item = Instr>> InstrSource for I {
+    fn next_instr(&mut self) -> Option<Instr> {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_batch_counts_all_instructions() {
+        assert_eq!(Instr::Compute { count: 7 }.count(), 7);
+        assert!(!Instr::Compute { count: 7 }.is_memory());
+    }
+
+    #[test]
+    fn loads_and_stores_count_once() {
+        let l = Instr::Load {
+            block: BlockAddr::from_index(1),
+            pc: Pc::new(0x40),
+            dep: true,
+        };
+        assert_eq!(l.count(), 1);
+        assert!(l.is_memory());
+    }
+
+    #[test]
+    fn vec_iterator_is_a_source() {
+        let v = vec![Instr::Compute { count: 1 }];
+        let mut it = v.into_iter();
+        assert!(it.next_instr().is_some());
+        assert!(it.next_instr().is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared vocabulary types for the BuMP reproduction.
+//!
+//! This crate defines the address arithmetic, request taxonomy,
+//! configuration structs, and density classification used by every other
+//! crate in the workspace. It has no dependencies and no behaviour beyond
+//! plain data manipulation, so the substrate crates (DRAM, caches, cores)
+//! and the BuMP predictor itself can share one vocabulary without
+//! depending on each other.
+//!
+//! # Example
+//!
+//! ```
+//! use bump_types::{PhysAddr, RegionConfig};
+//!
+//! let region = RegionConfig::kilobyte();
+//! let addr = PhysAddr::new(0x1_2345);
+//! let block = addr.block();
+//! assert_eq!(region.blocks_per_region(), 16);
+//! assert_eq!(region.block_offset(block), (0x2345 % 1024) / 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod config;
+mod density;
+mod instr;
+mod request;
+mod stats;
+mod table;
+
+pub use addr::{BlockAddr, Pc, PcOffset, PhysAddr, RegionAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
+pub use config::{
+    CacheGeometry, CoreParams, DramGeometry, DramTiming, Interleaving, RegionConfig,
+};
+pub use density::{DensityClass, DensityThreshold};
+pub use instr::{Instr, InstrSource};
+pub use request::{AccessKind, MemoryRequest, TrafficClass};
+pub use stats::Ratio;
+pub use table::{AssocTable, TableKey};
+
+/// A point in simulated time, measured in CPU clock cycles.
+pub type Cycle = u64;
+
+/// A point in simulated time, measured in DRAM (memory bus) clock cycles.
+pub type MemCycle = u64;
+
+/// Identifier of a core in the simulated chip multiprocessor.
+pub type CoreId = usize;

@@ -1,0 +1,113 @@
+//! Small statistics helpers shared by the measurement code.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A hit-ratio-style fraction accumulated as two counters.
+///
+/// Keeping numerator and denominator separate (rather than a float)
+/// makes stats from different simulation shards exactly summable.
+///
+/// ```
+/// use bump_types::Ratio;
+/// let mut hits = Ratio::default();
+/// hits.add_hit();
+/// hits.add_miss();
+/// hits.add_miss();
+/// assert!((hits.value() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ratio {
+    /// Number of qualifying events (e.g. row-buffer hits).
+    pub hits: u64,
+    /// Total number of events.
+    pub total: u64,
+}
+
+impl Ratio {
+    /// Creates a ratio from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits > total`.
+    pub fn new(hits: u64, total: u64) -> Self {
+        assert!(hits <= total, "hits {hits} exceed total {total}");
+        Ratio { hits, total }
+    }
+
+    /// Records a qualifying event.
+    pub fn add_hit(&mut self) {
+        self.hits += 1;
+        self.total += 1;
+    }
+
+    /// Records a non-qualifying event.
+    pub fn add_miss(&mut self) {
+        self.total += 1;
+    }
+
+    /// The fraction of qualifying events, or 0.0 when empty.
+    pub fn value(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// The fraction as a percentage.
+    pub fn percent(self) -> f64 {
+        self.value() * 100.0
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio {
+            hits: self.hits + rhs.hits,
+            total: self.total + rhs.total,
+        }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}% ({}/{})", self.percent(), self.hits, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(Ratio::default().value(), 0.0);
+    }
+
+    #[test]
+    fn ratios_sum_exactly() {
+        let a = Ratio::new(1, 4);
+        let b = Ratio::new(3, 4);
+        assert_eq!((a + b).value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn hits_cannot_exceed_total() {
+        Ratio::new(5, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Ratio::new(1, 2)).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! A small generic set-associative table with LRU replacement.
+//!
+//! All the predictor structures in this reproduction — the stride
+//! table, SMS's active-generation and pattern-history tables, and
+//! BuMP's trigger, density, bulk-history, and dirty-region tables — are
+//! set-associative SRAM tables. This one implementation backs them all,
+//! so capacity/associativity sweeps (e.g. the paper's RDTT sizing
+//! analysis for Software Testing) are uniform.
+
+use crate::addr::{Pc, PcOffset, RegionAddr};
+
+/// A key that can index a set-associative table.
+pub trait TableKey: Copy + Eq {
+    /// A well-mixed 64-bit hash of the key; low bits select the set.
+    fn hash64(self) -> u64;
+}
+
+impl TableKey for u64 {
+    fn hash64(self) -> u64 {
+        self.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl TableKey for RegionAddr {
+    fn hash64(self) -> u64 {
+        self.index().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl TableKey for PcOffset {
+    fn hash64(self) -> u64 {
+        self.index_hash()
+    }
+}
+
+impl TableKey for Pc {
+    fn hash64(self) -> u64 {
+        self.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Set-associative key→value table with true-LRU replacement.
+///
+/// ```
+/// use bump_types::AssocTable;
+/// let mut t: AssocTable<u64, &str> = AssocTable::new(4, 2);
+/// t.insert(1, "one");
+/// assert_eq!(t.get(&1), Some(&"one"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AssocTable<K, V> {
+    sets: usize,
+    ways: usize,
+    /// `sets` buckets, each at most `ways` long, MRU first.
+    data: Vec<Vec<(K, V)>>,
+}
+
+impl<K: TableKey, V> AssocTable<K, V> {
+    /// Creates a table of `sets × ways` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is 0.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be 2^n, got {sets}");
+        assert!(ways > 0, "ways must be positive");
+        AssocTable {
+            sets,
+            ways,
+            data: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+        }
+    }
+
+    /// Creates a table of `entries` total entries with `ways`
+    /// associativity (the paper quotes sizes as entry counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible into a power-of-two set count.
+    pub fn with_entries(entries: usize, ways: usize) -> Self {
+        assert!(entries.is_multiple_of(ways), "{entries} entries not divisible by {ways} ways");
+        Self::new(entries / ways, ways)
+    }
+
+    fn set_of(&self, key: K) -> usize {
+        (key.hash64() >> 16) as usize & (self.sets - 1)
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.data.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.iter().all(Vec::is_empty)
+    }
+
+    /// Reads the value for `key` without updating recency.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.data[self.set_of(*key)]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Mutable read without updating recency.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let s = self.set_of(*key);
+        self.data[s]
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Looks up `key`, promoting the entry to MRU on a hit.
+    pub fn touch(&mut self, key: &K) -> Option<&mut V> {
+        let s = self.set_of(*key);
+        let bucket = &mut self.data[s];
+        let pos = bucket.iter().position(|(k, _)| k == key)?;
+        let entry = bucket.remove(pos);
+        bucket.insert(0, entry);
+        Some(&mut bucket[0].1)
+    }
+
+    /// Inserts (or replaces) `key` as MRU. Returns the entry evicted to
+    /// make room, if any. Replacing an existing key returns its old
+    /// value as the "evicted" entry.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let s = self.set_of(key);
+        let bucket = &mut self.data[s];
+        if let Some(pos) = bucket.iter().position(|(k, _)| *k == key) {
+            let old = bucket.remove(pos);
+            bucket.insert(0, (key, value));
+            return Some(old);
+        }
+        let victim = if bucket.len() >= self.ways {
+            bucket.pop()
+        } else {
+            None
+        };
+        bucket.insert(0, (key, value));
+        victim
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let s = self.set_of(*key);
+        let bucket = &mut self.data[s];
+        let pos = bucket.iter().position(|(k, _)| k == key)?;
+        Some(bucket.remove(pos).1)
+    }
+
+    /// Iterates over all `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.data.iter().flatten().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t: AssocTable<u64, u32> = AssocTable::new(8, 2);
+        assert!(t.insert(42, 7).is_none());
+        assert_eq!(t.get(&42), Some(&7));
+        assert_eq!(t.remove(&42), Some(7));
+        assert!(t.get(&42).is_none());
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 1 set × 2 ways: pure LRU.
+        let mut t: AssocTable<u64, u32> = AssocTable::new(1, 2);
+        t.insert(1, 1);
+        t.insert(2, 2);
+        t.touch(&1);
+        let evicted = t.insert(3, 3).expect("eviction");
+        assert_eq!(evicted.0, 2);
+    }
+
+    #[test]
+    fn replace_existing_key_returns_old_value() {
+        let mut t: AssocTable<u64, u32> = AssocTable::new(1, 2);
+        t.insert(1, 1);
+        let old = t.insert(1, 99).expect("replacement returns old");
+        assert_eq!(old, (1, 1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&99));
+    }
+
+    #[test]
+    fn with_entries_builds_requested_capacity() {
+        let t: AssocTable<u64, ()> = AssocTable::with_entries(256, 16);
+        assert_eq!(t.capacity(), 256);
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut t: AssocTable<u64, u32> = AssocTable::new(4, 2);
+        for i in 0..100 {
+            t.insert(i, i as u32);
+        }
+        assert!(t.len() <= t.capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must be 2^n")]
+    fn non_power_of_two_sets_rejected() {
+        let _: AssocTable<u64, ()> = AssocTable::new(3, 2);
+    }
+
+    #[test]
+    fn distinct_pcoffsets_usually_map_to_different_sets() {
+        use crate::addr::{Pc, PcOffset};
+        let t: AssocTable<PcOffset, ()> = AssocTable::new(16, 16);
+        let a = t.set_of(PcOffset::new(Pc::new(0x400), 0));
+        let b = t.set_of(PcOffset::new(Pc::new(0x400), 1));
+        // Not a strict requirement, but the hash must not collapse
+        // offsets onto one set.
+        assert!(a < 16 && b < 16);
+    }
+}

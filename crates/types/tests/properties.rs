@@ -1,0 +1,97 @@
+//! Property-based tests for the shared vocabulary types.
+
+use bump_types::{
+    AssocTable, BlockAddr, DensityClass, DensityThreshold, PhysAddr, RegionConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Block ↔ physical address round trips exactly.
+    #[test]
+    fn block_phys_round_trip(index in 0u64..(1 << 40)) {
+        let b = BlockAddr::from_index(index);
+        prop_assert_eq!(b.phys().block(), b);
+    }
+
+    /// Region decomposition is consistent: every block reconstructs from
+    /// (region, offset).
+    #[test]
+    fn region_offset_decomposition(index in 0u64..(1 << 40), shift in 0u32..3) {
+        let cfg = RegionConfig::new(512 << shift);
+        let b = BlockAddr::from_index(index);
+        let region = b.region(cfg);
+        let offset = cfg.block_offset(b);
+        prop_assert_eq!(region.block_at(cfg, offset), b);
+    }
+
+    /// Addresses within one region agree on the region.
+    #[test]
+    fn same_region_for_all_bytes(base in 0u64..(1 << 38), off in 0u64..1024) {
+        let cfg = RegionConfig::kilobyte();
+        let a = PhysAddr::new(base * 1024);
+        let b = PhysAddr::new(base * 1024 + off);
+        prop_assert_eq!(a.region(cfg), b.region(cfg));
+    }
+
+    /// Density classification is monotone in the touched count.
+    #[test]
+    fn density_class_is_monotone(total in 1u32..=64, t1 in 0u32..=64, t2 in 0u32..=64) {
+        let (t1, t2) = (t1.min(total), t2.min(total));
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(DensityClass::classify(lo, total) <= DensityClass::classify(hi, total));
+    }
+
+    /// Threshold min_blocks is consistent with is_high_density.
+    #[test]
+    fn threshold_consistency(pct in 1u32..=100, blocks in 1u32..=64, touched in 0u32..=64) {
+        let touched = touched.min(blocks);
+        let th = DensityThreshold::from_percent(pct);
+        prop_assert_eq!(
+            th.is_high_density(touched, blocks),
+            touched >= th.min_blocks(blocks)
+        );
+    }
+
+    /// The associative table behaves like a bounded map: a hit returns
+    /// the last inserted value, occupancy never exceeds capacity.
+    #[test]
+    fn assoc_table_is_a_bounded_map(
+        ops in prop::collection::vec((0u64..200, 0u32..1000), 1..400),
+        sets in 1u32..5,
+        ways in 1usize..8,
+    ) {
+        let mut table: AssocTable<u64, u32> = AssocTable::new(1 << sets, ways);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for (k, v) in ops {
+            table.insert(k, v);
+            model.insert(k, v);
+            prop_assert!(table.len() <= table.capacity());
+            // A present key always maps to the model's value: the table
+            // may have evicted it, but must never return a stale value.
+            if let Some(got) = table.get(&k) {
+                prop_assert_eq!(got, &model[&k]);
+            }
+        }
+        for (k, v) in &model {
+            if let Some(got) = table.get(k) {
+                prop_assert_eq!(got, v);
+            }
+        }
+    }
+
+    /// Removing a key really removes exactly that key.
+    #[test]
+    fn assoc_table_remove(keys in prop::collection::hash_set(0u64..100, 1..32)) {
+        let mut table: AssocTable<u64, u64> = AssocTable::new(16, 8);
+        for &k in &keys {
+            table.insert(k, k * 10);
+        }
+        for &k in &keys {
+            let had = table.get(&k).is_some();
+            let removed = table.remove(&k);
+            prop_assert_eq!(removed.is_some(), had);
+            prop_assert!(table.get(&k).is_none());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Virtual Write Queue (VWQ) — the eager-writeback baseline.
+//!
+//! Stuecheli et al. (ISCA 2010) coordinate the LLC and the memory
+//! controller: when a dirty block is evicted from the LLC, the
+//! mechanism eagerly schedules writebacks for a small number of
+//! *adjacent* cache blocks that are dirty in the LLC, so their DRAM
+//! writes coalesce into the same open row. The BuMP paper configures it
+//! to look up "three adjacent cache blocks upon a dirty LLC eviction"
+//! (§V.A) and observes that this exploits writeback locality but not
+//! read locality (§II.C), raising the row-buffer hit ratio to ~36%.
+//!
+//! The engine is pure policy: it observes dirty evictions and emits
+//! candidate blocks; the system probes the LLC (which charges the
+//! lookup traffic) and issues the DRAM writes.
+//!
+//! # Example
+//!
+//! ```
+//! use bump_vwq::VirtualWriteQueue;
+//! use bump_types::BlockAddr;
+//!
+//! let mut vwq = VirtualWriteQueue::paper();
+//! let mut out = Vec::new();
+//! vwq.on_dirty_eviction(BlockAddr::from_index(10), &mut out);
+//! let idx: Vec<u64> = out.iter().map(|b| b.index()).collect();
+//! assert_eq!(idx, vec![11, 12, 13]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use bump_types::BlockAddr;
+
+/// Configuration of the eager writeback engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VwqConfig {
+    /// How many adjacent blocks to probe per dirty eviction (paper: 3).
+    pub lookahead: u32,
+    /// Probe blocks after the evicted one (`true`) and/or before it.
+    /// The paper probes a short run of adjacent blocks; we default to
+    /// the forward direction, which matches streaming writebacks.
+    pub forward: bool,
+    /// Also probe the same count backwards.
+    pub backward: bool,
+}
+
+impl Default for VwqConfig {
+    fn default() -> Self {
+        VwqConfig {
+            lookahead: 3,
+            forward: true,
+            backward: false,
+        }
+    }
+}
+
+/// VWQ statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VwqStats {
+    /// Dirty evictions observed.
+    pub dirty_evictions_seen: u64,
+    /// Candidate blocks emitted for probing.
+    pub candidates_emitted: u64,
+}
+
+/// The eager-writeback policy engine.
+#[derive(Clone, Debug)]
+pub struct VirtualWriteQueue {
+    config: VwqConfig,
+    stats: VwqStats,
+}
+
+impl VirtualWriteQueue {
+    /// Creates the engine.
+    pub fn new(config: VwqConfig) -> Self {
+        VirtualWriteQueue {
+            config,
+            stats: VwqStats::default(),
+        }
+    }
+
+    /// The paper's configuration: three adjacent blocks, forward.
+    pub fn paper() -> Self {
+        VirtualWriteQueue::new(VwqConfig::default())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> VwqConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &VwqStats {
+        &self.stats
+    }
+
+    /// Observes a dirty LLC eviction of `block` and appends the
+    /// adjacent blocks whose dirtiness the system should probe.
+    pub fn on_dirty_eviction(&mut self, block: BlockAddr, out: &mut Vec<BlockAddr>) {
+        self.stats.dirty_evictions_seen += 1;
+        if self.config.forward {
+            for k in 1..=self.config.lookahead {
+                out.push(block.offset_by(i64::from(k)));
+                self.stats.candidates_emitted += 1;
+            }
+        }
+        if self.config.backward {
+            for k in 1..=self.config.lookahead {
+                if block.index() >= u64::from(k) {
+                    out.push(block.offset_by(-i64::from(k)));
+                    self.stats.candidates_emitted += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_candidates_follow_the_eviction() {
+        let mut v = VirtualWriteQueue::paper();
+        let mut out = Vec::new();
+        v.on_dirty_eviction(BlockAddr::from_index(100), &mut out);
+        let idx: Vec<u64> = out.iter().map(|b| b.index()).collect();
+        assert_eq!(idx, vec![101, 102, 103]);
+        assert_eq!(v.stats().dirty_evictions_seen, 1);
+        assert_eq!(v.stats().candidates_emitted, 3);
+    }
+
+    #[test]
+    fn bidirectional_config_probes_both_sides() {
+        let mut v = VirtualWriteQueue::new(VwqConfig {
+            lookahead: 2,
+            forward: true,
+            backward: true,
+        });
+        let mut out = Vec::new();
+        v.on_dirty_eviction(BlockAddr::from_index(10), &mut out);
+        let idx: Vec<u64> = out.iter().map(|b| b.index()).collect();
+        assert_eq!(idx, vec![11, 12, 9, 8]);
+    }
+
+    #[test]
+    fn backward_probes_clamp_at_address_zero() {
+        let mut v = VirtualWriteQueue::new(VwqConfig {
+            lookahead: 3,
+            forward: false,
+            backward: true,
+        });
+        let mut out = Vec::new();
+        v.on_dirty_eviction(BlockAddr::from_index(1), &mut out);
+        let idx: Vec<u64> = out.iter().map(|b| b.index()).collect();
+        assert_eq!(idx, vec![0], "only one block exists below index 1");
+    }
+}

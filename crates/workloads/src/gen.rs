@@ -1,0 +1,420 @@
+//! The instruction-stream generator.
+
+use crate::params::WorkloadParams;
+use crate::Workload;
+use bump_types::{BlockAddr, CoreId, Instr, InstrSource, Pc, RegionConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One in-flight operation of the generator's state machine.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Fine-grained dependent pointer chase.
+    Chase {
+        remaining: u32,
+        pc: Pc,
+    },
+    /// Coarse-grained object scan (loads or stores). `order` holds the
+    /// visit order of the object's blocks: identity for sequential
+    /// scans, a permutation for irregular footprints. Irregular walks
+    /// are *dependent* (each step's address comes from the previous
+    /// block — field pointers, record offsets), which is why bulk
+    /// streaming beats them: the serialized misses become LLC hits.
+    Scan {
+        base: BlockAddr,
+        order: Vec<u8>,
+        next: u32,
+        pc: Pc,
+        store: bool,
+        dep: bool,
+    },
+    /// Late touch-up of a recently written object: re-stores a couple
+    /// of its blocks well after the bulk of the writes (the Table I
+    /// behaviour — see `WorkloadParams::late_rewrite_prob`).
+    LateFix {
+        blocks: [BlockAddr; 2],
+        count: u32,
+        next: u32,
+        pc: Pc,
+    },
+}
+
+/// Deterministic per-core instruction stream for one workload.
+///
+/// The stream is infinite; the system simulator decides how many
+/// instructions to run. Two generators built with the same
+/// `(workload, core, seed)` produce identical streams.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    workload: Workload,
+    params: WorkloadParams,
+    core: CoreId,
+    rng: SmallRng,
+    /// Concurrently interleaved operations.
+    active: VecDeque<Op>,
+    /// Recently completed store objects, eligible for a late touch-up.
+    recent_writes: VecDeque<(BlockAddr, u32)>,
+    /// Pending compute batch to emit before the next memory op.
+    compute_pending: u32,
+    /// Running count of emitted memory operations (for stats/tests).
+    mem_ops: u64,
+}
+
+/// Region geometry used for object placement (1KB, the paper default).
+fn region_cfg() -> RegionConfig {
+    RegionConfig::kilobyte()
+}
+
+impl WorkloadGen {
+    /// Creates the stream for `workload` on `core` with `seed`.
+    pub fn new(workload: Workload, core: CoreId, seed: u64) -> Self {
+        let params = workload.params();
+        let rng = SmallRng::seed_from_u64(
+            seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (workload as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let mut g = WorkloadGen {
+            workload,
+            params,
+            core,
+            rng,
+            active: VecDeque::new(),
+            recent_writes: VecDeque::new(),
+            compute_pending: 0,
+            mem_ops: 0,
+        };
+        while g.active.len() < g.params.interleave {
+            let op = g.new_op();
+            g.active.push_back(op);
+        }
+        g
+    }
+
+    /// The workload this stream models.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// Memory operations emitted so far.
+    pub fn mem_ops(&self) -> u64 {
+        self.mem_ops
+    }
+
+    /// Size of each core's address partition in regions (4GB). Fixed —
+    /// and larger than any workload's dataset — so heterogeneous mixes
+    /// (one workload per core, §VI) never overlap partitions.
+    const CORE_PARTITION_REGIONS: u64 = 1 << 22;
+
+    /// Picks a region within this core's partition, hot or cold.
+    fn pick_region(&mut self, hot: bool) -> u64 {
+        let p = &self.params;
+        let local = if hot {
+            self.rng.gen_range(0..p.hot_regions)
+        } else {
+            self.rng.gen_range(0..p.dataset_regions)
+        };
+        (self.core as u64) * Self::CORE_PARTITION_REGIONS + local
+    }
+
+    /// Builds a fresh operation according to the workload mix.
+    fn new_op(&mut self) -> Op {
+        let p = self.params.clone();
+        // Occasionally revisit a recently written object (a deferred
+        // metadata fix-up, checksum, or reference-count update).
+        if self.recent_writes.len() >= 16 && self.rng.gen_bool(p.late_rewrite_prob) {
+            // Revisit only aged objects (the oldest quarter of the
+            // window) so the touch-up lands after the region's first
+            // eviction rather than while the writes are still fresh.
+            let idx = self.rng.gen_range(0..self.recent_writes.len() / 4);
+            let (base, len) = self.recent_writes[idx];
+            let count = self.rng.gen_range(1..=2u32);
+            let pick = |rng: &mut SmallRng| {
+                base.offset_by(i64::from(rng.gen_range(0..len)))
+            };
+            let blocks = [pick(&mut self.rng), pick(&mut self.rng)];
+            return Op::LateFix {
+                blocks,
+                count,
+                next: 0,
+                pc: Pc::new(0x0003_0000),
+            };
+        }
+        if self.rng.gen_bool(p.coarse_fraction) {
+            // Coarse object operation: pick a type by weight.
+            let total: f64 = p.object_types.iter().map(|t| t.weight).sum();
+            let mut draw = self.rng.gen_range(0.0..total);
+            let mut ty = p.object_types[0];
+            for t in &p.object_types {
+                if draw < t.weight {
+                    ty = *t;
+                    break;
+                }
+                draw -= t.weight;
+            }
+            let len = self.rng.gen_range(ty.min_blocks..=ty.max_blocks);
+            let hot = self.rng.gen_bool(p.hot_fraction);
+            let region = self.pick_region(hot);
+            let offset = if self.rng.gen_bool(p.align_prob) {
+                0
+            } else {
+                self.rng.gen_range(0..region_cfg().blocks_per_region() / 2)
+            };
+            let base = BlockAddr::from_index(
+                region * u64::from(region_cfg().blocks_per_region()) + u64::from(offset),
+            );
+            let mut order: Vec<u8> = (0..len as u8).collect();
+            if ty.shuffle {
+                // Fisher–Yates: dense footprint, irregular visit order.
+                for i in (1..order.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+            }
+            Op::Scan {
+                base,
+                order,
+                next: 0,
+                pc: ty.pc,
+                store: ty.store,
+                dep: ty.dependent,
+            }
+        } else {
+            // Pointer chase: geometric-ish length around the mean.
+            let mean = p.chase_len_mean;
+            let len = 1 + self.rng.gen_range(0.0..2.0 * mean) as u32;
+            let pc_idx = self.rng.gen_range(0..p.chase_pcs);
+            Op::Chase {
+                remaining: len.max(1),
+                pc: p.chase_pc(pc_idx),
+            }
+        }
+    }
+
+    /// Emits the next memory instruction from the round-robin of active
+    /// operations, replacing finished operations with fresh ones.
+    fn next_mem_instr(&mut self) -> Instr {
+        let mut op = self.active.pop_front().expect("active ops maintained");
+        let (instr, finished) = match &mut op {
+            Op::Chase { remaining, pc } => {
+                let region = self.pick_region(false);
+                let offset = self.rng.gen_range(0..region_cfg().blocks_per_region());
+                let block = BlockAddr::from_index(
+                    region * u64::from(region_cfg().blocks_per_region()) + u64::from(offset),
+                );
+                *remaining -= 1;
+                (
+                    Instr::Load {
+                        block,
+                        pc: *pc,
+                        dep: true,
+                    },
+                    *remaining == 0,
+                )
+            }
+            Op::Scan {
+                base,
+                order,
+                next,
+                pc,
+                store,
+                dep,
+            } => {
+                let block = base.offset_by(i64::from(order[*next as usize]));
+                *next += 1;
+                let instr = if *store {
+                    Instr::Store { block, pc: *pc }
+                } else {
+                    Instr::Load {
+                        block,
+                        pc: *pc,
+                        dep: *dep,
+                    }
+                };
+                (instr, *next as usize == order.len())
+            }
+            Op::LateFix {
+                blocks,
+                count,
+                next,
+                pc,
+            } => {
+                let block = blocks[*next as usize % 2];
+                *next += 1;
+                (Instr::Store { block, pc: *pc }, next == count)
+            }
+        };
+        if finished {
+            if let Op::Scan {
+                base,
+                ref order,
+                store: true,
+                ..
+            } = op
+            {
+                self.recent_writes.push_back((base, order.len() as u32));
+                if self.recent_writes.len() > 64 {
+                    self.recent_writes.pop_front();
+                }
+            }
+            let fresh = self.new_op();
+            self.active.push_back(fresh);
+        } else {
+            self.active.push_back(op);
+        }
+        self.mem_ops += 1;
+        instr
+    }
+}
+
+impl InstrSource for WorkloadGen {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.compute_pending > 0 {
+            let c = self.compute_pending;
+            self.compute_pending = 0;
+            return Some(Instr::Compute { count: c });
+        }
+        // Sample the compute gap for after this memory op.
+        let mean = self.params.compute_per_mem;
+        self.compute_pending = self.rng.gen_range(0.0..2.0 * mean).round() as u32;
+        Some(self.next_mem_instr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn collect(w: Workload, core: CoreId, seed: u64, n: usize) -> Vec<Instr> {
+        let mut g = WorkloadGen::new(w, core, seed);
+        (0..n).map(|_| g.next_instr().unwrap()).collect()
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        for w in Workload::all() {
+            assert_eq!(
+                collect(w, 3, 7, 2000),
+                collect(w, 3, 7, 2000),
+                "{w} must be reproducible"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            collect(Workload::WebSearch, 0, 1, 2000),
+            collect(Workload::WebSearch, 0, 2, 2000)
+        );
+    }
+
+    #[test]
+    fn cores_use_disjoint_address_partitions() {
+        let blocks = |core: CoreId| -> Vec<u64> {
+            collect(Workload::WebServing, core, 9, 5000)
+                .into_iter()
+                .filter_map(|i| match i {
+                    Instr::Load { block, .. } | Instr::Store { block, .. } => Some(block.index()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let a: std::collections::HashSet<u64> = blocks(0).into_iter().collect();
+        let b: std::collections::HashSet<u64> = blocks(1).into_iter().collect();
+        assert!(a.is_disjoint(&b), "cores must not share blocks");
+    }
+
+    #[test]
+    fn store_share_tracks_the_workload_mix() {
+        let mut shares = HashMap::new();
+        for w in Workload::all() {
+            let instrs = collect(w, 0, 11, 40_000);
+            let (mut loads, mut stores) = (0u64, 0u64);
+            for i in instrs {
+                match i {
+                    Instr::Load { .. } => loads += 1,
+                    Instr::Store { .. } => stores += 1,
+                    _ => {}
+                }
+            }
+            shares.insert(w.name(), stores as f64 / (loads + stores) as f64);
+        }
+        // Write-heavy workloads store more than read-heavy ones.
+        assert!(shares["Media Streaming"] > 0.10);
+        assert!(shares["Online Analytics"] < shares["Data Serving"]);
+        for (name, s) in &shares {
+            assert!(*s > 0.02 && *s < 0.5, "{name} store share {s}");
+        }
+    }
+
+    #[test]
+    fn dependence_mix_matches_workload_structure() {
+        let count = |w: Workload| {
+            let mut dep_loads = 0u64;
+            let mut indep_loads = 0u64;
+            for i in collect(w, 0, 5, 50_000) {
+                if let Instr::Load { dep, .. } = i {
+                    if dep {
+                        dep_loads += 1;
+                    } else {
+                        indep_loads += 1;
+                    }
+                }
+            }
+            (dep_loads, indep_loads)
+        };
+        // Web search: hash walks + irregular index-page walks are all
+        // dependent — search threads have almost no MLP.
+        let (dep, indep) = count(Workload::WebSearch);
+        assert!(dep > 1000, "walks must appear");
+        assert!(dep > indep, "search is dependence-dominated");
+        // Media streaming: chunk reads are sequential and independent.
+        let (dep_ms, indep_ms) = count(Workload::MediaStreaming);
+        assert!(
+            indep_ms > dep_ms,
+            "media streaming is stream-dominated: {indep_ms} vs {dep_ms}"
+        );
+    }
+
+    #[test]
+    fn scans_touch_consecutive_blocks_with_one_pc() {
+        // Several scans of the same object type run concurrently and
+        // share a PC, so check contiguity against a small window of
+        // recent blocks per PC rather than just the last one.
+        let instrs = collect(Workload::MediaStreaming, 0, 3, 10_000);
+        let mut recent: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut contiguous = 0u64;
+        let mut total = 0u64;
+        for i in instrs {
+            if let Instr::Load { block, pc, dep: false } = i {
+                total += 1;
+                let window = recent.entry(pc.raw()).or_default();
+                if window.iter().any(|&b| block.index() == b + 1) {
+                    contiguous += 1;
+                }
+                window.push(block.index());
+                if window.len() > 32 {
+                    window.remove(0);
+                }
+            }
+        }
+        assert!(
+            contiguous as f64 > 0.6 * total as f64,
+            "scans must be mostly sequential per PC ({contiguous}/{total})"
+        );
+    }
+
+    #[test]
+    fn compute_gaps_separate_memory_ops() {
+        let instrs = collect(Workload::OnlineAnalytics, 0, 13, 10_000);
+        let compute: u64 = instrs.iter().map(|i| match i {
+            Instr::Compute { count } => u64::from(*count),
+            _ => 0,
+        }).sum();
+        let mem = instrs.iter().filter(|i| i.is_memory()).count() as u64;
+        let ratio = compute as f64 / mem as f64;
+        assert!((1.0..6.0).contains(&ratio), "compute per mem {ratio}");
+    }
+}

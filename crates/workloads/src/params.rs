@@ -1,0 +1,255 @@
+//! Calibrated per-workload generator parameters.
+//!
+//! Calibration targets come straight from the paper's characterization:
+//! Figure 3 (write share of DRAM traffic: 21–38%), Figure 5 (57–75% of
+//! reads and 62–86% of writes to high-density regions), Table I (3–11%
+//! of high-density-region blocks modified after the first eviction),
+//! and the §V.B observation that Software Testing keeps far more
+//! regions simultaneously active than the RDTT can track.
+
+use crate::Workload;
+use bump_types::Pc;
+
+/// One class of software object: the functions (PCs) that traverse it
+/// and its size distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjectTypeSpec {
+    /// PC of the access function for this object type.
+    pub pc: Pc,
+    /// Smallest object size, in cache blocks.
+    pub min_blocks: u32,
+    /// Largest object size, in cache blocks (inclusive).
+    pub max_blocks: u32,
+    /// Whether operations on this type are stores (buffer population)
+    /// rather than loads (scans).
+    pub store: bool,
+    /// Whether the object's blocks are visited in an irregular order
+    /// (dense spatial footprint, but not sequential — e.g. decoding
+    /// rank metadata or walking row fields). Irregular footprints
+    /// defeat stride prefetchers but remain predictable to footprint
+    /// schemes (SMS) and bulk streaming (BuMP), which is the paper's
+    /// §II.C distinction.
+    pub shuffle: bool,
+    /// Whether consecutive accesses of the scan are data-dependent
+    /// (each block's contents steer the next access — tuple-at-a-time
+    /// page processing, field walks). Server threads have low MLP
+    /// (§II.A), so most object operations serialize; streaming media
+    /// chunks are the notable exception.
+    pub dependent: bool,
+    /// Relative selection weight among this workload's object types.
+    pub weight: f64,
+}
+
+/// Generator parameters for one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadParams {
+    /// Probability that the next operation is a coarse-grained object
+    /// operation (the rest are pointer chases).
+    pub coarse_fraction: f64,
+    /// The workload's object types.
+    pub object_types: Vec<ObjectTypeSpec>,
+    /// Probability that an object starts at a region boundary.
+    pub align_prob: f64,
+    /// Mean pointer-chase length (dependent loads per chase).
+    pub chase_len_mean: f64,
+    /// Number of distinct chase PCs (hash-walk / tree-walk functions).
+    pub chase_pcs: usize,
+    /// Mean non-memory instructions between memory operations.
+    pub compute_per_mem: f64,
+    /// Per-core dataset size in 1KB regions.
+    pub dataset_regions: u64,
+    /// Hot-set size in regions (reused with `hot_fraction`).
+    pub hot_regions: u64,
+    /// Probability an object operation targets the hot set.
+    pub hot_fraction: f64,
+    /// Concurrent in-flight operations the generator interleaves
+    /// (models how many regions are simultaneously active).
+    pub interleave: usize,
+    /// Probability that a new operation revisits a recently written
+    /// object and re-stores a couple of its blocks. This produces the
+    /// paper's Table I signal: blocks of a high-density modified region
+    /// modified *after* the region's first LLC eviction (3–11%), and
+    /// the "extra writebacks" eager mechanisms pay for them.
+    pub late_rewrite_prob: f64,
+}
+
+/// Base PC values; each workload offsets them so PCs never collide
+/// across workloads in mixed experiments.
+const CHASE_PC_BASE: u64 = 0x0001_0000;
+const OBJECT_PC_BASE: u64 = 0x0002_0000;
+
+fn obj(idx: u64, min_blocks: u32, max_blocks: u32, store: bool, weight: f64) -> ObjectTypeSpec {
+    ObjectTypeSpec {
+        pc: Pc::new(OBJECT_PC_BASE + idx * 0x40),
+        min_blocks,
+        max_blocks,
+        store,
+        shuffle: false,
+        dependent: false,
+        weight,
+    }
+}
+
+/// A sequential scan whose per-block processing is data-dependent.
+fn obj_serial(
+    idx: u64,
+    min_blocks: u32,
+    max_blocks: u32,
+    store: bool,
+    weight: f64,
+) -> ObjectTypeSpec {
+    ObjectTypeSpec {
+        dependent: true,
+        ..obj(idx, min_blocks, max_blocks, store, weight)
+    }
+}
+
+/// An object type visited in irregular (shuffled) order.
+fn obj_irregular(
+    idx: u64,
+    min_blocks: u32,
+    max_blocks: u32,
+    store: bool,
+    weight: f64,
+) -> ObjectTypeSpec {
+    ObjectTypeSpec {
+        shuffle: true,
+        dependent: true,
+        ..obj(idx, min_blocks, max_blocks, store, weight)
+    }
+}
+
+/// The calibrated parameters for `w`.
+pub(crate) fn for_workload(w: Workload) -> WorkloadParams {
+    match w {
+        // Cassandra under YCSB: short key lookups dominate the
+        // instruction stream; updates write back whole rows. High write
+        // share (~36% of DRAM traffic), lowest read density of the six.
+        Workload::DataServing => WorkloadParams {
+            coarse_fraction: 0.42,
+            object_types: vec![
+                obj_irregular(0, 10, 16, false, 0.34), // row reads (field walks)
+                obj_irregular(1, 4, 8, false, 0.12), // small column group reads
+                obj(2, 10, 16, true, 0.55), // row updates (memtable)
+                obj(3, 1, 4, true, 0.28),   // small field updates
+            ],
+            align_prob: 0.85,
+            chase_len_mean: 5.0,
+            chase_pcs: 8,
+            compute_per_mem: 2.6,
+            dataset_regions: 1 << 20, // 1GB per core
+            hot_regions: 1 << 9,
+            hot_fraction: 0.08,
+            interleave: 10,
+            late_rewrite_prob: 0.16,
+        },
+        // Darwin streaming: very long sequential file reads into
+        // per-client packet buffers (stores). Highest density; high MLP.
+        Workload::MediaStreaming => WorkloadParams {
+            coarse_fraction: 0.72,
+            object_types: vec![
+                obj(0, 16, 48, false, 0.45), // media chunk reads
+                obj(1, 12, 16, true, 0.42), // client packet buffers
+                obj(2, 2, 6, false, 0.10),  // metadata
+                obj(3, 1, 3, true, 0.09),   // session/metadata updates
+            ],
+            align_prob: 0.92,
+            chase_len_mean: 3.0,
+            chase_pcs: 4,
+            compute_per_mem: 6.0,
+            dataset_regions: 1 << 21, // 2GB per core (large files)
+            hot_regions: 1 << 8,
+            hot_fraction: 0.12,
+            interleave: 16,
+            late_rewrite_prob: 0.20,
+        },
+        // TPC-H mix on DB2: scan-bound Q1/Q6 stream whole pages,
+        // join-bound Q16 chases hash buckets. Lowest write share.
+        Workload::OnlineAnalytics => WorkloadParams {
+            coarse_fraction: 0.55,
+            object_types: vec![
+                obj_serial(0, 12, 32, false, 0.62), // table-page scans (tuple-at-a-time)
+                obj_irregular(1, 4, 10, false, 0.18), // index leaf reads
+                obj(2, 10, 16, true, 0.45), // hash/sort partitions
+                obj(3, 1, 4, true, 0.10),   // aggregate updates
+            ],
+            align_prob: 0.88,
+            chase_len_mean: 6.0,
+            chase_pcs: 10,
+            compute_per_mem: 4.0,
+            dataset_regions: 1 << 20,
+            hot_regions: 1 << 9,
+            hot_fraction: 0.14,
+            interleave: 8,
+            late_rewrite_prob: 0.10,
+        },
+        // Klee: pointer-rich constraint graphs; many live allocations
+        // scanned concurrently, so the active-region count explodes and
+        // the RDTT thrashes (§V.B: BuMP's worst coverage).
+        Workload::SoftwareTesting => WorkloadParams {
+            coarse_fraction: 0.50,
+            object_types: vec![
+                obj_irregular(0, 8, 16, false, 0.50), // constraint-object walks
+                obj_irregular(1, 4, 10, false, 0.25), // expression nodes
+                obj(2, 8, 16, true, 0.36), // state snapshots
+                obj(3, 1, 4, true, 0.18), // counter updates
+            ],
+            align_prob: 0.75,
+            chase_len_mean: 7.0,
+            chase_pcs: 16,
+            compute_per_mem: 3.0,
+            dataset_regions: 1 << 20,
+            hot_regions: 1 << 9,
+            hot_fraction: 0.05,
+            interleave: 48,
+            late_rewrite_prob: 0.05,
+        },
+        // Nutch/Lucene: hash-table term lookup (pointer chase over a
+        // large space) then dense rank-metadata scans of index pages.
+        Workload::WebSearch => WorkloadParams {
+            coarse_fraction: 0.58,
+            object_types: vec![
+                obj_irregular(0, 12, 24, false, 0.58), // index-page rank walks
+                obj_irregular(1, 4, 8, false, 0.12), // posting fragments
+                obj(2, 10, 16, true, 0.34), // result/rank buffers
+                obj(3, 1, 4, true, 0.16), // score accumulators
+            ],
+            align_prob: 0.90,
+            chase_len_mean: 6.0,
+            chase_pcs: 6,
+            compute_per_mem: 2.5,
+            dataset_regions: 1 << 20,
+            hot_regions: 1 << 10, // popular terms
+            hot_fraction: 0.10,
+            interleave: 8,
+            late_rewrite_prob: 0.11,
+        },
+        // Apache/PHP: request strings, cached page objects, session
+        // state; highest write share (page-cache churn).
+        Workload::WebServing => WorkloadParams {
+            coarse_fraction: 0.50,
+            object_types: vec![
+                obj_irregular(0, 10, 20, false, 0.42), // cached page assembly
+                obj_irregular(1, 4, 8, false, 0.13), // session/fragment reads
+                obj(2, 10, 20, true, 0.45), // page-cache fills
+                obj(3, 1, 4, true, 0.22),   // session updates
+            ],
+            align_prob: 0.82,
+            chase_len_mean: 5.0,
+            chase_pcs: 12,
+            compute_per_mem: 2.7,
+            dataset_regions: 1 << 19, // 512MB per core
+            hot_regions: 1 << 9,
+            hot_fraction: 0.10,
+            interleave: 10,
+            late_rewrite_prob: 0.17,
+        },
+    }
+}
+
+impl WorkloadParams {
+    /// The chase-function PCs for this workload.
+    pub fn chase_pc(&self, i: usize) -> Pc {
+        Pc::new(CHASE_PC_BASE + (i as u64 % self.chase_pcs as u64) * 0x40)
+    }
+}

@@ -1,0 +1,131 @@
+//! Behavioural tests of the workload generators against the paper's
+//! §III characterization targets (stream-level, no simulator).
+
+use bump_types::{BlockAddr, Instr, InstrSource, RegionConfig};
+use bump_workloads::{Workload, WorkloadGen};
+use std::collections::HashMap;
+
+struct StreamStats {
+    loads: u64,
+    stores: u64,
+    compute: u64,
+    region_touch_counts: HashMap<u64, u64>,
+}
+
+fn analyze(w: Workload, n: usize) -> StreamStats {
+    let mut gen = WorkloadGen::new(w, 0, 123);
+    let cfg = RegionConfig::kilobyte();
+    let mut s = StreamStats {
+        loads: 0,
+        stores: 0,
+        compute: 0,
+        region_touch_counts: HashMap::new(),
+    };
+    let mut touch = |b: BlockAddr, s: &mut StreamStats| {
+        *s.region_touch_counts.entry(b.region(cfg).index()).or_default() += 1;
+    };
+    for _ in 0..n {
+        match gen.next_instr().expect("infinite stream") {
+            Instr::Load { block, .. } => {
+                s.loads += 1;
+                touch(block, &mut s);
+            }
+            Instr::Store { block, .. } => {
+                s.stores += 1;
+                touch(block, &mut s);
+            }
+            Instr::Compute { count } => s.compute += u64::from(count),
+        }
+    }
+    s
+}
+
+#[test]
+fn memory_instruction_share_is_serverlike() {
+    for w in Workload::all() {
+        let s = analyze(w, 100_000);
+        let mem = (s.loads + s.stores) as f64;
+        let frac = mem / (mem + s.compute as f64);
+        assert!(
+            (0.10..0.45).contains(&frac),
+            "{w}: memory instruction share {frac:.2} out of band"
+        );
+    }
+}
+
+#[test]
+fn region_touch_distribution_is_bimodal() {
+    // §III: coarse objects produce many-touch regions, chases produce
+    // single-touch regions; both modes must be present in volume.
+    for w in Workload::all() {
+        let s = analyze(w, 200_000);
+        let single = s.region_touch_counts.values().filter(|&&c| c == 1).count();
+        let dense = s.region_touch_counts.values().filter(|&&c| c >= 8).count();
+        assert!(single > 100, "{w}: no fine-grained mode ({single})");
+        assert!(dense > 100, "{w}: no coarse-grained mode ({dense})");
+    }
+}
+
+#[test]
+fn software_testing_touches_the_most_regions_concurrently() {
+    // §V.B: Software Testing's active-region count thrashes the RDTT.
+    let count_distinct_in_window = |w: Workload| {
+        let mut gen = WorkloadGen::new(w, 0, 9);
+        let cfg = RegionConfig::kilobyte();
+        let mut regions = std::collections::HashSet::new();
+        let mut mem_ops = 0;
+        while mem_ops < 2_000 {
+            match gen.next_instr().unwrap() {
+                Instr::Load { block, .. } | Instr::Store { block, .. } => {
+                    regions.insert(block.region(cfg).index());
+                    mem_ops += 1;
+                }
+                _ => {}
+            }
+        }
+        regions.len()
+    };
+    let st = count_distinct_in_window(Workload::SoftwareTesting);
+    for w in [Workload::MediaStreaming, Workload::WebSearch] {
+        let other = count_distinct_in_window(w);
+        assert!(
+            st > other,
+            "Software Testing ({st}) must touch more regions than {w} ({other})"
+        );
+    }
+}
+
+#[test]
+fn late_rewrites_eventually_appear() {
+    // The LateFix op uses a dedicated PC; it must show up in long runs
+    // for workloads with nonzero late_rewrite_prob.
+    let mut gen = WorkloadGen::new(Workload::WebServing, 0, 5);
+    let mut late_pc_seen = false;
+    for _ in 0..400_000 {
+        if let Some(Instr::Store { pc, .. }) = gen.next_instr() {
+            if pc.raw() == 0x0003_0000 {
+                late_pc_seen = true;
+                break;
+            }
+        }
+    }
+    assert!(late_pc_seen, "late rewrites never fired");
+}
+
+#[test]
+fn mem_ops_counter_matches_stream() {
+    let mut gen = WorkloadGen::new(Workload::DataServing, 2, 8);
+    let mut counted = 0;
+    for _ in 0..10_000 {
+        if gen.next_instr().unwrap().is_memory() {
+            counted += 1;
+        }
+    }
+    assert_eq!(gen.mem_ops(), counted);
+}
+
+#[test]
+fn workload_accessor_reports_identity() {
+    let gen = WorkloadGen::new(Workload::OnlineAnalytics, 0, 1);
+    assert_eq!(gen.workload(), Workload::OnlineAnalytics);
+}

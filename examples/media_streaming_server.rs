@@ -1,0 +1,41 @@
+//! The write path (§III.B): a media-streaming server fills per-client
+//! packet buffers with stores. The store-triggered reads allocate the
+//! blocks; the later dirty evictions write them back. BuMP's dirty
+//! region table turns the scattered writebacks into bulk writes.
+//!
+//! This example runs the full system on the Media Streaming workload
+//! and contrasts the write-path behaviour of the baseline, VWQ, and
+//! BuMP.
+//!
+//! ```sh
+//! cargo run --release --example media_streaming_server
+//! ```
+
+use bump_sim::{run_experiment, Preset, RunOptions};
+use bump_workloads::Workload;
+
+fn main() {
+    let opts = RunOptions::quick(4);
+    println!("Media Streaming on {} cores — the write path under three systems:\n", opts.cores);
+    println!(
+        "{:<11} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "system", "write %", "eager wbs", "write hits", "extra wbs", "E/acc nJ"
+    );
+    for p in [Preset::BaseOpen, Preset::Vwq, Preset::Bump] {
+        let r = run_experiment(p, Workload::MediaStreaming, opts);
+        println!(
+            "{:<11} {:>8.1}% {:>12} {:>11.1}% {:>11.1}% {:>10.1}",
+            p.name(),
+            100.0 * r.traffic.write_fraction(),
+            r.traffic.eager_writebacks,
+            r.dram.write_row_hits.percent(),
+            100.0 * r.extra_writeback_fraction(),
+            r.energy_per_access_nj(),
+        );
+    }
+    println!(
+        "\nVWQ coalesces a few adjacent writebacks; BuMP writes back whole\n\
+         packet-buffer regions on the first dirty eviction (paper §IV.C),\n\
+         which is why its write row-buffer hits are highest."
+    );
+}

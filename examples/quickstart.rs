@@ -1,0 +1,54 @@
+//! Quickstart: run BuMP against the open-row baseline on one workload
+//! and print the paper's two headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bump_sim::{run_experiment, Preset, RunOptions};
+use bump_workloads::Workload;
+
+fn main() {
+    let opts = RunOptions::quick(4);
+    let workload = Workload::WebSearch;
+
+    println!("Simulating {workload} on {} cores...", opts.cores);
+    let base = run_experiment(Preset::BaseOpen, workload, opts);
+    let bump = run_experiment(Preset::Bump, workload, opts);
+
+    println!();
+    println!("                      Base-open      BuMP");
+    println!(
+        "row buffer hits       {:>8.1}%  {:>8.1}%",
+        base.row_hit_ratio().percent(),
+        bump.row_hit_ratio().percent()
+    );
+    println!(
+        "memory energy/access  {:>7.1}nJ  {:>7.1}nJ",
+        base.energy_per_access_nj(),
+        bump.energy_per_access_nj()
+    );
+    println!(
+        "aggregate IPC         {:>9.3}  {:>9.3}",
+        base.ipc(),
+        bump.ipc()
+    );
+    println!(
+        "predicted DRAM reads  {:>9}  {:>8.1}%",
+        "-",
+        100.0 * bump.predicted_read_fraction()
+    );
+    println!(
+        "predicted DRAM writes {:>9}  {:>8.1}%",
+        "-",
+        100.0 * bump.predicted_write_fraction()
+    );
+    println!();
+    println!(
+        "BuMP reduces memory energy per access by {:.0}% and changes\n\
+         throughput by {:+.1}% on this run (paper: -23% energy, +11% IPC\n\
+         vs the open-row baseline, at full 16-core scale).",
+        100.0 * (1.0 - bump.energy_per_access_nj() / base.energy_per_access_nj()),
+        100.0 * (bump.ipc() / base.ipc() - 1.0)
+    );
+}

@@ -1,0 +1,60 @@
+//! Determinism: identical configurations produce identical simulations,
+//! and different seeds produce different (but statistically similar)
+//! ones. This is what makes the reproduction's numbers reproducible.
+
+use bump_sim::{run_experiment, Preset, RunOptions};
+use bump_workloads::Workload;
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions {
+        cores: 2,
+        warmup_instructions: 30_000,
+        measure_instructions: 30_000,
+        max_cycles: 3_000_000,
+        seed,
+        small_llc: true,
+    }
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let a = run_experiment(Preset::Bump, Workload::WebSearch, opts(42));
+    let b = run_experiment(Preset::Bump, Workload::WebSearch, opts(42));
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.dram.reads_completed, b.dram.reads_completed);
+    assert_eq!(a.dram.row_hit_ratio(), b.dram.row_hit_ratio());
+    assert_eq!(a.traffic.bulk_reads, b.traffic.bulk_reads);
+    assert_eq!(a.dram_energy.activations, b.dram_energy.activations);
+    assert_eq!(a.noc.bytes, b.noc.bytes);
+}
+
+#[test]
+fn different_seed_different_stream_similar_statistics() {
+    let a = run_experiment(Preset::BaseOpen, Workload::WebServing, opts(1));
+    let b = run_experiment(Preset::BaseOpen, Workload::WebServing, opts(2));
+    assert_ne!(
+        (a.cycles, a.dram.reads_completed),
+        (b.cycles, b.dram.reads_completed),
+        "different seeds should differ in detail"
+    );
+    let ra = a.row_hit_ratio().value();
+    let rb = b.row_hit_ratio().value();
+    assert!(
+        (ra - rb).abs() < 0.10,
+        "row-hit statistics should be stable across seeds: {ra} vs {rb}"
+    );
+}
+
+#[test]
+fn reports_are_stable_across_reruns_for_all_presets() {
+    for preset in [Preset::BaseClose, Preset::Sms, Preset::Vwq] {
+        let a = run_experiment(preset, Workload::DataServing, opts(9));
+        let b = run_experiment(preset, Workload::DataServing, opts(9));
+        assert_eq!(a.cycles, b.cycles, "{preset}");
+        assert_eq!(
+            a.dram_energy.activations, b.dram_energy.activations,
+            "{preset}"
+        );
+    }
+}
