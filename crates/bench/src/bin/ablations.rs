@@ -11,80 +11,6 @@
 //! * `stream_filter` — the one-bulk-read-per-generation filter vs the
 //!   paper's plain miss-triggered streaming.
 
-use bump_bench::{emit, pct, Scale, TextTable};
-use bump_sim::{run_experiment_with_config, Preset, RunOptions, SystemConfig};
-use bump_types::Interleaving;
-use bump_workloads::Workload;
-
-fn cfg(w: Workload, opts: RunOptions) -> SystemConfig {
-    let mut c = if opts.small_llc {
-        SystemConfig::small(Preset::Bump, w, opts.cores)
-    } else {
-        let mut c = SystemConfig::paper(Preset::Bump, w);
-        c.cores = opts.cores;
-        c
-    };
-    c.seed = opts.seed;
-    c
-}
-
 fn main() {
-    let scale = Scale::from_args();
-    let opts = scale.options();
-    let mut t = TextTable::new(&[
-        "ablation", "workload", "variant", "pred reads", "pred writes", "row hit", "E/acc nJ", "IPC",
-    ]);
-    let mut row = |name: &str, w: Workload, variant: &str, c: SystemConfig| {
-        let r = run_experiment_with_config(c, opts);
-        t.row(vec![
-            name.into(),
-            w.name().into(),
-            variant.into(),
-            pct(r.predicted_read_fraction()),
-            pct(r.predicted_write_fraction()),
-            pct(r.row_hit_ratio().value()),
-            format!("{:.1}", r.energy_per_access_nj()),
-            format!("{:.3}", r.ipc()),
-        ]);
-    };
-
-    // RDTT capacity on Software Testing.
-    let w = Workload::SoftwareTesting;
-    row("rdtt_capacity", w, "256+256 (paper)", cfg(w, opts));
-    let mut big = cfg(w, opts);
-    big.bump.trigger_entries = 2048;
-    big.bump.density_entries = 2048;
-    row("rdtt_capacity", w, "2048+2048", big);
-
-    // (PC, offset) vs PC-only indexing, on a misalignment-heavy workload.
-    let w = Workload::SoftwareTesting; // lowest align_prob
-    row("pc_offset", w, "(PC, offset)", cfg(w, opts));
-    let mut pconly = cfg(w, opts);
-    pconly.bump.pc_only_indexing = true;
-    row("pc_offset", w, "PC only", pconly);
-
-    // DRT on/off, on a write-heavy workload.
-    let w = Workload::DataServing;
-    row("drt", w, "DRT 1024 (paper)", cfg(w, opts));
-    let mut nodrt = cfg(w, opts);
-    nodrt.bump.drt_entries = 0;
-    row("drt", w, "no DRT", nodrt);
-
-    // Interleaving under BuMP.
-    let w = Workload::WebSearch;
-    row("interleaving", w, "region (paper)", cfg(w, opts));
-    let mut blk = cfg(w, opts);
-    blk.dram.interleaving = Interleaving::Block;
-    row("interleaving", w, "block", blk);
-
-    // Stream filter.
-    let w = Workload::MediaStreaming;
-    row("stream_filter", w, "per-generation filter", cfg(w, opts));
-    let mut nofilter = cfg(w, opts);
-    nofilter.bump.stream_filter_entries = 0;
-    row("stream_filter", w, "none (plain miss-trigger)", nofilter);
-
-    let mut out = String::from("Ablation studies (BuMP design choices).\n\n");
-    out.push_str(&t.render());
-    emit("ablations", &out);
+    bump_bench::figures::run_named("ablations");
 }

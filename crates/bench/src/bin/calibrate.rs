@@ -3,44 +3,6 @@
 //! Not a paper figure — a development tool for checking that the
 //! synthetic workloads land in the paper's characterization bands.
 
-use bump_bench::{pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&[
-        "workload", "preset", "IPC", "rowhit", "ideal", "E/acc nJ", "wr%", "rd-high", "wr-high",
-        "predR", "ovfR", "predW", "lateW", "tbl1",
-    ]);
-    for w in Workload::all() {
-        for p in [
-            Preset::BaseClose,
-            Preset::BaseOpen,
-            Preset::Sms,
-            Preset::Vwq,
-            Preset::SmsVwq,
-            Preset::Bump,
-            Preset::FullRegion,
-        ] {
-            let r = run(p, w, scale);
-            t.row(vec![
-                w.name().into(),
-                p.name().into(),
-                format!("{:.2}", r.ipc()),
-                pct(r.row_hit_ratio().value()),
-                pct(r.ideal_row_hit_ratio().value()),
-                format!("{:.1}", r.energy_per_access_nj()),
-                pct(r.traffic.write_fraction()),
-                pct(r.density.read_high_fraction()),
-                pct(r.density.write_high_fraction()),
-                pct(r.predicted_read_fraction()),
-                pct(r.read_overfetch_fraction()),
-                pct(r.predicted_write_fraction()),
-                pct(r.extra_writeback_fraction()),
-                pct(r.density.late_modification_fraction()),
-            ]);
-        }
-    }
-    println!("{}", t.render());
+    bump_bench::figures::run_named("calibrate");
 }

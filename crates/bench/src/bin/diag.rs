@@ -2,34 +2,51 @@
 
 use bump_bench::Scale;
 use bump_sim::{run_experiment, Preset};
-use bump_workloads::Workload;
 use bump_types::TrafficClass;
+use bump_workloads::Workload;
 
 fn main() {
-    for w in [Workload::MediaStreaming, Workload::OnlineAnalytics, Workload::DataServing] {
+    for w in [
+        Workload::MediaStreaming,
+        Workload::OnlineAnalytics,
+        Workload::DataServing,
+    ] {
         let r = run_experiment(Preset::Bump, w, Scale::from_args().options());
         let b = r.bump.unwrap();
         println!("== {} ==", w.name());
-        println!("bulk_read triggers: {}  (bht inserts via terminations: {} high of {})",
-            b.bulk_reads, b.high_density_terminations, b.terminations);
+        println!(
+            "bulk_read triggers: {}  (bht inserts via terminations: {} high of {})",
+            b.bulk_reads, b.high_density_terminations, b.terminations
+        );
         println!("spec dropped (mshr): {}", r.spec_dropped);
-        println!("fills demand={} stride={} bulk={} ", 
+        println!(
+            "fills demand={} stride={} bulk={} ",
             r.llc.fills_by_class.get(TrafficClass::Demand),
             r.llc.fills_by_class.get(TrafficClass::StridePrefetch),
-            r.llc.fills_by_class.get(TrafficClass::BulkRead));
-        println!("covered bulk={} late={} overfetch={} | covered stride={} late={} ovf={}",
+            r.llc.fills_by_class.get(TrafficClass::BulkRead)
+        );
+        println!(
+            "covered bulk={} late={} overfetch={} | covered stride={} late={} ovf={}",
             r.llc.covered.get(TrafficClass::BulkRead),
             r.llc.covered_late.get(TrafficClass::BulkRead),
             r.llc.overfetch.get(TrafficClass::BulkRead),
             r.llc.covered.get(TrafficClass::StridePrefetch),
             r.llc.covered_late.get(TrafficClass::StridePrefetch),
-            r.llc.overfetch.get(TrafficClass::StridePrefetch));
-        println!("traffic: dem_load={} dem_store={} stride={} bulk={} wb={} eager={}",
-            r.traffic.demand_load_reads, r.traffic.demand_store_reads,
-            r.traffic.stride_reads, r.traffic.bulk_reads,
-            r.traffic.demand_writebacks, r.traffic.eager_writebacks);
-        println!("llc: spec_lookups={} spec_hits={} mshr_stalls={}",
-            r.llc.speculative_lookups, r.llc.speculative_hits, r.llc.mshr_stalls);
+            r.llc.overfetch.get(TrafficClass::StridePrefetch)
+        );
+        println!(
+            "traffic: dem_load={} dem_store={} stride={} bulk={} wb={} eager={}",
+            r.traffic.demand_load_reads,
+            r.traffic.demand_store_reads,
+            r.traffic.stride_reads,
+            r.traffic.bulk_reads,
+            r.traffic.demand_writebacks,
+            r.traffic.eager_writebacks
+        );
+        println!(
+            "llc: spec_lookups={} spec_hits={} mshr_stalls={}",
+            r.llc.speculative_lookups, r.llc.speculative_hits, r.llc.mshr_stalls
+        );
     }
 }
 // (extended below via diag2)

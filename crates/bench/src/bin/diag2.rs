@@ -5,7 +5,11 @@ use bump_sim::{run_experiment, Preset};
 use bump_workloads::Workload;
 
 fn main() {
-    for w in [Workload::OnlineAnalytics, Workload::MediaStreaming, Workload::WebSearch] {
+    for w in [
+        Workload::OnlineAnalytics,
+        Workload::MediaStreaming,
+        Workload::WebSearch,
+    ] {
         for p in [Preset::BaseClose, Preset::BaseOpen, Preset::Bump] {
             let r = run_experiment(p, w, Scale::from_args().options());
             println!(

@@ -3,38 +3,9 @@
 //! The paper shows the relative energy of cores, LLC, NOC, memory
 //! controller, and main memory (split into activation, burst & IO, and
 //! background) on the baseline system, with memory consuming 48–62% of
-//! server energy. Run with `--full` for paper-scale windows.
-
-use bump_bench::{emit, pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
+//! server energy. Run with `--full` for paper-scale windows and
+//! `--threads N` to bound the worker pool.
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&[
-        "workload", "cores", "LLC", "NOC", "MC", "mem ACT", "mem BR&IO", "mem BKG", "mem total",
-    ]);
-    for w in Workload::all() {
-        let r = run(Preset::BaseOpen, w, scale);
-        let e = &r.server_energy;
-        let total = e.total_j();
-        t.row(vec![
-            w.name().into(),
-            pct(e.cores_j / total),
-            pct(e.llc_j / total),
-            pct(e.noc_j / total),
-            pct(e.mc_j / total),
-            pct(e.dram_activation_j / total),
-            pct(e.dram_burst_io_j / total),
-            pct(e.dram_background_j / total),
-            pct(e.memory_fraction()),
-        ]);
-    }
-    let mut out = String::from(
-        "Figure 1 — server energy breakdown (Base-open).\n\
-         Paper: memory is the single largest consumer, 48-62% of total;\n\
-         background up to 37%, dynamic DRAM up to 38%.\n\n",
-    );
-    out.push_str(&t.render());
-    emit("fig01_energy_breakdown", &out);
+    bump_bench::figures::run_named("fig01_energy_breakdown");
 }

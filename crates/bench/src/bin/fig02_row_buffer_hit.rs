@@ -2,50 +2,6 @@
 //!
 //! Paper averages: Base-open 21%, SMS 30%, VWQ 36%, Ideal 77%.
 
-use bump_bench::{emit, paper, pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&["workload", "Base", "SMS", "VWQ", "Ideal"]);
-    let mut avg = [0.0f64; 4];
-    for w in Workload::all() {
-        let base = run(Preset::BaseOpen, w, scale);
-        let sms = run(Preset::Sms, w, scale);
-        let vwq = run(Preset::Vwq, w, scale);
-        let vals = [
-            base.row_hit_ratio().value(),
-            sms.row_hit_ratio().value(),
-            vwq.row_hit_ratio().value(),
-            base.ideal_row_hit_ratio().value(),
-        ];
-        for (a, v) in avg.iter_mut().zip(vals) {
-            *a += v / 6.0;
-        }
-        t.row(vec![
-            w.name().into(),
-            pct(vals[0]),
-            pct(vals[1]),
-            pct(vals[2]),
-            pct(vals[3]),
-        ]);
-    }
-    t.row(vec![
-        "AVERAGE".into(),
-        pct(avg[0]),
-        pct(avg[1]),
-        pct(avg[2]),
-        pct(avg[3]),
-    ]);
-    t.row(vec![
-        "paper avg".into(),
-        pct(paper::ROW_HIT_BASE_OPEN),
-        pct(paper::ROW_HIT_SMS),
-        pct(paper::ROW_HIT_VWQ),
-        pct(paper::ROW_HIT_IDEAL),
-    ]);
-    let mut out = String::from("Figure 2 — DRAM row buffer hit ratio of various systems.\n\n");
-    out.push_str(&t.render());
-    emit("fig02_row_buffer_hit", &out);
+    bump_bench::figures::run_named("fig02_row_buffer_hit");
 }

@@ -3,27 +3,6 @@
 //!
 //! Paper: writes account for 21–38% of memory accesses.
 
-use bump_bench::{emit, pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&["workload", "load-trig reads", "store-trig reads", "writes"]);
-    for w in Workload::all() {
-        let r = run(Preset::BaseOpen, w, scale);
-        let total = r.traffic.total() as f64;
-        t.row(vec![
-            w.name().into(),
-            pct(r.traffic.demand_load_reads as f64 / total),
-            pct(r.traffic.demand_store_reads as f64 / total),
-            pct(r.traffic.write_fraction()),
-        ]);
-    }
-    let mut out = String::from(
-        "Figure 3 — DRAM access breakdown on the baseline.\n\
-         Paper: writes are 21-38% of DRAM accesses.\n\n",
-    );
-    out.push_str(&t.render());
-    emit("fig03_traffic_breakdown", &out);
+    bump_bench::figures::run_named("fig03_traffic_breakdown");
 }

@@ -5,33 +5,6 @@
 //! first eviction). Paper: 57–75% of reads and 62–86% of writes fall in
 //! high-density regions.
 
-use bump_bench::{emit, pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&[
-        "workload", "R low", "R med", "R high", "W low", "W med", "W high",
-    ]);
-    for w in Workload::all() {
-        let r = run(Preset::BaseOpen, w, scale);
-        let rh = r.density.read_histogram();
-        let wh = r.density.write_histogram();
-        t.row(vec![
-            w.name().into(),
-            pct(rh[0]),
-            pct(rh[1]),
-            pct(rh[2]),
-            pct(wh[0]),
-            pct(wh[1]),
-            pct(wh[2]),
-        ]);
-    }
-    let mut out = String::from(
-        "Figure 5 — region access density (1KB regions) on the baseline.\n\
-         Paper: reads high-density 57-75% (avg 66%); writes 62-86% (avg 73%).\n\n",
-    );
-    out.push_str(&t.render());
-    emit("fig05_region_density", &out);
+    bump_bench::figures::run_named("fig05_region_density");
 }

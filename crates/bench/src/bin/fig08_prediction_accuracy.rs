@@ -6,33 +6,6 @@
 //! overfetch. BuMP predicts 63% of writes with <10% extra writebacks;
 //! Full-region predicts 73% at 22% extra.
 
-use bump_bench::{emit, pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&[
-        "workload", "system", "pred reads", "overfetch", "pred writes", "extra wbs",
-    ]);
-    for w in Workload::all() {
-        for p in [Preset::FullRegion, Preset::Bump] {
-            let r = run(p, w, scale);
-            t.row(vec![
-                w.name().into(),
-                p.name().into(),
-                pct(r.predicted_read_fraction()),
-                pct(r.read_overfetch_fraction()),
-                pct(r.predicted_write_fraction()),
-                pct(r.extra_writeback_fraction()),
-            ]);
-        }
-    }
-    let mut out = String::from(
-        "Figure 8 — prediction accuracy for DRAM reads and writes.\n\
-         ('pred' = fraction of useful traffic fetched/written in bulk\n\
-         ahead of demand; overfetch/extra relative to useful traffic.)\n\n",
-    );
-    out.push_str(&t.render());
-    emit("fig08_prediction_accuracy", &out);
+    bump_bench::figures::run_named("fig08_prediction_accuracy");
 }

@@ -5,43 +5,6 @@
 //! Base-close/Base-open; Full-region is worst-in-class on several
 //! workloads due to overfetch.
 
-use bump_bench::{emit, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&[
-        "workload", "system", "ACT nJ", "Burst/IO nJ", "total nJ", "vs Base-close",
-    ]);
-    for w in Workload::all() {
-        let mut base_close = 0.0;
-        for p in [
-            Preset::BaseClose,
-            Preset::BaseOpen,
-            Preset::FullRegion,
-            Preset::Bump,
-        ] {
-            let r = run(p, w, scale);
-            let useful = r.useful_accesses() as f64;
-            let act = r.memory_energy.breakdown.activation_nj / useful;
-            let bio = r.memory_energy.breakdown.burst_io_nj() / useful;
-            let tot = act + bio;
-            if p == Preset::BaseClose {
-                base_close = tot;
-            }
-            t.row(vec![
-                w.name().into(),
-                p.name().into(),
-                format!("{act:.1}"),
-                format!("{bio:.1}"),
-                format!("{tot:.1}"),
-                format!("{:+.0}%", 100.0 * (tot - base_close) / base_close),
-            ]);
-        }
-    }
-    let mut out =
-        String::from("Figure 9 — memory energy per access for various systems.\n\n");
-    out.push_str(&t.render());
-    emit("fig09_energy_per_access", &out);
+    bump_bench::figures::run_named("fig09_energy_per_access");
 }

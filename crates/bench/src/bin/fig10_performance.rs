@@ -5,48 +5,6 @@
 //! (up to 4× on Data Serving). Media Streaming gains least (its accesses
 //! already have high MLP).
 
-use bump_bench::{emit, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&[
-        "workload", "Base-close IPC", "Base-open", "Full-region", "BuMP",
-    ]);
-    let mut ratios = [0.0f64; 3];
-    for w in Workload::all() {
-        let base = run(Preset::BaseClose, w, scale).ipc();
-        let open = run(Preset::BaseOpen, w, scale).ipc();
-        let full = run(Preset::FullRegion, w, scale).ipc();
-        let bump = run(Preset::Bump, w, scale).ipc();
-        ratios[0] += open / base / 6.0;
-        ratios[1] += full / base / 6.0;
-        ratios[2] += bump / base / 6.0;
-        t.row(vec![
-            w.name().into(),
-            format!("{base:.3}"),
-            format!("{:+.1}%", 100.0 * (open / base - 1.0)),
-            format!("{:+.1}%", 100.0 * (full / base - 1.0)),
-            format!("{:+.1}%", 100.0 * (bump / base - 1.0)),
-        ]);
-    }
-    t.row(vec![
-        "AVERAGE".into(),
-        "-".into(),
-        format!("{:+.1}%", 100.0 * (ratios[0] - 1.0)),
-        format!("{:+.1}%", 100.0 * (ratios[1] - 1.0)),
-        format!("{:+.1}%", 100.0 * (ratios[2] - 1.0)),
-    ]);
-    t.row(vec![
-        "paper avg".into(),
-        "-".into(),
-        "-1.5%".into(),
-        "-67%".into(),
-        "+9%".into(),
-    ]);
-    let mut out =
-        String::from("Figure 10 — performance improvement over Base-close.\n\n");
-    out.push_str(&t.render());
-    emit("fig10_performance", &out);
+    bump_bench::figures::run_named("fig10_performance");
 }

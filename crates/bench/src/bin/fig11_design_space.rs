@@ -4,54 +4,6 @@
 //!
 //! Paper: 1KB regions with the 50% threshold maximize the improvement.
 
-use bump_bench::{emit, run, Scale, TextTable};
-use bump_sim::{run_experiment_with_config, Preset};
-use bump_workloads::Workload;
-use bump::BumpConfig;
-
 fn main() {
-    let scale = Scale::from_args();
-    // Average the improvement over a representative workload trio to
-    // keep the sweep tractable (12 design points x 3 workloads).
-    let workloads = [
-        Workload::WebSearch,
-        Workload::DataServing,
-        Workload::MediaStreaming,
-    ];
-    let mut baselines = Vec::new();
-    for w in workloads {
-        baselines.push(run(Preset::BaseOpen, w, scale).energy_per_access_nj());
-    }
-    let mut t = TextTable::new(&["region", "25%", "50%", "75%", "100%"]);
-    for bytes in [512u64, 1024, 2048] {
-        let mut cells = vec![format!("{bytes}B")];
-        for pct_threshold in [25, 50, 75, 100] {
-            let mut improvement = 0.0;
-            for (w, base) in workloads.iter().zip(&baselines) {
-                let mut cfg = bump_sim::SystemConfig::paper(Preset::Bump, *w);
-                let opts = scale.options();
-                cfg.cores = opts.cores;
-                if opts.small_llc {
-                    cfg = {
-                        let mut c = bump_sim::SystemConfig::small(Preset::Bump, *w, opts.cores);
-                        c.seed = opts.seed;
-                        c
-                    };
-                }
-                cfg.bump = BumpConfig::design_point(bytes, pct_threshold);
-                let r = run_experiment_with_config(cfg, opts);
-                improvement += (base - r.energy_per_access_nj()) / base / workloads.len() as f64;
-            }
-            cells.push(format!("{:+.1}%", 100.0 * improvement));
-        }
-        t.row(cells);
-    }
-    let mut out = String::from(
-        "Figure 11 — memory energy-per-access improvement over Base-open\n\
-         for BuMP design points (region size x density threshold),\n\
-         averaged over Web Search, Data Serving, Media Streaming.\n\
-         Paper: 1KB @ 50% wins (~23% on the full workload set).\n\n",
-    );
-    out.push_str(&t.render());
-    emit("fig11_design_space", &out);
+    bump_bench::figures::run_named("fig11_design_space");
 }

@@ -4,48 +4,6 @@
 //! Paper: LLC traffic +10%, LLC energy +7%; NOC traffic +11%, NOC
 //! energy +13% (half of it from carrying the PC).
 
-use bump_bench::{emit, run, Scale, TextTable};
-use bump_energy::ChipEnergyParams;
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let p = ChipEnergyParams::paper();
-    let mut t = TextTable::new(&[
-        "workload", "LLC traffic", "LLC energy", "NOC traffic", "NOC energy", "PC share of NOC +",
-    ]);
-    for w in Workload::all() {
-        let base = run(Preset::BaseOpen, w, scale);
-        let bump = run(Preset::Bump, w, scale);
-        let llc_traffic = |r: &bump_sim::SimReport| {
-            (r.llc.total_lookups() + r.llc.total_updates()) as f64
-        };
-        let llc_energy = |r: &bump_sim::SimReport| {
-            r.llc.total_lookups() as f64 * p.llc_read_nj
-                + r.llc.total_updates() as f64 * p.llc_write_nj
-        };
-        let noc_traffic = |r: &bump_sim::SimReport| r.noc.bytes as f64;
-        let pc_extra = (bump.noc.pc_bytes) as f64;
-        let noc_delta = noc_traffic(&bump) - noc_traffic(&base);
-        t.row(vec![
-            w.name().into(),
-            format!("{:.2}x", llc_traffic(&bump) / llc_traffic(&base)),
-            format!("{:.2}x", llc_energy(&bump) / llc_energy(&base)),
-            format!("{:.2}x", noc_traffic(&bump) / noc_traffic(&base)),
-            format!("{:.2}x", noc_traffic(&bump) / noc_traffic(&base)), // energy ∝ bytes
-            if noc_delta > 0.0 {
-                format!("{:.0}%", 100.0 * pc_extra / noc_delta)
-            } else {
-                "-".into()
-            },
-        ]);
-    }
-    let mut out = String::from(
-        "Figure 12 — BuMP's on-chip overheads vs the open-row baseline.\n\
-         Paper: LLC traffic 1.10x, LLC energy 1.07x, NOC traffic 1.11x,\n\
-         NOC energy 1.13x (PC transfer is about half of the NOC increase).\n\n",
-    );
-    out.push_str(&t.render());
-    emit("fig12_onchip_overheads", &out);
+    bump_bench::figures::run_named("fig12_onchip_overheads");
 }

@@ -5,67 +5,6 @@
 //! VWQ 36% < SMS+VWQ 44% < BuMP 55% < Ideal 77%; BuMP's energy within
 //! 73% of Ideal.
 
-use bump_bench::{emit, paper, pct, run_all_workloads, Scale, TextTable};
-use bump_sim::Preset;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&["system", "row hit", "paper", "E/access nJ"]);
-    let refs = [
-        ("Base-close", 0.03),
-        ("Base-open", paper::ROW_HIT_BASE_OPEN),
-        ("SMS", paper::ROW_HIT_SMS),
-        ("VWQ", paper::ROW_HIT_VWQ),
-        ("SMS+VWQ", paper::ROW_HIT_SMS_VWQ),
-        ("BuMP", paper::ROW_HIT_BUMP),
-    ];
-    let mut ideal_hit = 0.0;
-    let mut ideal_energy = 0.0;
-    for (preset, (name, reference)) in [
-        Preset::BaseClose,
-        Preset::BaseOpen,
-        Preset::Sms,
-        Preset::Vwq,
-        Preset::SmsVwq,
-        Preset::Bump,
-    ]
-    .into_iter()
-    .zip(refs)
-    {
-        let reports = run_all_workloads(preset, scale);
-        let hit: f64 = reports.iter().map(|r| r.row_hit_ratio().value()).sum::<f64>()
-            / reports.len() as f64;
-        let energy: f64 = reports.iter().map(|r| r.energy_per_access_nj()).sum::<f64>()
-            / reports.len() as f64;
-        if preset == Preset::BaseOpen {
-            ideal_hit = reports
-                .iter()
-                .map(|r| r.ideal_row_hit_ratio().value())
-                .sum::<f64>()
-                / reports.len() as f64;
-            ideal_energy = reports
-                .iter()
-                .map(|r| r.ideal_energy_per_access_nj())
-                .sum::<f64>()
-                / reports.len() as f64;
-        }
-        t.row(vec![
-            name.into(),
-            pct(hit),
-            pct(reference),
-            format!("{energy:.1}"),
-        ]);
-    }
-    t.row(vec![
-        "Ideal".into(),
-        pct(ideal_hit),
-        pct(paper::ROW_HIT_IDEAL),
-        format!("{ideal_energy:.1}"),
-    ]);
-    let mut out = String::from(
-        "Figure 13 — summary: average DRAM row buffer hit ratio and\n\
-         memory energy per access across all six workloads.\n\n",
-    );
-    out.push_str(&t.render());
-    emit("fig13_summary", &out);
+    bump_bench::figures::run_named("fig13_summary");
 }

@@ -1,53 +1,51 @@
-//! Runs the full reproduction suite: every figure/table binary in this
-//! crate, writing each result under `results/`.
+//! Runs the full reproduction suite in-process: every figure/table in
+//! the registry, from one deduplicated simulation grid executed on a
+//! thread pool, writing each result under `results/`.
 //!
-//! Usage: `cargo run --release -p bump-bench --bin repro_all [-- --full]`
+//! Usage: `cargo run --release -p bump-bench --bin repro_all [-- --full] [-- --threads N]`
+//!
+//! Unlike the original subprocess driver, no prior `cargo build` of the
+//! sibling binaries is needed, shared cells (e.g. `Base-open × Web
+//! Search`, used by six figures) are simulated exactly once, and
+//! independent cells run `--threads`-wide (default: all cores).
 
-use std::process::Command;
-
-const BINARIES: &[&str] = &[
-    "tab23_parameters",
-    "fig01_energy_breakdown",
-    "fig02_row_buffer_hit",
-    "fig03_traffic_breakdown",
-    "fig05_region_density",
-    "tab1_late_modifications",
-    "fig08_prediction_accuracy",
-    "fig09_energy_per_access",
-    "fig10_performance",
-    "fig11_design_space",
-    "fig12_onchip_overheads",
-    "fig13_summary",
-    "tab4_bump_row_hits",
-    "ablations",
-    "virtualization",
-];
+use bump_bench::experiment::{run_grid, ExperimentGrid, GridArgs};
+use bump_bench::figures;
+use std::time::Instant;
 
 fn main() {
-    let me = std::env::current_exe().expect("current exe");
-    let dir = me.parent().expect("exe has a parent directory");
-    let forward: Vec<String> = std::env::args().skip(1).collect();
-    let mut failures = Vec::new();
-    for bin in BINARIES {
-        let path = dir.join(bin);
-        println!("\n================ {bin} ================\n");
-        let status = Command::new(&path).args(&forward).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{bin} exited with {s}");
-                failures.push(*bin);
-            }
-            Err(e) => {
-                eprintln!("failed to launch {}: {e} (build with `cargo build --release -p bump-bench` first)", path.display());
-                failures.push(*bin);
-            }
+    let args = GridArgs::from_args();
+    let suite = figures::repro_suite();
+    let mut grid = ExperimentGrid::new();
+    for f in &suite {
+        grid.merge((f.grid)(args.scale));
+    }
+    println!(
+        "repro_all: {} unique cells across {} targets, {} worker threads",
+        grid.len(),
+        suite.len(),
+        args.threads
+    );
+    let start = Instant::now();
+    let results = run_grid(&grid, args.threads);
+    let simulated = start.elapsed();
+    for f in &suite {
+        println!("\n================ {} ================\n", f.name);
+        let out = (f.render)(&results, args.scale);
+        bump_bench::emit(f.name, &out);
+        // Match the standalone binaries: per-figure structured rows too.
+        let figure_grid = (f.grid)(args.scale);
+        if !figure_grid.is_empty() {
+            results.select(&figure_grid).write_files(f.name);
         }
     }
-    if failures.is_empty() {
-        println!("\nAll reproduction targets completed; results/ holds the outputs.");
-    } else {
-        eprintln!("\nFailed targets: {failures:?}");
-        std::process::exit(1);
-    }
+    results.write_files("repro_all");
+    println!(
+        "\nAll {} reproduction targets completed; {} cells simulated in {:.1}s \
+         on {} threads; results/ holds the outputs.",
+        suite.len(),
+        results.len(),
+        simulated.as_secs_f64(),
+        args.threads
+    );
 }

@@ -4,25 +4,6 @@
 //! Paper: 3–11% (average 8%) — the first dirty eviction is a good
 //! indicator that the coarse-grained object is done being written.
 
-use bump_bench::{emit, paper, pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&["workload", "measured", "paper"]);
-    for (w, (_, reference)) in Workload::all().into_iter().zip(paper::TABLE1_LATE_MOD) {
-        let r = run(Preset::BaseOpen, w, scale);
-        t.row(vec![
-            w.name().into(),
-            pct(r.density.late_modification_fraction()),
-            pct(reference),
-        ]);
-    }
-    let mut out = String::from(
-        "Table I — blocks of a high-density modified region modified\n\
-         after the region's first LLC eviction.\n\n",
-    );
-    out.push_str(&t.render());
-    emit("tab1_late_modifications", &out);
+    bump_bench::figures::run_named("tab1_late_modifications");
 }

@@ -4,79 +4,6 @@
 //! prints the values the simulator actually uses so they can be checked
 //! against the paper line by line.
 
-use bump_bench::emit;
-use bump_dram::DramEnergyParams;
-use bump_energy::ChipEnergyParams;
-use bump_types::{CacheGeometry, CoreParams, DramGeometry, DramTiming};
-
 fn main() {
-    let core = CoreParams::paper();
-    let timing = DramTiming::ddr3_1600();
-    let geom = DramGeometry::paper();
-    let chip = ChipEnergyParams::paper();
-    let dram = DramEnergyParams::paper();
-    let out = format!(
-        "Table II — architectural parameters (as configured)\n\
-         -----------------------------------------------------\n\
-         CMP size              16 cores @ 2.5GHz (22nm)\n\
-         Core                  {}-way OoO, {}-entry ROB, {}-entry LSQ\n\
-         L1-D                  {}KB, {}-way, 64B blocks, {}-cycle load-to-use, {} MSHRs\n\
-         LLC                   {}MB, {}-way, 8 banks, 8-cycle latency, stride prefetcher degree 4\n\
-         NOC                   16x8 crossbar, 5 cycles\n\
-         Main memory           {}GB, {} channels x {} ranks x {} banks, {}KB row buffer\n\
-         DDR3-1600 timing      tCAS-tRCD-tRP-tRAS = {}-{}-{}-{}\n\
-                               tRC-tWR-tWTR-tRTP  = {}-{}-{}-{}\n\
-                               tRRD-tFAW          = {}-{}\n\
-         Queues                64-entry transaction and command queues per channel\n\
-         \n\
-         Table III — power and energy (as configured)\n\
-         -----------------------------------------------------\n\
-         Core                  peak dynamic {:.0}mW, leakage {:.0}mW\n\
-         LLC                   read/write {:.2}/{:.2} nJ, leakage {:.0}mW\n\
-         NOC                   {:.3} nJ/B dynamic, leakage {:.0}mW\n\
-         Memory controller     {:.0}mW @ 12.8GB/s (bandwidth-scaled)\n\
-         DRAM (per 2GB rank)   background {:.0}-{:.0}mW\n\
-                               activation {:.1}nJ, read/write {:.1}/{:.1}nJ\n\
-                               I/O read/write {:.1}/{:.1}nJ\n",
-        core.retire_width,
-        core.rob_entries,
-        core.lsq_entries,
-        CacheGeometry::l1d().capacity_bytes / 1024,
-        CacheGeometry::l1d().ways,
-        core.l1_latency,
-        core.l1_mshrs,
-        CacheGeometry::llc().capacity_bytes / 1024 / 1024,
-        CacheGeometry::llc().ways,
-        geom.capacity_bytes >> 30,
-        geom.channels,
-        geom.ranks_per_channel,
-        geom.banks_per_rank,
-        geom.row_bytes / 1024,
-        timing.t_cas,
-        timing.t_rcd,
-        timing.t_rp,
-        timing.t_ras,
-        timing.t_rc,
-        timing.t_wr,
-        timing.t_wtr,
-        timing.t_rtp,
-        timing.t_rrd,
-        timing.t_faw,
-        chip.core_peak_dynamic_w * 1000.0,
-        chip.core_leakage_w * 1000.0,
-        chip.llc_read_nj,
-        chip.llc_write_nj,
-        chip.llc_leakage_w * 1000.0,
-        chip.noc_nj_per_byte,
-        chip.noc_leakage_w * 1000.0,
-        chip.mc_dynamic_w_at_ref * 1000.0,
-        dram.background_idle_w * 1000.0,
-        dram.background_active_w * 1000.0,
-        dram.activation_nj,
-        dram.read_nj,
-        dram.write_nj,
-        dram.read_io_nj,
-        dram.write_io_nj,
-    );
-    emit("tab23_parameters", &out);
+    bump_bench::figures::run_named("tab23_parameters");
 }

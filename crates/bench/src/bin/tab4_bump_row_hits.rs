@@ -3,22 +3,6 @@
 //! Paper: Data Serving 54%, Media Streaming 64%, Online Analytics 57%,
 //! Software Testing 34%, Web Search 62%, Web Serving 56%.
 
-use bump_bench::{emit, paper, pct, run, Scale, TextTable};
-use bump_sim::Preset;
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let mut t = TextTable::new(&["workload", "measured", "paper"]);
-    for (w, (_, reference)) in Workload::all().into_iter().zip(paper::TABLE4_BUMP_ROW_HITS) {
-        let r = run(Preset::Bump, w, scale);
-        t.row(vec![
-            w.name().into(),
-            pct(r.row_hit_ratio().value()),
-            pct(reference),
-        ]);
-    }
-    let mut out = String::from("Table IV — BuMP's DRAM row buffer hit ratio.\n\n");
-    out.push_str(&t.render());
-    emit("tab4_bump_row_hits", &out);
+    bump_bench::figures::run_named("tab4_bump_row_hits");
 }

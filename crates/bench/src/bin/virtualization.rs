@@ -7,45 +7,6 @@
 //! six-workload mix and compares the paper-sized BHT against a
 //! virtualization-sized one.
 
-use bump_bench::{emit, pct, Scale, TextTable};
-use bump_sim::{run_experiment_with_config, Preset, SystemConfig};
-use bump_workloads::Workload;
-
 fn main() {
-    let scale = Scale::from_args();
-    let opts = scale.options();
-    let mut t = TextTable::new(&[
-        "configuration", "BHT entries", "pred reads", "pred writes", "row hit", "E/acc nJ",
-    ]);
-    for (name, bht_entries) in [
-        ("paper-sized BHT", 1024usize),
-        ("virtualization BHT", 8192),
-    ] {
-        let mut cfg = if opts.small_llc {
-            SystemConfig::small(Preset::Bump, Workload::WebSearch, opts.cores)
-        } else {
-            let mut c = SystemConfig::paper(Preset::Bump, Workload::WebSearch);
-            c.cores = opts.cores;
-            c
-        };
-        cfg.seed = opts.seed;
-        cfg.workload_mix = Some(Workload::all().to_vec());
-        cfg.bump.bht_entries = bht_entries;
-        let r = run_experiment_with_config(cfg, opts);
-        t.row(vec![
-            name.into(),
-            bht_entries.to_string(),
-            pct(r.predicted_read_fraction()),
-            pct(r.predicted_write_fraction()),
-            pct(r.row_hit_ratio().value()),
-            format!("{:.1}", r.energy_per_access_nj()),
-        ]);
-    }
-    let mut out = String::from(
-        "Section VI — server virtualization: one workload per core.\n\
-         Paper: the BHT must grow to hold all workloads' triggers (72KB\n\
-         in the extreme case); prediction otherwise degrades.\n\n",
-    );
-    out.push_str(&t.render());
-    emit("virtualization", &out);
+    bump_bench::figures::run_named("virtualization");
 }

@@ -1,0 +1,619 @@
+//! The parallel experiment framework behind every figure/table binary.
+//!
+//! The reproduction's figures all do the same thing: run the simulator
+//! over some preset × workload product (occasionally with a customized
+//! [`SystemConfig`]), then format a table from the reports. This module
+//! factors that into three pieces:
+//!
+//! * [`ExperimentSpec`] — one simulation cell: preset × workload ×
+//!   [`RunOptions`], optionally with a full [`SystemConfig`] override
+//!   for design-space/ablation points.
+//! * [`ExperimentGrid`] — an ordered, label-deduplicated collection of
+//!   cells, built by [`ExperimentGrid::cartesian`] expansion and merged
+//!   across figures so shared cells (e.g. `Base-open × WebSearch`) are
+//!   simulated once.
+//! * [`run_grid`] — executes all cells on a fixed-size thread pool and
+//!   returns results in *grid order* regardless of completion order.
+//!   Every cell's seed is fixed by its spec before any thread starts,
+//!   so `threads = 1` and `threads = N` produce identical reports.
+//!
+//! Results can be queried by `(preset, workload)` or label for table
+//! rendering, and dumped as structured CSV/JSON rows under `results/`.
+
+use crate::Scale;
+use bump_sim::{
+    run_experiment, run_experiment_with_config, Preset, RunOptions, SimReport, SystemConfig,
+};
+use bump_workloads::Workload;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of an experiment grid.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Unique identity of the cell within a grid. Standard cells use
+    /// `"<preset>/<workload>"`; custom-config cells must pick their own
+    /// label (conventionally `"<figure>/<variant>"`). Merging grids
+    /// deduplicates by this label.
+    pub label: String,
+    /// System design point.
+    pub preset: Preset,
+    /// Workload to run.
+    pub workload: Workload,
+    /// Warmup/measure windows and seed for this cell.
+    pub options: RunOptions,
+    /// Full system-config override for non-standard cells (design-space
+    /// sweeps, ablations, virtualization mixes). When set, `options`
+    /// still controls the warmup/measure windows.
+    pub config: Option<SystemConfig>,
+}
+
+impl ExperimentSpec {
+    /// The standard cell for `preset` × `workload` at `options`.
+    pub fn new(preset: Preset, workload: Workload, options: RunOptions) -> Self {
+        ExperimentSpec {
+            label: standard_label(preset, workload),
+            preset,
+            workload,
+            options,
+            config: None,
+        }
+    }
+
+    /// A cell running an explicit [`SystemConfig`] under `label`.
+    pub fn with_config(
+        label: impl Into<String>,
+        config: SystemConfig,
+        options: RunOptions,
+    ) -> Self {
+        ExperimentSpec {
+            label: label.into(),
+            preset: config.preset,
+            workload: config.workload,
+            options,
+            config: Some(config),
+        }
+    }
+
+    /// Executes this cell (synchronously).
+    pub fn run(&self) -> SimReport {
+        match &self.config {
+            Some(cfg) => run_experiment_with_config(cfg.clone(), self.options),
+            None => run_experiment(self.preset, self.workload, self.options),
+        }
+    }
+}
+
+fn standard_label(preset: Preset, workload: Workload) -> String {
+    format!("{}/{}", preset.name(), workload.name())
+}
+
+/// Derives a per-cell seed from a base seed and the cell's identity.
+///
+/// The derivation is a SplitMix64 chain over the base seed and the
+/// label bytes: deterministic across runs and platforms, distinct for
+/// distinct labels (up to 64-bit collisions). Figures that must match
+/// the calibrated single-seed outputs simply keep the base seed.
+pub fn derive_cell_seed(base: u64, label: &str) -> u64 {
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// An ordered, deduplicated collection of experiment cells.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentGrid {
+    cells: Vec<ExperimentSpec>,
+}
+
+impl ExperimentGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        ExperimentGrid::default()
+    }
+
+    /// Cartesian expansion: one cell per `preset × workload`, in the
+    /// given order (presets outer, workloads inner), all at `options`.
+    pub fn cartesian(presets: &[Preset], workloads: &[Workload], options: RunOptions) -> Self {
+        let mut grid = ExperimentGrid::new();
+        for &p in presets {
+            for &w in workloads {
+                grid.push(ExperimentSpec::new(p, w, options));
+            }
+        }
+        grid
+    }
+
+    /// Adds a cell unless its label is already present.
+    ///
+    /// A duplicate label with a *different* simulation (run options or
+    /// config override) is a logic error in the caller — two figures
+    /// would silently share one simulation of ambiguous meaning — so it
+    /// panics. `SystemConfig` has no `PartialEq`; its `Debug` rendering
+    /// is a complete value dump, so it serves as the equality witness.
+    pub fn push(&mut self, spec: ExperimentSpec) {
+        if let Some(existing) = self.cells.iter().find(|c| c.label == spec.label) {
+            assert_eq!(
+                existing.options, spec.options,
+                "grid label {:?} reused with different run options",
+                spec.label
+            );
+            assert_eq!(
+                format!("{:?}", existing.config),
+                format!("{:?}", spec.config),
+                "grid label {:?} reused with a different config override",
+                spec.label
+            );
+            return;
+        }
+        self.cells.push(spec);
+    }
+
+    /// Merges `other` into `self`, deduplicating by label.
+    pub fn merge(&mut self, other: ExperimentGrid) {
+        for spec in other.cells {
+            self.push(spec);
+        }
+    }
+
+    /// Rewrites every cell's seed to one derived from the cell label
+    /// (see [`derive_cell_seed`]), for sweeps that want decorrelated
+    /// cells rather than the calibrated base seed.
+    pub fn derive_seeds(mut self) -> Self {
+        for cell in &mut self.cells {
+            cell.options.seed = derive_cell_seed(cell.options.seed, &cell.label);
+        }
+        self
+    }
+
+    /// The cells, in insertion (result) order.
+    pub fn cells(&self) -> &[ExperimentSpec] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Number of worker threads to use by default: `BUMP_THREADS` if set,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("BUMP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every cell of `grid` on `threads` workers.
+///
+/// Work is handed out cell-by-cell from an atomic cursor; each worker
+/// writes its report into the slot for its cell index, so the returned
+/// [`GridResults`] is in grid order and bit-identical for any thread
+/// count (cells are independent simulations with spec-fixed seeds).
+pub fn run_grid(grid: &ExperimentGrid, threads: usize) -> GridResults {
+    let cells = grid.cells();
+    let threads = threads.max(1).min(cells.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let report = cells[i].run();
+                *slots[i].lock().expect("result slot poisoned") = Some(report);
+            });
+        }
+    });
+    let rows = cells
+        .iter()
+        .cloned()
+        .zip(slots.into_iter().map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without writing its cell")
+        }))
+        .collect();
+    GridResults { rows }
+}
+
+/// The reports of one grid run, in grid order.
+#[derive(Clone, Debug)]
+pub struct GridResults {
+    rows: Vec<(ExperimentSpec, SimReport)>,
+}
+
+impl GridResults {
+    /// The report for the *standard* cell `preset × workload`.
+    ///
+    /// Panics with the missing label if the grid never contained it —
+    /// that is a figure wiring bug, not a runtime condition.
+    pub fn get(&self, preset: Preset, workload: Workload) -> &SimReport {
+        let label = standard_label(preset, workload);
+        self.get_labeled(&label)
+    }
+
+    /// The report for the cell with `label`.
+    pub fn get_labeled(&self, label: &str) -> &SimReport {
+        self.try_get_labeled(label)
+            .unwrap_or_else(|| panic!("grid has no cell labeled {label:?}"))
+    }
+
+    /// The report for `label`, if present.
+    pub fn try_get_labeled(&self, label: &str) -> Option<&SimReport> {
+        self.rows
+            .iter()
+            .find(|(spec, _)| spec.label == label)
+            .map(|(_, r)| r)
+    }
+
+    /// Iterates `(spec, report)` pairs in grid order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ExperimentSpec, &SimReport)> {
+        self.rows.iter().map(|(s, r)| (s, r))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The subset of results for the cells of `grid`, in `grid`'s
+    /// order. Used by `repro_all` to carve per-figure result files out
+    /// of the merged run. Panics if `grid` has a cell these results
+    /// don't cover.
+    pub fn select(&self, grid: &ExperimentGrid) -> GridResults {
+        let rows = grid
+            .cells()
+            .iter()
+            .map(|spec| {
+                let report = self.get_labeled(&spec.label).clone();
+                (spec.clone(), report)
+            })
+            .collect();
+        GridResults { rows }
+    }
+
+    /// One structured metric row per cell, in grid order.
+    pub fn metric_rows(&self) -> Vec<MetricRow> {
+        self.rows
+            .iter()
+            .map(|(spec, r)| MetricRow {
+                label: spec.label.clone(),
+                preset: spec.preset.name(),
+                workload: spec.workload.name(),
+                cores: spec.options.cores,
+                seed: spec.options.seed,
+                cycles: r.cycles,
+                instructions: r.instructions,
+                ipc: r.ipc(),
+                row_hit: r.row_hit_ratio().value(),
+                ideal_row_hit: r.ideal_row_hit_ratio().value(),
+                energy_per_access_nj: r.energy_per_access_nj(),
+                server_energy_j: r.server_energy.total_j(),
+                dram_accesses: r.traffic.total(),
+                write_fraction: r.traffic.write_fraction(),
+                predicted_read_fraction: r.predicted_read_fraction(),
+                read_overfetch_fraction: r.read_overfetch_fraction(),
+                predicted_write_fraction: r.predicted_write_fraction(),
+                extra_writeback_fraction: r.extra_writeback_fraction(),
+            })
+            .collect()
+    }
+
+    /// Renders all cells as CSV (header + one row per cell).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(MetricRow::CSV_HEADER);
+        out.push('\n');
+        for row in self.metric_rows() {
+            out.push_str(&row.to_csv());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders all cells as a JSON array of objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let rows = self.metric_rows();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&row.to_json());
+            if i + 1 < rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Writes `results/<name>.csv` and `results/<name>.json`.
+    ///
+    /// Errors are reported to stderr but not fatal, matching the text
+    /// emitters: a read-only checkout still prints results to stdout.
+    pub fn write_files(&self, name: &str) {
+        let dir = std::path::Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        for (ext, content) in [("csv", self.to_csv()), ("json", self.to_json())] {
+            let path = dir.join(format!("{name}.{ext}"));
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// The structured per-cell metrics emitted to CSV/JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricRow {
+    /// Cell label.
+    pub label: String,
+    /// Preset name.
+    pub preset: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Core count.
+    pub cores: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Aggregate IPC.
+    pub ipc: f64,
+    /// DRAM row-buffer hit ratio.
+    pub row_hit: f64,
+    /// Ideal-locality row-buffer hit bound.
+    pub ideal_row_hit: f64,
+    /// Dynamic memory energy per useful access (nJ).
+    pub energy_per_access_nj: f64,
+    /// Total server energy (J).
+    pub server_energy_j: f64,
+    /// Total DRAM accesses.
+    pub dram_accesses: u64,
+    /// Write share of DRAM traffic.
+    pub write_fraction: f64,
+    /// Predicted (bulk-covered) fraction of useful reads.
+    pub predicted_read_fraction: f64,
+    /// Overfetched fraction of useful reads.
+    pub read_overfetch_fraction: f64,
+    /// Predicted (eagerly written) fraction of writes.
+    pub predicted_write_fraction: f64,
+    /// Extra-writeback fraction of writes.
+    pub extra_writeback_fraction: f64,
+}
+
+impl MetricRow {
+    /// CSV column names, matching [`MetricRow::to_csv`]'s field order.
+    pub const CSV_HEADER: &'static str = "label,preset,workload,cores,seed,cycles,instructions,\
+         ipc,row_hit,ideal_row_hit,energy_per_access_nj,server_energy_j,dram_accesses,\
+         write_fraction,predicted_read_fraction,read_overfetch_fraction,\
+         predicted_write_fraction,extra_writeback_fraction";
+
+    /// One CSV row (no trailing newline).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            self.label,
+            self.preset,
+            self.workload,
+            self.cores,
+            self.seed,
+            self.cycles,
+            self.instructions,
+            self.ipc,
+            self.row_hit,
+            self.ideal_row_hit,
+            self.energy_per_access_nj,
+            self.server_energy_j,
+            self.dram_accesses,
+            self.write_fraction,
+            self.predicted_read_fraction,
+            self.read_overfetch_fraction,
+            self.predicted_write_fraction,
+            self.extra_writeback_fraction,
+        )
+    }
+
+    /// One JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"label\":{:?},\"preset\":{:?},\"workload\":{:?},\"cores\":{},\"seed\":{},\
+             \"cycles\":{},\"instructions\":{},\"ipc\":{:.6},\"row_hit\":{:.6},\
+             \"ideal_row_hit\":{:.6},\"energy_per_access_nj\":{:.6},\"server_energy_j\":{:.6},\
+             \"dram_accesses\":{},\"write_fraction\":{:.6},\"predicted_read_fraction\":{:.6},\
+             \"read_overfetch_fraction\":{:.6},\"predicted_write_fraction\":{:.6},\
+             \"extra_writeback_fraction\":{:.6}",
+            self.label,
+            self.preset,
+            self.workload,
+            self.cores,
+            self.seed,
+            self.cycles,
+            self.instructions,
+            self.ipc,
+            self.row_hit,
+            self.ideal_row_hit,
+            self.energy_per_access_nj,
+            self.server_energy_j,
+            self.dram_accesses,
+            self.write_fraction,
+            self.predicted_read_fraction,
+            self.read_overfetch_fraction,
+            self.predicted_write_fraction,
+            self.extra_writeback_fraction,
+        );
+        s.push('}');
+        s
+    }
+}
+
+/// Command-line context shared by every figure binary: scale
+/// (`--quick`/`--full`) and worker count (`--threads N`).
+#[derive(Clone, Copy, Debug)]
+pub struct GridArgs {
+    /// Run scale.
+    pub scale: Scale,
+    /// Worker threads for [`run_grid`].
+    pub threads: usize,
+}
+
+impl GridArgs {
+    /// Parses the process arguments.
+    pub fn from_args() -> Self {
+        let scale = Scale::from_args();
+        let mut threads = default_threads();
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--threads" {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    threads = v.max(1);
+                }
+            }
+        }
+        GridArgs { scale, threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RunOptions {
+        RunOptions::quick(1)
+    }
+
+    #[test]
+    fn cartesian_is_exhaustive_and_ordered() {
+        let grid =
+            ExperimentGrid::cartesian(&[Preset::BaseOpen, Preset::Bump], &Workload::all(), opts());
+        assert_eq!(grid.len(), 12);
+        assert_eq!(grid.cells()[0].preset, Preset::BaseOpen);
+        assert_eq!(grid.cells()[6].preset, Preset::Bump);
+        assert_eq!(grid.cells()[0].workload, Workload::all()[0]);
+    }
+
+    #[test]
+    fn merge_deduplicates_by_label() {
+        let mut a = ExperimentGrid::cartesian(&[Preset::BaseOpen], &Workload::all(), opts());
+        let b =
+            ExperimentGrid::cartesian(&[Preset::BaseOpen, Preset::Bump], &Workload::all(), opts());
+        a.merge(b);
+        assert_eq!(a.len(), 12, "shared Base-open cells must not duplicate");
+    }
+
+    #[test]
+    #[should_panic(expected = "different run options")]
+    fn conflicting_duplicate_labels_panic() {
+        let mut grid = ExperimentGrid::new();
+        grid.push(ExperimentSpec::new(
+            Preset::BaseOpen,
+            Workload::WebSearch,
+            opts(),
+        ));
+        let mut other = opts();
+        other.seed = 7;
+        grid.push(ExperimentSpec::new(
+            Preset::BaseOpen,
+            Workload::WebSearch,
+            other,
+        ));
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        let grid =
+            ExperimentGrid::cartesian(&[Preset::BaseOpen], &Workload::all(), opts()).derive_seeds();
+        let again =
+            ExperimentGrid::cartesian(&[Preset::BaseOpen], &Workload::all(), opts()).derive_seeds();
+        let seeds: Vec<u64> = grid.cells().iter().map(|c| c.options.seed).collect();
+        let seeds2: Vec<u64> = again.cells().iter().map(|c| c.options.seed).collect();
+        assert_eq!(seeds, seeds2, "derivation must be deterministic");
+        let distinct: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), seeds.len(), "cell seeds must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "different config override")]
+    fn conflicting_duplicate_configs_panic() {
+        use bump_sim::config_for;
+        let mut grid = ExperimentGrid::new();
+        grid.push(ExperimentSpec::new(
+            Preset::Bump,
+            Workload::WebSearch,
+            opts(),
+        ));
+        let mut cfg = config_for(Preset::Bump, Workload::WebSearch, opts());
+        cfg.bump.bht_entries = 1;
+        // Custom cell mislabeled as the standard one: must not be
+        // silently dropped in favor of the standard simulation.
+        grid.push(ExperimentSpec {
+            label: "BuMP/Web Search".into(),
+            ..ExperimentSpec::with_config("x", cfg, opts())
+        });
+    }
+
+    #[test]
+    fn csv_and_json_shapes() {
+        let row = MetricRow {
+            label: "x/y".into(),
+            preset: "Base-open",
+            workload: "Web Search",
+            cores: 2,
+            seed: 42,
+            cycles: 10,
+            instructions: 20,
+            ipc: 2.0,
+            row_hit: 0.5,
+            ideal_row_hit: 0.75,
+            energy_per_access_nj: 10.0,
+            server_energy_j: 1.0,
+            dram_accesses: 100,
+            write_fraction: 0.25,
+            predicted_read_fraction: 0.0,
+            read_overfetch_fraction: 0.0,
+            predicted_write_fraction: 0.0,
+            extra_writeback_fraction: 0.0,
+        };
+        assert_eq!(
+            row.to_csv().split(',').count(),
+            MetricRow::CSV_HEADER.split(',').count()
+        );
+        let json = row.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"row_hit\":0.500000"));
+    }
+}

@@ -4,11 +4,17 @@
 //! paper (see `DESIGN.md` for the index). This library holds the shared
 //! plumbing: run-option parsing, result-table formatting, paper
 //! reference values, and result-file output.
+//!
+//! The heavy lifting lives in [`experiment`] (the parallel
+//! `ExperimentGrid` framework) and [`figures`] (the registry mapping
+//! each figure/table to its grid of simulations and its renderer).
 
 #![warn(missing_docs)]
 
-use bump_sim::{run_experiment, Preset, RunOptions, SimReport};
-use bump_workloads::Workload;
+pub mod experiment;
+pub mod figures;
+
+use bump_sim::RunOptions;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -45,20 +51,6 @@ impl Scale {
             },
         }
     }
-}
-
-/// Runs `preset` on `workload` at `scale`.
-pub fn run(preset: Preset, workload: Workload, scale: Scale) -> SimReport {
-    run_experiment(preset, workload, scale.options())
-}
-
-/// Runs `preset` over all six workloads, returning reports in figure
-/// order.
-pub fn run_all_workloads(preset: Preset, scale: Scale) -> Vec<SimReport> {
-    Workload::all()
-        .into_iter()
-        .map(|w| run(preset, w, scale))
-        .collect()
 }
 
 /// A simple fixed-width text table builder for figure output.

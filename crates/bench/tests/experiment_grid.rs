@@ -1,0 +1,87 @@
+//! Integration tests for the parallel experiment framework: grid
+//! expansion is exhaustive and duplicate-free, and running a grid is
+//! byte-identical regardless of worker count.
+
+use bump_bench::experiment::{run_grid, ExperimentGrid, ExperimentSpec};
+use bump_sim::{config_for, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::collections::HashSet;
+
+fn tiny() -> RunOptions {
+    RunOptions {
+        cores: 2,
+        warmup_instructions: 30_000,
+        measure_instructions: 30_000,
+        max_cycles: 3_000_000,
+        seed: 42,
+        small_llc: true,
+    }
+}
+
+#[test]
+fn cartesian_expansion_is_exhaustive_and_duplicate_free() {
+    let presets = Preset::all();
+    let workloads = Workload::all();
+    let grid = ExperimentGrid::cartesian(&presets, &workloads, tiny());
+    assert_eq!(grid.len(), presets.len() * workloads.len());
+    let labels: HashSet<&str> = grid.cells().iter().map(|c| c.label.as_str()).collect();
+    assert_eq!(labels.len(), grid.len(), "labels must be unique");
+    for p in presets {
+        for w in workloads {
+            assert!(
+                grid.cells()
+                    .iter()
+                    .any(|c| c.preset == p && c.workload == w),
+                "missing cell {p} x {}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_and_serial_grid_runs_are_byte_identical() {
+    // A grid mixing standard and custom-config cells, sized to give a
+    // 4-thread pool real scheduling freedom.
+    let mut grid = ExperimentGrid::cartesian(
+        &[Preset::BaseOpen, Preset::Bump],
+        &[
+            Workload::WebSearch,
+            Workload::DataServing,
+            Workload::MediaStreaming,
+        ],
+        tiny(),
+    );
+    let mut custom = config_for(Preset::Bump, Workload::WebSearch, tiny());
+    custom.bump.bht_entries = 2048;
+    grid.push(ExperimentSpec::with_config(
+        "custom/bht2048",
+        custom,
+        tiny(),
+    ));
+
+    let serial = run_grid(&grid, 1);
+    let parallel = run_grid(&grid, 4);
+
+    // Stable ordering: same labels in the same positions.
+    let order = |r: &bump_bench::experiment::GridResults| -> Vec<String> {
+        r.iter().map(|(s, _)| s.label.clone()).collect()
+    };
+    assert_eq!(order(&serial), order(&parallel));
+
+    // Determinism under parallelism: the emitted reports are
+    // byte-identical.
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
+#[test]
+fn results_are_queryable_by_preset_and_label() {
+    let grid = ExperimentGrid::cartesian(&[Preset::BaseOpen], &[Workload::WebSearch], tiny());
+    let results = run_grid(&grid, 2);
+    let by_pair = results.get(Preset::BaseOpen, Workload::WebSearch);
+    let by_label = results.get_labeled("Base-open/Web Search");
+    assert_eq!(by_pair.cycles, by_label.cycles);
+    assert!(by_pair.instructions >= 30_000);
+    assert!(results.try_get_labeled("no/such/cell").is_none());
+}

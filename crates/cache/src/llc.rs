@@ -369,7 +369,9 @@ impl Llc {
         let limit = if is_demand {
             self.config.mshrs
         } else {
-            self.config.mshrs.saturating_sub(self.config.demand_reserved_mshrs)
+            self.config
+                .mshrs
+                .saturating_sub(self.config.demand_reserved_mshrs)
         };
         if self.mshrs.len() >= limit {
             self.stats.mshr_stalls += 1;
@@ -674,9 +676,18 @@ mod tests {
         let mut cfg = LlcConfig::paper();
         cfg.mshrs = 2;
         let mut llc = Llc::new(cfg);
-        assert_eq!(llc.access(demand(1, AccessKind::Load), 0).action, AccessAction::IssueDramRead);
-        assert_eq!(llc.access(demand(2, AccessKind::Load), 0).action, AccessAction::IssueDramRead);
-        assert_eq!(llc.access(demand(3, AccessKind::Load), 0).action, AccessAction::MshrFull);
+        assert_eq!(
+            llc.access(demand(1, AccessKind::Load), 0).action,
+            AccessAction::IssueDramRead
+        );
+        assert_eq!(
+            llc.access(demand(2, AccessKind::Load), 0).action,
+            AccessAction::IssueDramRead
+        );
+        assert_eq!(
+            llc.access(demand(3, AccessKind::Load), 0).action,
+            AccessAction::MshrFull
+        );
         assert_eq!(llc.stats().mshr_stalls, 1);
     }
 
@@ -704,7 +715,10 @@ mod tests {
     fn demand_merge_into_speculative_mshr_counts_late_coverage() {
         let mut llc = Llc::new(LlcConfig::paper());
         assert_eq!(llc.access(bulk(5), 0).action, AccessAction::IssueDramRead);
-        assert_eq!(llc.access(demand(5, AccessKind::Load), 1).action, AccessAction::None);
+        assert_eq!(
+            llc.access(demand(5, AccessKind::Load), 1).action,
+            AccessAction::None
+        );
         let fill = llc.fill(b(5), 50);
         assert_eq!(fill.waiters.len(), 1);
         assert_eq!(llc.stats().covered_late.get(TrafficClass::BulkRead), 1);

@@ -149,10 +149,7 @@ impl Bump {
                 exclude: req.block,
                 pc: req.pc,
             });
-        } else if self.config.stream_filter_entries == 0
-            && !hit
-            && self.bht.predict(index)
-        {
+        } else if self.config.stream_filter_entries == 0 && !hit && self.bht.predict(index) {
             // Ablation mode (no stream filter): the paper's plain
             // miss-triggered streaming.
             self.stats.bulk_reads += 1;
@@ -416,15 +413,14 @@ mod tests {
     fn speculative_traffic_does_not_train_or_predict() {
         let mut e = engine();
         train_dense_read(&mut e, 10, 0x400);
-        let spec = MemoryRequest::speculative(
-            block(20, 0),
-            Pc::new(0x400),
-            TrafficClass::BulkRead,
-            0,
-        );
+        let spec =
+            MemoryRequest::speculative(block(20, 0), Pc::new(0x400), TrafficClass::BulkRead, 0);
         let mut out = Vec::new();
         e.on_llc_access(&spec, false, &mut out);
-        assert!(out.is_empty(), "bulk traffic must not re-trigger bulk reads");
+        assert!(
+            out.is_empty(),
+            "bulk traffic must not re-trigger bulk reads"
+        );
         assert!(!e.rdtt().is_active(RegionAddr::from_index(20)));
     }
 

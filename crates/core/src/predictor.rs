@@ -146,7 +146,10 @@ mod tests {
         assert!(!bht.predict(t));
         bht.insert(t);
         assert!(bht.predict(t));
-        assert!(!bht.predict(PcOffset::new(Pc::new(0x400), 4)), "offset matters");
+        assert!(
+            !bht.predict(PcOffset::new(Pc::new(0x400), 4)),
+            "offset matters"
+        );
         let (lookups, hits, insertions) = bht.counters();
         assert_eq!((lookups, hits, insertions), (3, 1, 1));
     }

@@ -144,7 +144,8 @@ impl RegionDensityTracker {
             // Second distinct block: promote into the density table.
             self.trigger.remove(&region);
             self.stats.promotions += 1;
-            let pattern = (1u64 << self.region_cfg.block_offset(t.trigger_block)) | (1u64 << offset);
+            let pattern =
+                (1u64 << self.region_cfg.block_offset(t.trigger_block)) | (1u64 << offset);
             let entry = DensityEntry {
                 pc_offset: t.pc_offset,
                 pattern,
@@ -347,8 +348,14 @@ mod tests {
                 conflicts += 1;
             }
         }
-        assert!(conflicts > 0, "256-entry table must conflict under 4096 regions");
-        assert_eq!(r.stats().conflict_terminations as usize, conflicts + trigger_conflicts(&r));
+        assert!(
+            conflicts > 0,
+            "256-entry table must conflict under 4096 regions"
+        );
+        assert_eq!(
+            r.stats().conflict_terminations as usize,
+            conflicts + trigger_conflicts(&r)
+        );
     }
 
     fn trigger_conflicts(r: &RegionDensityTracker) -> usize {

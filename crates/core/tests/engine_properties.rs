@@ -1,9 +1,7 @@
 //! Property-based tests of the BuMP engine's invariants.
 
 use bump::{BulkAction, Bump, BumpConfig};
-use bump_types::{
-    AccessKind, BlockAddr, MemoryRequest, Pc, RegionAddr, RegionConfig,
-};
+use bump_types::{AccessKind, BlockAddr, MemoryRequest, Pc, RegionAddr, RegionConfig};
 use proptest::prelude::*;
 
 fn block(region: u64, offset: u32) -> BlockAddr {

@@ -545,8 +545,16 @@ mod tests {
 
     #[test]
     fn rob_head_load_stall_is_counted() {
-        let stats = run_to_drain(vec![load(0, false), Instr::Compute { count: 10 }], 200, 5_000);
-        assert!(stats.load_stall_cycles >= 190, "{}", stats.load_stall_cycles);
+        let stats = run_to_drain(
+            vec![load(0, false), Instr::Compute { count: 10 }],
+            200,
+            5_000,
+        );
+        assert!(
+            stats.load_stall_cycles >= 190,
+            "{}",
+            stats.load_stall_cycles
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ impl TimingAuditor {
                     r.acts.pop_front();
                 }
             }
-            CommandKind::Read | CommandKind::ReadAuto | CommandKind::Write | CommandKind::WriteAuto => {
+            CommandKind::Read
+            | CommandKind::ReadAuto
+            | CommandKind::Write
+            | CommandKind::WriteAuto => {
                 let is_write = kind.is_write_column();
                 let r = &self.ranks[rank as usize];
                 if at < r.refresh_until {
@@ -288,7 +291,10 @@ mod tests {
         let mut a = TimingAuditor::new();
         a.record(0, 0, 0, CommandKind::Activate, 5, &t);
         a.record(t.t_rcd, 0, 0, CommandKind::Read, 6, &t);
-        assert!(a.errors().iter().any(|e| e.constraint == "column to wrong row"));
+        assert!(a
+            .errors()
+            .iter()
+            .any(|e| e.constraint == "column to wrong row"));
     }
 
     #[test]
@@ -318,6 +324,9 @@ mod tests {
         a.record(0, 0, 1, CommandKind::Activate, 1, &t); // tRRD violation too
         a.record(t.t_rcd, 0, 0, CommandKind::Read, 1, &t);
         a.record(t.t_rcd + 1, 0, 1, CommandKind::Read, 1, &t);
-        assert!(a.errors().iter().any(|e| e.constraint == "data bus overlap"));
+        assert!(a
+            .errors()
+            .iter()
+            .any(|e| e.constraint == "data bus overlap"));
     }
 }

@@ -328,7 +328,10 @@ mod tests {
         b.activate(0, 7, &t);
         assert!(!b.can_column(t.t_rcd - 1, 7));
         assert!(b.can_column(t.t_rcd, 7));
-        assert!(!b.can_column(t.t_rcd, 8), "wrong row must not be accessible");
+        assert!(
+            !b.can_column(t.t_rcd, 8),
+            "wrong row must not be accessible"
+        );
     }
 
     #[test]

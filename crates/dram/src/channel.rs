@@ -111,7 +111,8 @@ impl Channel {
         let ranks = (0..geom.ranks_per_channel)
             .map(|r| {
                 RankTimer::new(
-                    refresh_phase + u64::from(r) * timing.refi() / u64::from(geom.ranks_per_channel),
+                    refresh_phase
+                        + u64::from(r) * timing.refi() / u64::from(geom.ranks_per_channel),
                 )
             })
             .collect();
@@ -202,7 +203,11 @@ impl Channel {
         now: MemCycle,
     ) -> bool {
         if txn.is_write {
-            if let Some(q) = self.write_queue.iter_mut().find(|q| q.txn.block == txn.block) {
+            if let Some(q) = self
+                .write_queue
+                .iter_mut()
+                .find(|q| q.txn.block == txn.block)
+            {
                 // Coalesce: the newer data replaces the queued write.
                 q.txn = txn;
                 return true;
@@ -443,9 +448,9 @@ impl Channel {
                 Some(open) if open != q.coord.row => {
                     // Never close a row that still has pending hits in
                     // the active queue (the "first-ready" guarantee).
-                    let pending_hit = queue.iter().any(|o| {
-                        self.bank_index(o.coord) == idx && o.coord.row == open
-                    });
+                    let pending_hit = queue
+                        .iter()
+                        .any(|o| self.bank_index(o.coord) == idx && o.coord.row == open);
                     !pending_hit && bank.can_precharge(now)
                 }
                 _ => false,
@@ -485,7 +490,14 @@ impl Channel {
                 (true, false) => CommandKind::Write,
                 (true, true) => CommandKind::WriteAuto,
             };
-            a.record(now, q.coord.rank, q.coord.bank, kind, q.coord.row, &self.timing);
+            a.record(
+                now,
+                q.coord.rank,
+                q.coord.bank,
+                kind,
+                q.coord.row,
+                &self.timing,
+            );
         }
         self.in_flight.push(InFlight {
             id: q.id,
@@ -520,7 +532,14 @@ impl Channel {
         self.ranks[coord.rank as usize].open_banks += 1;
         self.energy.activations += 1;
         if let Some(a) = &mut self.auditor {
-            a.record(now, coord.rank, coord.bank, CommandKind::Activate, row, &self.timing);
+            a.record(
+                now,
+                coord.rank,
+                coord.bank,
+                CommandKind::Activate,
+                row,
+                &self.timing,
+            );
         }
         // The transaction that triggered the ACT pays the row miss; every
         // other queued transaction to the same row will be a hit.
@@ -595,8 +614,18 @@ mod tests {
     fn second_read_same_row_is_row_hit() {
         let (mut ch, m) = mk_channel(RowPolicy::Open);
         // Blocks 0 and 1 share a row under region interleaving.
-        ch.enqueue(TransactionId(1), read_txn(0), m.decode(BlockAddr::from_index(0)), 0);
-        ch.enqueue(TransactionId(2), read_txn(1), m.decode(BlockAddr::from_index(1)), 0);
+        ch.enqueue(
+            TransactionId(1),
+            read_txn(0),
+            m.decode(BlockAddr::from_index(0)),
+            0,
+        );
+        ch.enqueue(
+            TransactionId(2),
+            read_txn(1),
+            m.decode(BlockAddr::from_index(1)),
+            0,
+        );
         let done = run(&mut ch, 0, 200);
         assert_eq!(done.len(), 2);
         assert!(!done[0].row_hit);
@@ -607,11 +636,21 @@ mod tests {
     #[test]
     fn close_policy_precharges_between_lone_accesses() {
         let (mut ch, m) = mk_channel(RowPolicy::Close);
-        ch.enqueue(TransactionId(1), read_txn(0), m.decode(BlockAddr::from_index(0)), 0);
+        ch.enqueue(
+            TransactionId(1),
+            read_txn(0),
+            m.decode(BlockAddr::from_index(0)),
+            0,
+        );
         let _ = run(&mut ch, 0, 100);
         // Enqueue a second access to the same row afterwards: the row was
         // auto-precharged, so it needs a fresh activation.
-        ch.enqueue(TransactionId(2), read_txn(1), m.decode(BlockAddr::from_index(1)), 100);
+        ch.enqueue(
+            TransactionId(2),
+            read_txn(1),
+            m.decode(BlockAddr::from_index(1)),
+            100,
+        );
         let done = run(&mut ch, 100, 300);
         assert_eq!(done.len(), 1);
         assert!(!done[0].row_hit, "close policy must have closed the row");
@@ -621,9 +660,19 @@ mod tests {
     #[test]
     fn open_policy_keeps_row_across_idle_gap() {
         let (mut ch, m) = mk_channel(RowPolicy::Open);
-        ch.enqueue(TransactionId(1), read_txn(0), m.decode(BlockAddr::from_index(0)), 0);
+        ch.enqueue(
+            TransactionId(1),
+            read_txn(0),
+            m.decode(BlockAddr::from_index(0)),
+            0,
+        );
         let _ = run(&mut ch, 0, 100);
-        ch.enqueue(TransactionId(2), read_txn(1), m.decode(BlockAddr::from_index(1)), 100);
+        ch.enqueue(
+            TransactionId(2),
+            read_txn(1),
+            m.decode(BlockAddr::from_index(1)),
+            100,
+        );
         let done = run(&mut ch, 100, 200);
         assert_eq!(done.len(), 1);
         assert!(done[0].row_hit, "open policy keeps the row across the gap");
@@ -639,7 +688,8 @@ mod tests {
         let mut other = None;
         for i in 1..1_000_000u64 {
             let c = m.decode(BlockAddr::from_index(i));
-            if c.channel == c0.channel && c.rank == c0.rank && c.bank == c0.bank && c.row != c0.row {
+            if c.channel == c0.channel && c.rank == c0.rank && c.bank == c0.bank && c.row != c0.row
+            {
                 other = Some((BlockAddr::from_index(i), c));
                 break;
             }
@@ -647,7 +697,12 @@ mod tests {
         let (b1, c1) = other.expect("bank revisited with another row");
         ch.enqueue(TransactionId(1), read_txn(0), c0, 0);
         let _ = run(&mut ch, 0, 100);
-        ch.enqueue(TransactionId(2), Transaction::read(b1, TrafficClass::Demand, 0), c1, 100);
+        ch.enqueue(
+            TransactionId(2),
+            Transaction::read(b1, TrafficClass::Demand, 0),
+            c1,
+            100,
+        );
         let done = run(&mut ch, 100, 400);
         assert_eq!(done.len(), 1);
         assert!(!done[0].row_hit);
@@ -659,7 +714,12 @@ mod tests {
         let (mut ch, m) = mk_channel(RowPolicy::Open);
         let wb = Transaction::write(BlockAddr::from_index(64), TrafficClass::DemandWriteback, 0);
         ch.enqueue(TransactionId(1), wb, m.decode(BlockAddr::from_index(64)), 0);
-        ch.enqueue(TransactionId(2), read_txn(0), m.decode(BlockAddr::from_index(0)), 0);
+        ch.enqueue(
+            TransactionId(2),
+            read_txn(0),
+            m.decode(BlockAddr::from_index(0)),
+            0,
+        );
         let done = run(&mut ch, 0, 400);
         assert_eq!(done.len(), 2);
         // The read (id 2) finishes first even though the write arrived first.
@@ -679,7 +739,12 @@ mod tests {
             m.decode(block),
             0,
         );
-        ch.enqueue(TransactionId(2), read_txn(block.index()), m.decode(block), 0);
+        ch.enqueue(
+            TransactionId(2),
+            read_txn(block.index()),
+            m.decode(block),
+            0,
+        );
         let mut done = Vec::new();
         ch.tick(0, &mut done);
         ch.tick(1, &mut done);
@@ -714,7 +779,12 @@ mod tests {
         let _ = run(&mut ch, 0, 200);
         assert!(ch.energy().refreshes >= 1, "refresh must fire");
         // After refresh completes, reads still work.
-        ch.enqueue(TransactionId(1), read_txn(0), m.decode(BlockAddr::from_index(0)), 200);
+        ch.enqueue(
+            TransactionId(1),
+            read_txn(0),
+            m.decode(BlockAddr::from_index(0)),
+            200,
+        );
         let done = run(&mut ch, 200, 400);
         assert_eq!(done.len(), 1);
         assert!(ch.auditor().unwrap().errors().is_empty());

@@ -85,10 +85,8 @@ impl DramEnergyCounters {
     /// Costs the counters under `params`.
     pub fn cost(&self, params: &DramEnergyParams) -> DramEnergyBreakdown {
         let activation_nj = self.activations as f64 * params.activation_nj;
-        let burst_nj =
-            self.reads as f64 * params.read_nj + self.writes as f64 * params.write_nj;
-        let io_nj =
-            self.reads as f64 * params.read_io_nj + self.writes as f64 * params.write_io_nj;
+        let burst_nj = self.reads as f64 * params.read_nj + self.writes as f64 * params.write_nj;
+        let io_nj = self.reads as f64 * params.read_io_nj + self.writes as f64 * params.write_io_nj;
         let active_ns = self.active_rank_cycles as f64 * params.cycle_ns;
         let idle_ns = self.idle_rank_cycles as f64 * params.cycle_ns;
         // P[W] × t[ns] = E[nJ].

@@ -66,7 +66,10 @@ impl AddressMapper {
     /// interleaving.
     pub fn new(geom: DramGeometry, interleaving: Interleaving) -> Self {
         assert!(geom.channels.is_power_of_two(), "channels must be 2^n");
-        assert!(geom.ranks_per_channel.is_power_of_two(), "ranks must be 2^n");
+        assert!(
+            geom.ranks_per_channel.is_power_of_two(),
+            "ranks must be 2^n"
+        );
         assert!(geom.banks_per_rank.is_power_of_two(), "banks must be 2^n");
         assert!(geom.row_bytes.is_power_of_two(), "row size must be 2^n");
 
@@ -88,12 +91,7 @@ impl AddressMapper {
         let rank_bits = geom.ranks_per_channel.trailing_zeros();
         let bank_bits = geom.banks_per_rank.trailing_zeros();
         let col_hi_bits = total_col_bits - col_lo_bits;
-        let row_bits = capacity_bits
-            - WORD_BITS
-            - total_col_bits
-            - ch_bits
-            - rank_bits
-            - bank_bits;
+        let row_bits = capacity_bits - WORD_BITS - total_col_bits - ch_bits - rank_bits - bank_bits;
         AddressMapper {
             geom,
             interleaving,
@@ -183,7 +181,12 @@ mod tests {
             for i in [0u64, 1, 2, 15, 16, 127, 128, 1 << 20, (1 << 27) - 1] {
                 let b = BlockAddr::from_index(i);
                 let c = m.decode(b);
-                assert_eq!(m.encode(c), b, "round trip failed for {i} ({:?})", m.interleaving());
+                assert_eq!(
+                    m.encode(c),
+                    b,
+                    "round trip failed for {i} ({:?})",
+                    m.interleaving()
+                );
             }
         }
     }
@@ -197,9 +200,11 @@ mod tests {
         let first = m.decode(r.block_at(region, 0));
         for b in r.blocks(region) {
             let c = m.decode(b);
-            assert_eq!((c.channel, c.rank, c.bank, c.row),
-                       (first.channel, first.rank, first.bank, first.row),
-                       "block {b:?} left the row");
+            assert_eq!(
+                (c.channel, c.rank, c.bank, c.row),
+                (first.channel, first.rank, first.bank, first.row),
+                "block {b:?} left the row"
+            );
         }
     }
 
@@ -231,7 +236,10 @@ mod tests {
             .blocks(region)
             .map(|b| m.decode(b).global_bank(DramGeometry::paper()))
             .collect();
-        assert!(distinct.len() > 1, "block interleaving kept region in one bank");
+        assert!(
+            distinct.len() > 1,
+            "block interleaving kept region in one bank"
+        );
     }
 
     #[test]

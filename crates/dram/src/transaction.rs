@@ -27,7 +27,10 @@ impl Transaction {
     ///
     /// Panics if `class` is a write class.
     pub fn read(block: BlockAddr, class: TrafficClass, core: CoreId) -> Self {
-        assert!(class.is_read(), "read transaction with write class {class:?}");
+        assert!(
+            class.is_read(),
+            "read transaction with write class {class:?}"
+        );
         Transaction {
             block,
             is_write: false,
@@ -42,7 +45,10 @@ impl Transaction {
     ///
     /// Panics if `class` is a read class.
     pub fn write(block: BlockAddr, class: TrafficClass, core: CoreId) -> Self {
-        assert!(class.is_write(), "write transaction with read class {class:?}");
+        assert!(
+            class.is_write(),
+            "write transaction with read class {class:?}"
+        );
         Transaction {
             block,
             is_write: true,

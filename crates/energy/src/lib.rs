@@ -218,8 +218,7 @@ impl EnergyModel {
         let n = f64::from(activity.cores);
 
         let ipc_per_core = activity.aggregate_ipc() / n.max(1.0);
-        let core_dynamic_w =
-            p.core_peak_dynamic_w * (ipc_per_core / p.core_reference_ipc).min(1.0);
+        let core_dynamic_w = p.core_peak_dynamic_w * (ipc_per_core / p.core_reference_ipc).min(1.0);
         let cores_j = (core_dynamic_w + p.core_leakage_w) * n * secs;
 
         let llc_dynamic_j = (activity.llc_reads as f64 * p.llc_read_nj
@@ -304,8 +303,7 @@ mod tests {
         let mut a = busy_server_activity();
         a.instructions = a.cycles * 16 * 3; // impossible IPC 3/core
         let e = m.server_energy(&a);
-        let max_cores_j =
-            (0.700 + 0.070) * 16.0 * a.seconds(&m.chip) * 1.0001;
+        let max_cores_j = (0.700 + 0.070) * 16.0 * a.seconds(&m.chip) * 1.0001;
         assert!(e.cores_j <= max_cores_j);
     }
 

@@ -142,8 +142,7 @@ impl Prefetcher for SmsPrefetcher {
             }
             // Second distinct block: promote to the accumulation table.
             self.filter.remove(&region);
-            let pattern =
-                (1u64 << cfg.block_offset(f.trigger_block)) | (1u64 << offset);
+            let pattern = (1u64 << cfg.block_offset(f.trigger_block)) | (1u64 << offset);
             if let Some((_, victim)) = self.accumulation.insert(
                 region,
                 AccumulationEntry {
@@ -258,7 +257,11 @@ mod tests {
             p.on_demand_access(&store(0x400, r.block_at(cfg(), o)), false, &mut out);
         }
         p.on_eviction(r.block_at(cfg(), 2));
-        p.on_demand_access(&store(0x400, region(20).block_at(cfg(), 2)), false, &mut out);
+        p.on_demand_access(
+            &store(0x400, region(20).block_at(cfg(), 2)),
+            false,
+            &mut out,
+        );
         assert!(out.is_empty(), "SMS must ignore store-triggered traffic");
         assert_eq!(p.stats().generations_recorded, 0);
     }
@@ -271,7 +274,11 @@ mod tests {
         p.on_demand_access(&load(0x400, r.block_at(cfg(), 2)), false, &mut out);
         p.on_eviction(r.block_at(cfg(), 2));
         let mut out2 = Vec::new();
-        p.on_demand_access(&load(0x400, region(20).block_at(cfg(), 2)), false, &mut out2);
+        p.on_demand_access(
+            &load(0x400, region(20).block_at(cfg(), 2)),
+            false,
+            &mut out2,
+        );
         assert!(out2.is_empty(), "one-block pattern carries no spatial info");
     }
 
@@ -279,7 +286,7 @@ mod tests {
     fn retraining_updates_the_footprint() {
         let mut p = SmsPrefetcher::paper();
         train(&mut p, 0x400, region(10)); // offsets 2..=5
-        // Retrain with a different footprint from the same trigger.
+                                          // Retrain with a different footprint from the same trigger.
         let r = region(30);
         let mut out = Vec::new();
         p.on_demand_access(&load(0x400, r.block_at(cfg(), 2)), false, &mut out);
@@ -287,9 +294,12 @@ mod tests {
         p.on_demand_access(&load(0x400, r.block_at(cfg(), 9)), false, &mut out);
         p.on_eviction(r.block_at(cfg(), 2));
         let mut out2 = Vec::new();
-        p.on_demand_access(&load(0x400, region(40).block_at(cfg(), 2)), false, &mut out2);
+        p.on_demand_access(
+            &load(0x400, region(40).block_at(cfg(), 2)),
+            false,
+            &mut out2,
+        );
         let got: Vec<u32> = out2.iter().map(|b| cfg().block_offset(*b)).collect();
         assert_eq!(got, vec![9], "latest generation wins");
     }
-
 }

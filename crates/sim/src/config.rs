@@ -151,7 +151,15 @@ mod tests {
         let names: Vec<&str> = Preset::all().iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            vec!["Base-close", "Base-open", "SMS", "VWQ", "SMS+VWQ", "Full-region", "BuMP"]
+            vec![
+                "Base-close",
+                "Base-open",
+                "SMS",
+                "VWQ",
+                "SMS+VWQ",
+                "Full-region",
+                "BuMP"
+            ]
         );
     }
 

@@ -38,5 +38,5 @@ mod system;
 pub use config::{Preset, SystemConfig};
 pub use profiler::{DensityProfile, DensityProfiler};
 pub use report::{SimReport, TrafficBreakdown};
-pub use runner::{run_experiment, run_experiment_with_config, RunOptions};
+pub use runner::{config_for, run_experiment, run_experiment_with_config, RunOptions};
 pub use system::System;

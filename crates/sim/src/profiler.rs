@@ -412,12 +412,7 @@ mod tests {
     #[test]
     fn speculative_accesses_are_invisible() {
         let mut p = DensityProfiler::new(cfg());
-        let spec = MemoryRequest::speculative(
-            block(1, 0),
-            Pc::new(0x1),
-            TrafficClass::BulkRead,
-            0,
-        );
+        let spec = MemoryRequest::speculative(block(1, 0), Pc::new(0x1), TrafficClass::BulkRead, 0);
         p.on_access(&spec, false);
         p.finalize();
         assert_eq!(p.profile().generations, 0);
@@ -432,7 +427,11 @@ mod tests {
         p.reset_stats();
         p.on_eviction(block(1, 0));
         // The generation survived the reset and still counts fully.
-        assert_eq!(p.profile().reads_by_density[2], 0, "reads counted pre-reset are gone");
+        assert_eq!(
+            p.profile().reads_by_density[2],
+            0,
+            "reads counted pre-reset are gone"
+        );
         assert_eq!(p.profile().generations, 1);
     }
 }

@@ -17,9 +17,7 @@ use bump_dram::{MemoryController, Transaction};
 use bump_energy::{EnergyModel, SystemActivity};
 use bump_noc::{MessageKind, Noc};
 use bump_prefetch::{Prefetcher, SmsPrefetcher, StridePrefetcher};
-use bump_types::{
-    AccessKind, BlockAddr, CoreId, Cycle, MemCycle, MemoryRequest, TrafficClass,
-};
+use bump_types::{AccessKind, BlockAddr, CoreId, Cycle, MemCycle, MemoryRequest, TrafficClass};
 use bump_vwq::VirtualWriteQueue;
 use bump_workloads::WorkloadGen;
 use std::cmp::Reverse;
@@ -449,7 +447,12 @@ impl System {
         self.scratch_actions = actions;
     }
 
-    fn spawn_spec(&mut self, candidates: &[BlockAddr], trigger: MemoryRequest, class: TrafficClass) {
+    fn spawn_spec(
+        &mut self,
+        candidates: &[BlockAddr],
+        trigger: MemoryRequest,
+        class: TrafficClass,
+    ) {
         for c in candidates {
             let req = MemoryRequest::speculative(*c, trigger.pc, class, trigger.core);
             self.schedule(self.now + 1, Pending::LlcRequest(req));

@@ -176,7 +176,8 @@ impl PcOffset {
     pub fn index_hash(self) -> u64 {
         // Fibonacci hashing; mixes the PC (whose low bits are often
         // aligned) with the region offset.
-        let x = self.pc.raw().rotate_left(7) ^ (u64::from(self.offset).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let x = self.pc.raw().rotate_left(7)
+            ^ (u64::from(self.offset).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 }

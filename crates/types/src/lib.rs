@@ -31,9 +31,7 @@ mod stats;
 mod table;
 
 pub use addr::{BlockAddr, Pc, PcOffset, PhysAddr, RegionAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
-pub use config::{
-    CacheGeometry, CoreParams, DramGeometry, DramTiming, Interleaving, RegionConfig,
-};
+pub use config::{CacheGeometry, CoreParams, DramGeometry, DramTiming, Interleaving, RegionConfig};
 pub use density::{DensityClass, DensityThreshold};
 pub use instr::{Instr, InstrSource};
 pub use request::{AccessKind, MemoryRequest, TrafficClass};

@@ -62,7 +62,10 @@ impl<K: TableKey, V> AssocTable<K, V> {
     ///
     /// Panics if `sets` is not a power of two or either dimension is 0.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be 2^n, got {sets}");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be 2^n, got {sets}"
+        );
         assert!(ways > 0, "ways must be positive");
         AssocTable {
             sets,
@@ -78,7 +81,10 @@ impl<K: TableKey, V> AssocTable<K, V> {
     ///
     /// Panics if `entries` is not divisible into a power-of-two set count.
     pub fn with_entries(entries: usize, ways: usize) -> Self {
-        assert!(entries.is_multiple_of(ways), "{entries} entries not divisible by {ways} ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "{entries} entries not divisible by {ways} ways"
+        );
         Self::new(entries / ways, ways)
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the shared vocabulary types.
 
-use bump_types::{
-    AssocTable, BlockAddr, DensityClass, DensityThreshold, PhysAddr, RegionConfig,
-};
+use bump_types::{AssocTable, BlockAddr, DensityClass, DensityThreshold, PhysAddr, RegionConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -11,10 +11,7 @@ use std::collections::VecDeque;
 #[derive(Clone, Debug)]
 enum Op {
     /// Fine-grained dependent pointer chase.
-    Chase {
-        remaining: u32,
-        pc: Pc,
-    },
+    Chase { remaining: u32, pc: Pc },
     /// Coarse-grained object scan (loads or stores). `order` holds the
     /// visit order of the object's blocks: identity for sequential
     /// scans, a permutation for irregular footprints. Irregular walks
@@ -129,9 +126,7 @@ impl WorkloadGen {
             let idx = self.rng.gen_range(0..self.recent_writes.len() / 4);
             let (base, len) = self.recent_writes[idx];
             let count = self.rng.gen_range(1..=2u32);
-            let pick = |rng: &mut SmallRng| {
-                base.offset_by(i64::from(rng.gen_range(0..len)))
-            };
+            let pick = |rng: &mut SmallRng| base.offset_by(i64::from(rng.gen_range(0..len)));
             let blocks = [pick(&mut self.rng), pick(&mut self.rng)];
             return Op::LateFix {
                 blocks,
@@ -388,7 +383,12 @@ mod tests {
         let mut contiguous = 0u64;
         let mut total = 0u64;
         for i in instrs {
-            if let Instr::Load { block, pc, dep: false } = i {
+            if let Instr::Load {
+                block,
+                pc,
+                dep: false,
+            } = i
+            {
                 total += 1;
                 let window = recent.entry(pc.raw()).or_default();
                 if window.iter().any(|&b| block.index() == b + 1) {
@@ -409,10 +409,13 @@ mod tests {
     #[test]
     fn compute_gaps_separate_memory_ops() {
         let instrs = collect(Workload::OnlineAnalytics, 0, 13, 10_000);
-        let compute: u64 = instrs.iter().map(|i| match i {
-            Instr::Compute { count } => u64::from(*count),
-            _ => 0,
-        }).sum();
+        let compute: u64 = instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Compute { count } => u64::from(*count),
+                _ => 0,
+            })
+            .sum();
         let mem = instrs.iter().filter(|i| i.is_memory()).count() as u64;
         let ratio = compute as f64 / mem as f64;
         assert!((1.0..6.0).contains(&ratio), "compute per mem {ratio}");

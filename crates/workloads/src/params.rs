@@ -129,9 +129,9 @@ pub(crate) fn for_workload(w: Workload) -> WorkloadParams {
             coarse_fraction: 0.42,
             object_types: vec![
                 obj_irregular(0, 10, 16, false, 0.34), // row reads (field walks)
-                obj_irregular(1, 4, 8, false, 0.12), // small column group reads
-                obj(2, 10, 16, true, 0.55), // row updates (memtable)
-                obj(3, 1, 4, true, 0.28),   // small field updates
+                obj_irregular(1, 4, 8, false, 0.12),   // small column group reads
+                obj(2, 10, 16, true, 0.55),            // row updates (memtable)
+                obj(3, 1, 4, true, 0.28),              // small field updates
             ],
             align_prob: 0.85,
             chase_len_mean: 5.0,
@@ -149,9 +149,9 @@ pub(crate) fn for_workload(w: Workload) -> WorkloadParams {
             coarse_fraction: 0.72,
             object_types: vec![
                 obj(0, 16, 48, false, 0.45), // media chunk reads
-                obj(1, 12, 16, true, 0.42), // client packet buffers
-                obj(2, 2, 6, false, 0.10),  // metadata
-                obj(3, 1, 3, true, 0.09),   // session/metadata updates
+                obj(1, 12, 16, true, 0.42),  // client packet buffers
+                obj(2, 2, 6, false, 0.10),   // metadata
+                obj(3, 1, 3, true, 0.09),    // session/metadata updates
             ],
             align_prob: 0.92,
             chase_len_mean: 3.0,
@@ -170,8 +170,8 @@ pub(crate) fn for_workload(w: Workload) -> WorkloadParams {
             object_types: vec![
                 obj_serial(0, 12, 32, false, 0.62), // table-page scans (tuple-at-a-time)
                 obj_irregular(1, 4, 10, false, 0.18), // index leaf reads
-                obj(2, 10, 16, true, 0.45), // hash/sort partitions
-                obj(3, 1, 4, true, 0.10),   // aggregate updates
+                obj(2, 10, 16, true, 0.45),         // hash/sort partitions
+                obj(3, 1, 4, true, 0.10),           // aggregate updates
             ],
             align_prob: 0.88,
             chase_len_mean: 6.0,
@@ -191,8 +191,8 @@ pub(crate) fn for_workload(w: Workload) -> WorkloadParams {
             object_types: vec![
                 obj_irregular(0, 8, 16, false, 0.50), // constraint-object walks
                 obj_irregular(1, 4, 10, false, 0.25), // expression nodes
-                obj(2, 8, 16, true, 0.36), // state snapshots
-                obj(3, 1, 4, true, 0.18), // counter updates
+                obj(2, 8, 16, true, 0.36),            // state snapshots
+                obj(3, 1, 4, true, 0.18),             // counter updates
             ],
             align_prob: 0.75,
             chase_len_mean: 7.0,
@@ -210,9 +210,9 @@ pub(crate) fn for_workload(w: Workload) -> WorkloadParams {
             coarse_fraction: 0.58,
             object_types: vec![
                 obj_irregular(0, 12, 24, false, 0.58), // index-page rank walks
-                obj_irregular(1, 4, 8, false, 0.12), // posting fragments
-                obj(2, 10, 16, true, 0.34), // result/rank buffers
-                obj(3, 1, 4, true, 0.16), // score accumulators
+                obj_irregular(1, 4, 8, false, 0.12),   // posting fragments
+                obj(2, 10, 16, true, 0.34),            // result/rank buffers
+                obj(3, 1, 4, true, 0.16),              // score accumulators
             ],
             align_prob: 0.90,
             chase_len_mean: 6.0,
@@ -230,9 +230,9 @@ pub(crate) fn for_workload(w: Workload) -> WorkloadParams {
             coarse_fraction: 0.50,
             object_types: vec![
                 obj_irregular(0, 10, 20, false, 0.42), // cached page assembly
-                obj_irregular(1, 4, 8, false, 0.13), // session/fragment reads
-                obj(2, 10, 20, true, 0.45), // page-cache fills
-                obj(3, 1, 4, true, 0.22),   // session updates
+                obj_irregular(1, 4, 8, false, 0.13),   // session/fragment reads
+                obj(2, 10, 20, true, 0.45),            // page-cache fills
+                obj(3, 1, 4, true, 0.22),              // session updates
             ],
             align_prob: 0.82,
             chase_len_mean: 5.0,

@@ -21,8 +21,10 @@ fn analyze(w: Workload, n: usize) -> StreamStats {
         compute: 0,
         region_touch_counts: HashMap::new(),
     };
-    let mut touch = |b: BlockAddr, s: &mut StreamStats| {
-        *s.region_touch_counts.entry(b.region(cfg).index()).or_default() += 1;
+    let touch = |b: BlockAddr, s: &mut StreamStats| {
+        *s.region_touch_counts
+            .entry(b.region(cfg).index())
+            .or_default() += 1;
     };
     for _ in 0..n {
         match gen.next_instr().expect("infinite stream") {

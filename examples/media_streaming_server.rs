@@ -16,7 +16,10 @@ use bump_workloads::Workload;
 
 fn main() {
     let opts = RunOptions::quick(4);
-    println!("Media Streaming on {} cores — the write path under three systems:\n", opts.cores);
+    println!(
+        "Media Streaming on {} cores — the write path under three systems:\n",
+        opts.cores
+    );
     println!(
         "{:<11} {:>9} {:>12} {:>12} {:>12} {:>10}",
         "system", "write %", "eager wbs", "write hits", "extra wbs", "E/acc nJ"

@@ -40,20 +40,22 @@ fn main() {
         );
         engine.on_llc_access(&req, false, &mut actions);
     }
-    println!("  hash walk: {} bulk actions (unpredictable => none)", actions.len());
+    println!(
+        "  hash walk: {} bulk actions (unpredictable => none)",
+        actions.len()
+    );
 
     // Index-page scan: 14 of 16 blocks of index page A.
     let page_a = 100_000u64;
     for o in 0..14 {
-        let req = MemoryRequest::demand(
-            region_block(page_a, o),
-            PC_INDEX_SCAN,
-            AccessKind::Load,
-            0,
-        );
+        let req =
+            MemoryRequest::demand(region_block(page_a, o), PC_INDEX_SCAN, AccessKind::Load, 0);
         engine.on_llc_access(&req, o != 0, &mut actions);
     }
-    println!("  index page A scanned (14/16 blocks): {} bulk actions (still learning)", actions.len());
+    println!(
+        "  index page A scanned (14/16 blocks): {} bulk actions (still learning)",
+        actions.len()
+    );
 
     // The page eventually leaves the LLC: its generation terminates and
     // the (PC, offset) trigger is recorded as high-density.
@@ -78,15 +80,14 @@ fn main() {
 
     // First touch of index page B from the scan PC: BuMP streams it.
     let page_b = 200_000u64;
-    let req = MemoryRequest::demand(
-        region_block(page_b, 0),
-        PC_INDEX_SCAN,
-        AccessKind::Load,
-        0,
-    );
+    let req = MemoryRequest::demand(region_block(page_b, 0), PC_INDEX_SCAN, AccessKind::Load, 0);
     engine.on_llc_access(&req, false, &mut actions);
     match actions.as_slice() {
-        [BulkAction::BulkRead { region, exclude, pc }] => {
+        [BulkAction::BulkRead {
+            region,
+            exclude,
+            pc,
+        }] => {
             let blocks: Vec<u64> = region
                 .blocks(region_cfg)
                 .filter(|b| b != exclude)

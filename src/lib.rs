@@ -1,0 +1,14 @@
+//! Workspace umbrella crate for the BuMP (MICRO 2014) reproduction.
+//!
+//! This crate holds no logic of its own: it exists so the top-level
+//! `tests/` (cross-crate integration and determinism suites) and
+//! `examples/` have a Cargo home, and it re-exports the crates a user
+//! of the reproduction typically starts from.
+
+#![warn(missing_docs)]
+
+pub use bump;
+pub use bump_bench;
+pub use bump_sim;
+pub use bump_types;
+pub use bump_workloads;

@@ -46,6 +46,27 @@ fn different_seed_different_stream_similar_statistics() {
     );
 }
 
+/// The parallel experiment framework must not perturb results: running
+/// the same grid with one worker and with many produces byte-identical
+/// structured reports, and re-running the parallel grid reproduces
+/// itself exactly.
+#[test]
+fn grid_runs_are_deterministic_under_parallelism() {
+    use bump_bench::experiment::{run_grid, ExperimentGrid};
+
+    let grid = ExperimentGrid::cartesian(
+        &[Preset::BaseOpen, Preset::Bump],
+        &[Workload::WebSearch, Workload::WebServing],
+        opts(42),
+    );
+    let serial = run_grid(&grid, 1);
+    let parallel = run_grid(&grid, 4);
+    let parallel_again = run_grid(&grid, 4);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(parallel.to_csv(), parallel_again.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
 #[test]
 fn reports_are_stable_across_reruns_for_all_presets() {
     for preset in [Preset::BaseClose, Preset::Sms, Preset::Vwq] {
