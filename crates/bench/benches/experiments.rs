@@ -4,7 +4,7 @@
 //! points. The printed per-iteration times also document the simulator's
 //! end-to-end throughput.
 
-use bump_sim::{run_experiment, Preset, RunOptions};
+use bump_sim::{run_experiment, Engine, Preset, RunOptions};
 use bump_workloads::Workload;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -16,6 +16,7 @@ fn tiny() -> RunOptions {
         max_cycles: 3_000_000,
         seed: 42,
         small_llc: true,
+        engine: Engine::Event,
     }
 }
 

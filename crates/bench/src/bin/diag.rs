@@ -1,17 +1,19 @@
 //! Diagnostic deep-dive for one workload × preset (development tool).
 
-use bump_bench::Scale;
+use bump_bench::experiment::GridArgs;
 use bump_sim::{run_experiment, Preset};
 use bump_types::TrafficClass;
 use bump_workloads::Workload;
 
 fn main() {
+    // Installs the --engine choice as the process default too.
+    let scale = GridArgs::from_args().scale;
     for w in [
         Workload::MediaStreaming,
         Workload::OnlineAnalytics,
         Workload::DataServing,
     ] {
-        let r = run_experiment(Preset::Bump, w, Scale::from_args().options());
+        let r = run_experiment(Preset::Bump, w, scale.options());
         let b = r.bump.unwrap();
         println!("== {} ==", w.name());
         println!(

@@ -1,17 +1,19 @@
 //! Latency/stall comparison between Base-open and BuMP (dev tool).
 
-use bump_bench::Scale;
+use bump_bench::experiment::GridArgs;
 use bump_sim::{run_experiment, Preset};
 use bump_workloads::Workload;
 
 fn main() {
+    // Installs the --engine choice as the process default too.
+    let scale = GridArgs::from_args().scale;
     for w in [
         Workload::OnlineAnalytics,
         Workload::MediaStreaming,
         Workload::WebSearch,
     ] {
         for p in [Preset::BaseClose, Preset::BaseOpen, Preset::Bump] {
-            let r = run_experiment(p, w, Scale::from_args().options());
+            let r = run_experiment(p, w, scale.options());
             println!(
                 "{:<18} {:<11} ipc={:.3} stall/core-kcyc={:.0} dem_rd_lat(mem)={:.0} rd_q_total={} wr={} rd={}",
                 w.name(), p.name(), r.ipc(),

@@ -21,10 +21,11 @@ fn main() {
         grid.merge((f.grid)(args.scale));
     }
     println!(
-        "repro_all: {} unique cells across {} targets, {} worker threads",
+        "repro_all: {} unique cells across {} targets, {} worker threads, {} engine",
         grid.len(),
         suite.len(),
-        args.threads
+        args.threads,
+        args.engine
     );
     let start = Instant::now();
     let results = run_grid(&grid, args.threads);

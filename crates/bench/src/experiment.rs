@@ -482,20 +482,27 @@ impl MetricRow {
 }
 
 /// Command-line context shared by every figure binary: scale
-/// (`--quick`/`--full`) and worker count (`--threads N`).
+/// (`--quick`/`--full`), worker count (`--threads N`), and simulation
+/// engine (`--engine {cycle,event}`).
 #[derive(Clone, Copy, Debug)]
 pub struct GridArgs {
     /// Run scale.
     pub scale: Scale,
     /// Worker threads for [`run_grid`].
     pub threads: usize,
+    /// Simulation engine every cell runs under.
+    pub engine: bump_sim::Engine,
 }
 
 impl GridArgs {
-    /// Parses the process arguments.
+    /// Parses the process arguments. Also installs the parsed engine as
+    /// the process default (see [`crate::set_default_engine`]), so
+    /// every grid built from [`crate::Scale::options`] afterwards picks
+    /// it up.
     pub fn from_args() -> Self {
         let scale = Scale::from_args();
         let mut threads = default_threads();
+        let mut engine = bump_sim::Engine::default();
         let args: Vec<String> = std::env::args().collect();
         for i in 0..args.len() {
             if args[i] == "--threads" {
@@ -503,8 +510,25 @@ impl GridArgs {
                     threads = v.max(1);
                 }
             }
+            if args[i] == "--engine" {
+                match args.get(i + 1).and_then(|v| bump_sim::Engine::from_arg(v)) {
+                    Some(e) => engine = e,
+                    None => {
+                        // The engine choice is the semantic point of the
+                        // flag; running minutes of simulation under the
+                        // wrong one is worse than stopping.
+                        eprintln!("error: --engine expects 'cycle' or 'event'");
+                        std::process::exit(2);
+                    }
+                }
+            }
         }
-        GridArgs { scale, threads }
+        crate::set_default_engine(engine);
+        GridArgs {
+            scale,
+            threads,
+            engine,
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! byte-identical regardless of worker count.
 
 use bump_bench::experiment::{run_grid, ExperimentGrid, ExperimentSpec};
-use bump_sim::{config_for, Preset, RunOptions};
+use bump_sim::{config_for, Engine, Preset, RunOptions};
 use bump_workloads::Workload;
 use std::collections::HashSet;
 
@@ -15,6 +15,7 @@ fn tiny() -> RunOptions {
         max_cycles: 3_000_000,
         seed: 42,
         small_llc: true,
+        engine: Engine::Event,
     }
 }
 

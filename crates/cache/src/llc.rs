@@ -9,11 +9,11 @@
 //! *overfetch* if it dies untouched.
 
 use crate::set_assoc::SetAssocCache;
+use bump_types::FxHashMap;
 use bump_types::{
     AccessKind, BlockAddr, CacheGeometry, CoreId, Cycle, MemoryRequest, Ratio, RegionAddr,
     RegionConfig, TrafficClass,
 };
-use std::collections::HashMap;
 
 /// LLC configuration (paper Table II: 4MB, 16-way, 8 banks, 8-cycle hit
 /// latency).
@@ -266,7 +266,7 @@ impl ClassCounts {
 pub struct Llc {
     config: LlcConfig,
     cache: SetAssocCache<LlcMeta>,
-    mshrs: HashMap<BlockAddr, Mshr>,
+    mshrs: FxHashMap<BlockAddr, Mshr>,
     bank_free: Vec<Cycle>,
     stats: LlcStats,
     events: Vec<LlcEvent>,
@@ -278,7 +278,7 @@ impl Llc {
         Llc {
             config,
             cache: SetAssocCache::new(config.geometry),
-            mshrs: HashMap::new(),
+            mshrs: FxHashMap::default(),
             bank_free: vec![0; config.banks as usize],
             stats: LlcStats::default(),
             events: Vec::new(),
@@ -600,9 +600,18 @@ impl Llc {
         self.stats = LlcStats::default();
     }
 
-    /// Drains the accumulated event stream.
-    pub fn take_events(&mut self) -> Vec<LlcEvent> {
-        std::mem::take(&mut self.events)
+    /// Whether any events are pending.
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Drains the event stream into `out` by buffer swap, so both
+    /// vectors keep their capacity across cycles. `out` is cleared
+    /// first; on return it holds the events and the internal buffer is
+    /// empty.
+    pub fn drain_events_into(&mut self, out: &mut Vec<LlcEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
     }
 
     /// Drops a line without writing it back (used by tests to force
@@ -821,11 +830,13 @@ mod tests {
         llc.access(demand(1, AccessKind::Load), 0);
         llc.fill(b(1), 10);
         llc.evict_for_test(b(1));
-        let ev = llc.take_events();
+        let mut ev = Vec::new();
+        llc.drain_events_into(&mut ev);
         assert!(matches!(ev[0], LlcEvent::Access { hit: false, .. }));
         assert!(matches!(ev[1], LlcEvent::Fill { .. }));
         assert!(matches!(ev[2], LlcEvent::Evict { dirty: false, .. }));
-        assert!(llc.take_events().is_empty(), "events drain");
+        llc.drain_events_into(&mut ev);
+        assert!(ev.is_empty(), "events drain");
     }
 
     #[test]

@@ -2,15 +2,30 @@
 
 use bump_cache::{L1Cache, L1Outcome};
 use bump_types::{
-    AccessKind, BlockAddr, CoreId, CoreParams, Cycle, Instr, InstrSource, MemoryRequest,
+    AccessKind, BlockAddr, CoreId, CoreParams, Cycle, FxHashMap, Instr, InstrSource, MemoryRequest,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A memory access the core wants the system to perform this cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PendingAccess {
     /// The request to route to the LLC (the L1 already missed).
     pub request: MemoryRequest,
+}
+
+/// When a core next needs to be ticked, as computed by
+/// [`LeanCore::next_wakeup`]. The event-driven system loop uses this to
+/// fast-forward over cycles in which a tick would provably only bump
+/// stall counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreWakeup {
+    /// The core can retire, issue, or dispatch next cycle — tick it.
+    Busy,
+    /// Nothing happens before this cycle (the ROB head completes then).
+    At(Cycle),
+    /// The core is fully blocked; only a
+    /// [`LeanCore::memory_response`] can unblock it.
+    Blocked,
 }
 
 /// Per-core performance statistics.
@@ -57,6 +72,16 @@ enum RobSlot {
     NotIssued { instr: Instr },
 }
 
+/// The cached result of the idle analysis (see `LeanCore::idle_cache`).
+#[derive(Clone, Copy, Debug)]
+struct IdleClass {
+    wakeup: CoreWakeup,
+    /// The ROB head waits on memory: each idle cycle is a load stall.
+    load_stall: bool,
+    /// A parked store is blocked: each idle cycle is a buffer stall.
+    store_stall: bool,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct RobEntry {
     slot: RobSlot,
@@ -65,14 +90,14 @@ struct RobEntry {
 }
 
 /// The lean out-of-order core model.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct LeanCore {
     id: CoreId,
     params: CoreParams,
     rob: VecDeque<RobEntry>,
     /// Outstanding L1 misses: block → number of ROB entries + store
     /// buffer slots waiting on it.
-    outstanding: HashMap<BlockAddr, u32>,
+    outstanding: FxHashMap<BlockAddr, u32>,
     /// Store-buffer slots occupied by in-flight store misses.
     store_buffer_used: u32,
     /// Sequence number of the most recently dispatched load.
@@ -81,9 +106,18 @@ pub struct LeanCore {
     /// loads wait until their predecessor's seq is complete.
     completed_load_seq: u64,
     /// Completion bookkeeping for out-of-order load returns.
-    load_done: HashMap<u64, bool>,
+    load_done: FxHashMap<u64, bool>,
     /// A fetched instruction that could not be dispatched yet.
     pending_dispatch: Option<Instr>,
+    /// Number of `NotIssued` entries in the ROB (kept so the wakeup
+    /// probe can skip the ROB scan in the common case).
+    deferred_loads: u32,
+    /// Memoized idle classification. The core's architectural state is
+    /// frozen between [`LeanCore::tick`] and
+    /// [`LeanCore::memory_response`] calls, so the wakeup/stall
+    /// analysis — probed once per cycle by the event-driven system —
+    /// holds until either invalidates it.
+    idle_cache: Option<IdleClass>,
     /// Remaining count of a partially dispatched compute batch.
     compute_backlog: u32,
     stats: CoreStats,
@@ -97,12 +131,14 @@ impl LeanCore {
             id,
             params,
             rob: VecDeque::with_capacity(params.rob_entries as usize),
-            outstanding: HashMap::new(),
+            outstanding: FxHashMap::default(),
             store_buffer_used: 0,
             last_load_seq: 0,
             completed_load_seq: 0,
-            load_done: HashMap::new(),
+            load_done: FxHashMap::default(),
             pending_dispatch: None,
+            deferred_loads: 0,
+            idle_cache: None,
             compute_backlog: 0,
             stats: CoreStats::default(),
             stream_done: false,
@@ -139,12 +175,144 @@ impl LeanCore {
         self.outstanding.len()
     }
 
+    /// Classifies what the next [`LeanCore::tick`] would do, without
+    /// performing it.
+    ///
+    /// This is the contract backing the event-driven system loop: when
+    /// it returns [`CoreWakeup::Blocked`], or [`CoreWakeup::At`] with a
+    /// cycle `t`, every tick before `t` (respectively, before the next
+    /// [`LeanCore::memory_response`]) retires nothing, issues nothing,
+    /// touches neither the L1 nor the instruction source, and only
+    /// advances the cycle/stall counters — exactly the updates
+    /// [`LeanCore::skip_idle`] replays in O(1). `Busy` is deliberately
+    /// conservative: whenever dispatch *might* make progress (e.g. the
+    /// source could yield an instruction) the core must be ticked.
+    pub fn next_wakeup(&mut self, _now: Cycle, l1: &L1Cache) -> CoreWakeup {
+        self.idle_class(l1).wakeup
+    }
+
+    /// The memoized idle analysis, recomputed only after a tick or a
+    /// memory response changed the core's state.
+    fn idle_class(&mut self, l1: &L1Cache) -> IdleClass {
+        if let Some(c) = self.idle_cache {
+            return c;
+        }
+        let c = self.compute_idle_class(l1);
+        self.idle_cache = Some(c);
+        c
+    }
+
+    fn compute_idle_class(&self, l1: &L1Cache) -> IdleClass {
+        let wakeup = self.compute_wakeup(l1);
+        if wakeup == CoreWakeup::Busy {
+            // A busy core is always fully ticked, never skipped, so its
+            // stall flags are never read — skip computing them.
+            return IdleClass {
+                wakeup,
+                load_stall: false,
+                store_stall: false,
+            };
+        }
+        let load_stall = matches!(
+            self.rob.front(),
+            Some(RobEntry {
+                slot: RobSlot::WaitingMem { .. } | RobSlot::NotIssued { .. },
+                ..
+            })
+        );
+        let rob_has_room = self.rob.len() < self.params.rob_entries as usize;
+        let store_stall = rob_has_room
+            && self.compute_backlog == 0
+            && self
+                .pending_dispatch
+                .as_ref()
+                .is_some_and(|i| self.store_dispatch_blocked(i, l1));
+        IdleClass {
+            wakeup,
+            load_stall,
+            store_stall,
+        }
+    }
+
+    fn compute_wakeup(&self, l1: &L1Cache) -> CoreWakeup {
+        if self.rob.len() < self.params.rob_entries as usize {
+            if self.compute_backlog > 0 {
+                return CoreWakeup::Busy;
+            }
+            match &self.pending_dispatch {
+                None => {
+                    if !self.stream_done {
+                        return CoreWakeup::Busy;
+                    }
+                }
+                Some(instr) => {
+                    if !self.store_dispatch_blocked(instr, l1) {
+                        return CoreWakeup::Busy;
+                    }
+                }
+            }
+        }
+        // A deferred dependent load could issue once its predecessor has
+        // completed — but predecessors complete (and MSHRs free up) only
+        // on a memory response, so this can flip mid-window only via an
+        // event the system already tracks.
+        if self.deferred_loads > 0 && self.outstanding.len() < self.params.l1_mshrs as usize {
+            for e in &self.rob {
+                if matches!(e.slot, RobSlot::NotIssued { .. }) {
+                    let seq = e.load_seq.expect("NotIssued entries are loads");
+                    if self.completed_load_seq >= seq - 1 {
+                        return CoreWakeup::Busy;
+                    }
+                }
+            }
+        }
+        match self.rob.front() {
+            Some(RobEntry {
+                slot: RobSlot::Ready { at },
+                ..
+            }) => CoreWakeup::At(*at),
+            _ => CoreWakeup::Blocked,
+        }
+    }
+
+    /// Whether a parked store at the dispatch head still cannot
+    /// dispatch (no store-buffer slot or L1 MSHR for a fresh miss).
+    /// Mirrors the check in [`LeanCore::dispatch`] exactly.
+    fn store_dispatch_blocked(&self, instr: &Instr, l1: &L1Cache) -> bool {
+        let Instr::Store { block, .. } = instr else {
+            return false; // only stores ever park in pending_dispatch
+        };
+        let joins_existing = self.outstanding.contains_key(block);
+        let would_miss = !joins_existing && !l1.contains(*block);
+        would_miss
+            && (self.store_buffer_used >= self.params.store_buffer_entries
+                || self.outstanding.len() >= self.params.l1_mshrs as usize)
+    }
+
+    /// Replays the counter updates of `cycles` consecutive idle ticks
+    /// in O(1): cycle count, the ROB-head load stall, and the parked
+    /// store's buffer stall. Only legal when
+    /// [`LeanCore::next_wakeup`] proved the window idle (the
+    /// architectural state is frozen there, so each skipped tick would
+    /// have applied exactly these increments).
+    pub fn skip_idle(&mut self, cycles: u64, l1: &L1Cache) {
+        let class = self.idle_class(l1);
+        self.stats.cycles += cycles;
+        if class.load_stall {
+            self.stats.load_stall_cycles += cycles;
+        }
+        if class.store_stall {
+            self.stats.store_buffer_stall_cycles += cycles;
+        }
+    }
+
     /// Delivers a memory response for `block` at cycle `now`: all ROB
     /// entries and store-buffer slots waiting on it complete.
     pub fn memory_response(&mut self, block: BlockAddr, now: Cycle) {
         let Some(waiters) = self.outstanding.remove(&block) else {
             return; // response for a block this core wasn't waiting on
         };
+        self.idle_cache = None;
         let mut rob_waiters = 0;
         for e in &mut self.rob {
             if matches!(e.slot, RobSlot::WaitingMem { block: b } if b == block) {
@@ -188,6 +356,7 @@ impl LeanCore {
         requests: &mut Vec<PendingAccess>,
         writebacks: &mut Vec<BlockAddr>,
     ) -> u32 {
+        self.idle_cache = None;
         self.stats.cycles += 1;
         let retired = self.retire(now);
         self.issue_ready_dependents(now, l1, requests, writebacks);
@@ -230,31 +399,30 @@ impl LeanCore {
         requests: &mut Vec<PendingAccess>,
         writebacks: &mut Vec<BlockAddr>,
     ) {
-        // Collect indices first to appease the borrow checker.
-        let ready: Vec<usize> = self
-            .rob
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| match e.slot {
-                RobSlot::NotIssued { .. } => {
-                    let seq = e.load_seq.expect("NotIssued entries are loads");
-                    (self.completed_load_seq >= seq - 1).then_some(i)
-                }
-                _ => None,
-            })
-            .collect();
-        for i in ready {
+        if self.deferred_loads == 0 {
+            return;
+        }
+        // Readiness is judged against the completed sequence as of the
+        // start of the pass: a load completing during the pass (an L1
+        // hit) must not cascade its dependents into the same cycle.
+        let completed_at_start = self.completed_load_seq;
+        for i in 0..self.rob.len() {
             if self.outstanding.len() >= self.params.l1_mshrs as usize {
                 break;
             }
             let RobSlot::NotIssued { instr } = self.rob[i].slot else {
                 continue;
             };
+            let seq = self.rob[i].load_seq.expect("NotIssued entries are loads");
+            if completed_at_start < seq - 1 {
+                continue;
+            }
             let Instr::Load { block, pc, .. } = instr else {
                 unreachable!("only loads defer issue")
             };
             let slot = self.issue_load(block, pc, now, l1, requests, writebacks);
             self.rob[i].slot = slot;
+            self.deferred_loads -= 1;
             if let RobSlot::Ready { .. } = self.rob[i].slot {
                 if let Some(seq) = self.rob[i].load_seq {
                     self.load_done.insert(seq, true);
@@ -351,6 +519,7 @@ impl LeanCore {
                         }
                         s
                     } else {
+                        self.deferred_loads += 1;
                         RobSlot::NotIssued {
                             instr: Instr::Load { block, pc, dep },
                         }

@@ -184,6 +184,23 @@ impl Bank {
         debug_assert!(self.open_row.is_none(), "refresh with open row");
         self.earliest_act = self.earliest_act.max(ready);
     }
+
+    /// Earliest cycle an ACT could legally issue (bank-local constraints
+    /// only). Used by the event-driven scheduler horizon.
+    pub fn earliest_activate(&self) -> MemCycle {
+        self.earliest_act
+    }
+
+    /// Earliest cycle a column command to the open row could legally
+    /// issue (bank-local constraints only).
+    pub fn earliest_column(&self) -> MemCycle {
+        self.earliest_col
+    }
+
+    /// Earliest cycle a PRE could legally issue.
+    pub fn earliest_precharge(&self) -> MemCycle {
+        self.earliest_pre
+    }
 }
 
 /// Extension of [`DramTiming`] with parameters not listed in the
@@ -310,6 +327,32 @@ impl RankTimer {
         if matches!(self.refresh_until, Some(until) if now >= until) {
             self.refresh_until = None;
         }
+    }
+
+    /// When the next refresh falls due (the rank-wide periodic event).
+    pub fn refresh_due(&self) -> MemCycle {
+        self.refresh_due
+    }
+
+    /// The cycle an in-progress refresh completes, if one is running.
+    pub fn refresh_until(&self) -> Option<MemCycle> {
+        self.refresh_until
+    }
+
+    /// Earliest cycle an ACT could legally issue under rank-level tRRD
+    /// and tFAW constraints (refresh windows are accounted separately by
+    /// the caller).
+    pub fn earliest_activate(&self, t: &DramTiming) -> MemCycle {
+        let mut e = self.earliest_act;
+        if self.act_window.len() == 4 {
+            e = e.max(self.act_window[0] + t.t_faw);
+        }
+        e
+    }
+
+    /// Earliest cycle a read column command could issue under tWTR.
+    pub fn earliest_read_column(&self) -> MemCycle {
+        self.earliest_read_col
     }
 }
 

@@ -94,6 +94,19 @@ pub struct Channel {
     last_burst_was_write: bool,
     energy: DramEnergyCounters,
     auditor: Option<TimingAuditor>,
+    /// Memoized event horizon for [`Channel::tick_event`]: every tick at
+    /// a cycle strictly below it is a provable no-op (only background
+    /// energy accounting). `None` means "unknown — take the full tick".
+    horizon: Option<MemCycle>,
+    /// Commands issued so far (ACT/column/PRE/REF), bumped whenever a
+    /// tick consumes its command slot. Lets `tick_event` detect an
+    /// active tick without recomputing the horizon.
+    commands_issued: u64,
+    /// Column commands issued so far. Columns are the only commands
+    /// that pop a queue entry, i.e. the only events that can open room
+    /// for a backpressured transaction — the event loop watches this to
+    /// know when an enqueue retry could succeed.
+    columns_issued: u64,
 }
 
 impl Channel {
@@ -132,6 +145,9 @@ impl Channel {
             last_burst_was_write: false,
             energy: DramEnergyCounters::default(),
             auditor: audit.then(TimingAuditor::new),
+            horizon: None,
+            commands_issued: 0,
+            columns_issued: 0,
         }
     }
 
@@ -177,6 +193,7 @@ impl Channel {
     /// (a demand access merged into its MSHR). Returns whether a queued
     /// transaction was found.
     pub fn promote_to_demand(&mut self, block: bump_types::BlockAddr) -> bool {
+        self.horizon = None;
         if let Some(q) = self
             .read_queue
             .iter_mut()
@@ -202,6 +219,7 @@ impl Channel {
         coord: DramCoord,
         now: MemCycle,
     ) -> bool {
+        self.horizon = None;
         if txn.is_write {
             if let Some(q) = self
                 .write_queue
@@ -261,6 +279,194 @@ impl Channel {
             return; // the command slot was spent on refresh management
         }
         self.schedule(now);
+    }
+
+    /// Event-driven tick: identical semantics to [`Channel::tick`], but
+    /// ticks strictly below the memoized [`Channel::next_event_at`]
+    /// horizon take a fast path that only performs the per-cycle
+    /// background-energy accounting (provably the full tick's only
+    /// effect there). The horizon is recomputed after every full tick
+    /// and invalidated by [`Channel::enqueue`] /
+    /// [`Channel::promote_to_demand`].
+    pub fn tick_event(&mut self, now: MemCycle, completions: &mut Vec<Completion>) {
+        if let Some(h) = self.horizon {
+            if now < h {
+                self.account_background(now);
+                return;
+            }
+        }
+        let commands_before = self.commands_issued;
+        let retired_before = completions.len();
+        self.tick(now, completions);
+        self.horizon =
+            if self.commands_issued != commands_before || completions.len() != retired_before {
+                // The channel is hot — a command or completion landed this
+                // cycle, so more activity next cycle is likely. Skip the
+                // horizon scan; the next full tick re-evaluates anyway.
+                Some(now + 1)
+            } else {
+                Some(self.next_event_at(now + 1))
+            };
+    }
+
+    /// The earliest memory cycle `T >= now` at which ticking this
+    /// channel could do anything beyond background-energy accounting: a
+    /// transaction completes, a command becomes legal to issue, a
+    /// refresh falls due or finishes, or the write-drain mode flips.
+    ///
+    /// This is an *exact lower bound*: every tick in `now..T` is a
+    /// no-op (the channel state is frozen there, so the monotone timing
+    /// predicates cannot flip before their thresholds), while the tick
+    /// at `T` may — but need not — act. Returning a too-early horizon
+    /// only costs a wasted tick; the event engine's equivalence to the
+    /// cycle-accurate oracle does not depend on tightness.
+    pub fn next_event_at(&self, now: MemCycle) -> MemCycle {
+        // A pending drain-mode flip mutates state on the very next tick.
+        if self.drain_mode_would_flip() {
+            return now;
+        }
+        let mut t = MemCycle::MAX;
+        for f in &self.in_flight {
+            t = t.min(f.data_end);
+        }
+        for r in &self.ranks {
+            t = t.min(match r.refresh_until() {
+                Some(until) => until,
+                None => r.refresh_due(),
+            });
+        }
+        let is_write = self.write_drain;
+        let hit_banks = self.open_row_hit_banks();
+        for q in self.active_queue() {
+            t = t.min(self.earliest_possible_issue(q, is_write, hit_banks));
+        }
+        t.max(now)
+    }
+
+    /// [`Channel::next_event_at`], but served from the horizon memoized
+    /// by [`Channel::tick_event`] when it is still valid (the channel
+    /// state is frozen between full ticks, and every mutation —
+    /// enqueue, promotion — invalidates the memo).
+    pub fn next_event_cached(&self, now: MemCycle) -> MemCycle {
+        match self.horizon {
+            Some(h) => h,
+            None => self.next_event_at(now),
+        }
+    }
+
+    /// One pass over the active queue marking the banks whose open row
+    /// still has a pending hit — the rows the "first-ready" guarantee
+    /// forbids closing. Banks beyond the 64-bit mask (never the paper
+    /// geometry) fall back to [`Channel::pending_open_row_hit`].
+    fn open_row_hit_banks(&self) -> u64 {
+        let mut mask = 0u64;
+        for q in self.active_queue() {
+            let idx = self.bank_index(q.coord);
+            if idx < 64 && self.banks[idx].open_row() == Some(q.coord.row) {
+                mask |= 1 << idx;
+            }
+        }
+        mask
+    }
+
+    /// Whether any active-queue transaction still hits bank `idx`'s
+    /// open row, using the precomputed mask where it applies.
+    fn pending_open_row_hit(&self, idx: usize, mask: u64) -> bool {
+        if idx < 64 {
+            return mask & (1 << idx) != 0;
+        }
+        let open = self.banks[idx].open_row();
+        self.active_queue()
+            .iter()
+            .any(|o| self.bank_index(o.coord) == idx && Some(o.coord.row) == open)
+    }
+
+    /// Whether the next tick's [`Channel::update_drain_mode`] would
+    /// change the drain flag, given the current (frozen) queue lengths.
+    fn drain_mode_would_flip(&self) -> bool {
+        if self.write_drain {
+            self.write_queue.len() <= self.wq_config.drain_low
+        } else {
+            self.write_queue.len() >= self.wq_config.drain_high
+                || (self.read_queue.is_empty() && !self.write_queue.is_empty())
+        }
+    }
+
+    /// A lower bound on the cycle at which `q` could trigger any
+    /// command (column, ACT, or conflict PRE), assuming the channel
+    /// state stays frozen. Rank refresh windows are bounded separately
+    /// by the caller via the per-rank refresh thresholds.
+    fn earliest_possible_issue(
+        &self,
+        q: &Queued,
+        is_write: bool,
+        open_row_hit_banks: u64,
+    ) -> MemCycle {
+        let idx = self.bank_index(q.coord);
+        let bank = &self.banks[idx];
+        let rank = &self.ranks[q.coord.rank as usize];
+        match bank.open_row() {
+            Some(row) if row == q.coord.row => {
+                let mut t = bank.earliest_column();
+                if !is_write {
+                    t = t.max(rank.earliest_read_column());
+                }
+                let data_latency = if is_write {
+                    self.timing.cwl()
+                } else {
+                    self.timing.t_cas
+                };
+                let mut free = self.data_bus_free_at;
+                if self.last_burst_was_write != is_write {
+                    free += self.timing.turnaround();
+                }
+                t.max(free.saturating_sub(data_latency))
+            }
+            None => bank
+                .earliest_activate()
+                .max(rank.earliest_activate(&self.timing)),
+            Some(_) => {
+                // Conflict: a PRE can issue at earliest_pre, but never
+                // while a pending hit on the open row exists — that
+                // blocker only clears via another command (an event in
+                // its own right), so this transaction contributes none.
+                if self.pending_open_row_hit(idx, open_row_hit_banks) {
+                    MemCycle::MAX
+                } else {
+                    bank.earliest_precharge()
+                }
+            }
+        }
+    }
+
+    /// Applies the state changes of `cycles` consecutive no-op ticks in
+    /// O(ranks): per-rank background-energy accounting with the frozen
+    /// `open_banks` classification. The caller must have established —
+    /// via [`Channel::next_event_at`] — that every skipped tick is a
+    /// no-op.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        for rank in &self.ranks {
+            if rank.open_banks > 0 {
+                self.energy.active_rank_cycles += cycles;
+            } else {
+                self.energy.idle_rank_cycles += cycles;
+            }
+        }
+    }
+
+    /// Column commands issued so far (the queue-popping events).
+    pub fn columns_issued(&self) -> u64 {
+        self.columns_issued
+    }
+
+    /// The earliest cycle an in-flight *read* finishes its data burst,
+    /// if any. Drives the LLC's MSHR-full retry horizon.
+    pub fn next_read_completion(&self) -> Option<MemCycle> {
+        self.in_flight
+            .iter()
+            .filter(|f| !f.txn.is_write)
+            .map(|f| f.data_end)
+            .min()
     }
 
     fn retire_in_flight(&mut self, now: MemCycle, completions: &mut Vec<Completion>) {
@@ -328,6 +534,7 @@ impl Channel {
             }
             // All banks closed: issue REF once tRP has elapsed everywhere.
             if bank_range.clone().all(|b| self.banks[b].can_activate(now)) {
+                self.commands_issued += 1;
                 let done = self.ranks[r].start_refresh(now, &self.timing);
                 for b in bank_range {
                     self.banks[b].refresh_until(done);
@@ -345,6 +552,7 @@ impl Channel {
 
     fn issue_precharge(&mut self, rank: usize, bank: usize, now: MemCycle) {
         debug_assert!(self.banks[bank].open_row().is_some());
+        self.commands_issued += 1;
         self.banks[bank].precharge(now, &self.timing);
         self.ranks[rank].open_banks -= 1;
         if let Some(a) = &mut self.auditor {
@@ -390,24 +598,40 @@ impl Channel {
     /// the critical path.
     fn find_ready_column(&self, now: MemCycle) -> Option<usize> {
         let is_write = self.write_drain;
+        if !self.data_bus_available(now, is_write) {
+            return None; // channel-wide gate: no column can issue
+        }
         let ready = |q: &Queued| {
             let bank = &self.banks[self.bank_index(q.coord)];
             if !bank.can_column(now, q.coord.row) {
                 return false;
             }
             let rank = &self.ranks[q.coord.rank as usize];
-            let rank_ok = if is_write {
+            if is_write {
                 rank.can_write_col(now)
             } else {
                 rank.can_read_col(now)
-            };
-            rank_ok && self.data_bus_available(now, is_write)
+            }
         };
-        let queue = self.active_queue();
-        queue
-            .iter()
-            .position(|q| !q.txn.class.is_speculative() && ready(q))
-            .or_else(|| queue.iter().position(ready))
+        self.first_with_demand_priority(ready)
+    }
+
+    /// The oldest active-queue transaction satisfying `pred`, giving
+    /// demand traffic priority over speculative (prefetch/bulk) traffic
+    /// so streams cannot delay the critical path — in one pass.
+    fn first_with_demand_priority(&self, pred: impl Fn(&Queued) -> bool) -> Option<usize> {
+        let mut any = None;
+        for (i, q) in self.active_queue().iter().enumerate() {
+            if pred(q) {
+                if !q.txn.class.is_speculative() {
+                    return Some(i);
+                }
+                if any.is_none() {
+                    any = Some(i);
+                }
+            }
+        }
+        any
     }
 
     fn data_bus_available(&self, now: MemCycle, is_write: bool) -> bool {
@@ -432,26 +656,17 @@ impl Channel {
             bank.can_activate(now)
                 && self.ranks[q.coord.rank as usize].can_activate(now, &self.timing)
         };
-        let queue = self.active_queue();
-        queue
-            .iter()
-            .position(|q| !q.txn.class.is_speculative() && can(q))
-            .or_else(|| queue.iter().position(can))
+        self.first_with_demand_priority(can)
     }
 
     fn find_prechargeable(&self, now: MemCycle) -> Option<usize> {
-        let queue = self.active_queue();
-        queue.iter().position(|q| {
+        let hit_banks = self.open_row_hit_banks();
+        self.active_queue().iter().position(|q| {
             let idx = self.bank_index(q.coord);
             let bank = &self.banks[idx];
             match bank.open_row() {
                 Some(open) if open != q.coord.row => {
-                    // Never close a row that still has pending hits in
-                    // the active queue (the "first-ready" guarantee).
-                    let pending_hit = queue
-                        .iter()
-                        .any(|o| self.bank_index(o.coord) == idx && o.coord.row == open);
-                    !pending_hit && bank.can_precharge(now)
+                    !self.pending_open_row_hit(idx, hit_banks) && bank.can_precharge(now)
                 }
                 _ => false,
             }
@@ -459,6 +674,8 @@ impl Channel {
     }
 
     fn issue_column(&mut self, pos: usize, now: MemCycle) {
+        self.commands_issued += 1;
+        self.columns_issued += 1;
         let is_write = self.write_drain;
         let q = if is_write {
             self.write_queue.remove(pos).expect("queue position valid")
@@ -522,6 +739,7 @@ impl Channel {
     }
 
     fn issue_activate(&mut self, pos: usize, now: MemCycle) {
+        self.commands_issued += 1;
         let (coord, row) = {
             let q = &self.active_queue()[pos];
             (q.coord, q.coord.row)

@@ -206,6 +206,55 @@ impl MemoryController {
         }
     }
 
+    /// Event-driven variant of [`MemoryController::tick`]: channels
+    /// whose memoized horizon proves the cycle is a no-op only account
+    /// background energy. Semantically identical to `tick` — the
+    /// equivalence suite holds both paths to byte-identical reports.
+    pub fn tick_event(&mut self, now: MemCycle, completions: &mut Vec<Completion>) {
+        let start = completions.len();
+        for ch in &mut self.channels {
+            ch.tick_event(now, completions);
+        }
+        for c in &completions[start..] {
+            self.record_completion(c);
+        }
+    }
+
+    /// The earliest memory cycle `>= now` at which any channel could do
+    /// something beyond background accounting (see
+    /// [`Channel::next_event_at`]).
+    pub fn next_event_at(&self, now: MemCycle) -> MemCycle {
+        self.channels
+            .iter()
+            .map(|c| c.next_event_cached(now))
+            .min()
+            .unwrap_or(now)
+    }
+
+    /// Applies `cycles` consecutive no-op memory cycles to every
+    /// channel in O(channels × ranks). Only legal when the caller has
+    /// proven — via [`MemoryController::next_event_at`] — that no
+    /// channel acts in the skipped window.
+    pub fn skip_idle(&mut self, cycles: u64) {
+        for ch in &mut self.channels {
+            ch.skip_idle_cycles(cycles);
+        }
+    }
+
+    /// Column commands issued across all channels — the only events
+    /// that pop queue entries and so unblock backpressured enqueues.
+    pub fn columns_issued(&self) -> u64 {
+        self.channels.iter().map(|c| c.columns_issued()).sum()
+    }
+
+    /// The earliest cycle an in-flight read completes on any channel.
+    pub fn next_read_completion(&self) -> Option<MemCycle> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.next_read_completion())
+            .min()
+    }
+
     fn record_completion(&mut self, c: &Completion) {
         let record = |r: &mut Ratio| {
             if c.row_hit {

@@ -76,6 +76,50 @@ impl std::fmt::Display for Preset {
     }
 }
 
+/// Which simulation loop drives [`crate::System`].
+///
+/// Both engines execute the *same* per-cycle semantics; the event
+/// engine additionally proves — via the `next_event_at` /
+/// `next_wakeup` horizons of the DRAM channels and cores — that a span
+/// of upcoming cycles is null (nothing retires, issues, completes, or
+/// schedules) and replays the span's counter updates in O(1) instead
+/// of ticking through it. The equivalence suite
+/// (`tests/engine_equivalence.rs`) holds the two to byte-identical
+/// reports; the cycle engine is the oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Tick every CPU cycle (the oracle; slowest, simplest).
+    Cycle,
+    /// Fast-forward across provably idle spans (default).
+    #[default]
+    Event,
+}
+
+impl Engine {
+    /// Parses a `--engine` CLI value.
+    pub fn from_arg(s: &str) -> Option<Engine> {
+        match s {
+            "cycle" => Some(Engine::Cycle),
+            "event" => Some(Engine::Event),
+            _ => None,
+        }
+    }
+
+    /// The CLI / figure-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Cycle => "cycle",
+            Engine::Event => "event",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Complete system configuration.
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
@@ -101,6 +145,9 @@ pub struct SystemConfig {
     pub bump: BumpConfig,
     /// NOC one-way latency.
     pub noc_latency: Cycle,
+    /// Which simulation loop to run (cycle-accurate oracle vs
+    /// event-driven fast-forwarding; both are report-identical).
+    pub engine: Engine,
 }
 
 impl SystemConfig {
@@ -121,6 +168,7 @@ impl SystemConfig {
             dram,
             bump: BumpConfig::paper(),
             noc_latency: 5,
+            engine: Engine::default(),
         }
     }
 
@@ -184,6 +232,15 @@ mod tests {
         // Table II: the stride prefetcher is part of every non-SMS LLC.
         assert!(Preset::Bump.has_stride());
         assert!(Preset::BaseClose.has_stride());
+    }
+
+    #[test]
+    fn engine_parses_cli_values() {
+        assert_eq!(Engine::from_arg("cycle"), Some(Engine::Cycle));
+        assert_eq!(Engine::from_arg("event"), Some(Engine::Event));
+        assert_eq!(Engine::from_arg("warp"), None);
+        assert_eq!(Engine::default(), Engine::Event);
+        assert_eq!(Engine::Cycle.to_string(), "cycle");
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod report;
 mod runner;
 mod system;
 
-pub use config::{Preset, SystemConfig};
+pub use config::{Engine, Preset, SystemConfig};
 pub use profiler::{DensityProfile, DensityProfiler};
 pub use report::{SimReport, TrafficBreakdown};
 pub use runner::{config_for, run_experiment, run_experiment_with_config, RunOptions};

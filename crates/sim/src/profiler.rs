@@ -13,11 +13,11 @@
 //!   the first to a region during its generation could be a row hit
 //!   under region-level interleaving).
 
+use bump_types::FxHashMap;
 use bump_types::{
     BlockAddr, DensityClass, DensityThreshold, MemoryRequest, Ratio, RegionAddr, RegionConfig,
     TrafficClass,
 };
-use std::collections::HashMap;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Generation {
@@ -132,8 +132,8 @@ fn normalize(counts: [u64; 3]) -> [f64; 3] {
 pub struct DensityProfiler {
     region_cfg: RegionConfig,
     threshold: DensityThreshold,
-    active: HashMap<RegionAddr, Generation>,
-    post: HashMap<RegionAddr, PostWindow>,
+    active: FxHashMap<RegionAddr, Generation>,
+    post: FxHashMap<RegionAddr, PostWindow>,
     profile: DensityProfile,
 }
 
@@ -144,8 +144,8 @@ impl DensityProfiler {
         DensityProfiler {
             region_cfg,
             threshold: DensityThreshold::paper(),
-            active: HashMap::new(),
-            post: HashMap::new(),
+            active: FxHashMap::default(),
+            post: FxHashMap::default(),
             profile: DensityProfile::default(),
         }
     }

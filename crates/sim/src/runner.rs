@@ -1,7 +1,7 @@
 //! Warmup/measure experiment driver (the SMARTS-style methodology of
 //! §V.A, scaled to the synthetic workloads).
 
-use crate::config::{Preset, SystemConfig};
+use crate::config::{Engine, Preset, SystemConfig};
 use crate::report::SimReport;
 use crate::system::System;
 use bump_workloads::Workload;
@@ -22,6 +22,10 @@ pub struct RunOptions {
     pub seed: u64,
     /// Use the small (512KB) LLC for faster warmup.
     pub small_llc: bool,
+    /// Simulation loop: the event-driven engine (default) or the
+    /// cycle-accurate oracle. Both produce byte-identical reports (see
+    /// `tests/engine_equivalence.rs`); the oracle exists to prove it.
+    pub engine: Engine,
 }
 
 impl RunOptions {
@@ -34,6 +38,7 @@ impl RunOptions {
             max_cycles: 40_000_000,
             seed: 42,
             small_llc: false,
+            engine: Engine::default(),
         }
     }
 
@@ -46,6 +51,7 @@ impl RunOptions {
             max_cycles: 8_000_000,
             seed: 42,
             small_llc: true,
+            engine: Engine::default(),
         }
     }
 
@@ -67,6 +73,7 @@ pub fn config_for(preset: Preset, workload: Workload, opts: RunOptions) -> Syste
         c
     };
     cfg.seed = opts.seed;
+    cfg.engine = opts.engine;
     cfg
 }
 
@@ -77,8 +84,12 @@ pub fn run_experiment(preset: Preset, workload: Workload, opts: RunOptions) -> S
 }
 
 /// Runs one experiment from an explicit configuration (used by the
-/// ablation benches that tweak BuMP's tables or thresholds).
+/// ablation benches that tweak BuMP's tables or thresholds). The
+/// engine choice always comes from `opts`, so one CLI flag switches
+/// every cell of a sweep — including custom-config cells.
 pub fn run_experiment_with_config(cfg: SystemConfig, opts: RunOptions) -> SimReport {
+    let mut cfg = cfg;
+    cfg.engine = opts.engine;
     let mut sys = System::new(cfg);
     sys.run(opts.warmup_instructions, opts.max_cycles);
     sys.reset_stats();

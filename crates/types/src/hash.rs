@@ -1,0 +1,121 @@
+//! A fast, deterministic hasher for the simulator's hot hash maps.
+//!
+//! The standard library's `RandomState`/SipHash costs ~20ns per lookup
+//! of an 8-byte key — measurable when the LLC MSHR file and the cores'
+//! outstanding-miss maps field hundreds of millions of probes per run
+//! (the Full-region retry storm alone issues >100M). This is the
+//! classic Fx multiply-rotate hash (as used by rustc), implemented
+//! in-tree because the build is offline.
+//!
+//! Swapping hashers is observationally safe here: no simulator result
+//! depends on map iteration order (the determinism and golden-snapshot
+//! suites regenerate identical reports across processes, which already
+//! rules out any dependence on `RandomState`'s per-process seeds).
+//! Unlike `RandomState`, `FxHasher` is **not** DoS-resistant — it is
+//! for simulator-internal keys only, never attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher over machine words.
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Derived from the golden ratio, as in rustc's FxHash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`] — the default for the
+/// simulator's hot per-block bookkeeping maps.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn map_works_with_newtype_keys() {
+        use crate::BlockAddr;
+        let mut m: FxHashMap<BlockAddr, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(BlockAddr::from_index(i), i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&BlockAddr::from_index(977)), Some(&977));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_in_length_behavior() {
+        // Not equality across write strategies (irrelevant for HashMap,
+        // which always uses one strategy per key type) — just that the
+        // generic byte path produces stable, spread values.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..=255u8 {
+            let mut h = FxHasher::default();
+            h.write(&[i]);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 256);
+    }
+}

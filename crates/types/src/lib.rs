@@ -25,6 +25,7 @@
 mod addr;
 mod config;
 mod density;
+mod hash;
 mod instr;
 mod request;
 mod stats;
@@ -33,6 +34,7 @@ mod table;
 pub use addr::{BlockAddr, Pc, PcOffset, PhysAddr, RegionAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
 pub use config::{CacheGeometry, CoreParams, DramGeometry, DramTiming, Interleaving, RegionConfig};
 pub use density::{DensityClass, DensityThreshold};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use instr::{Instr, InstrSource};
 pub use request::{AccessKind, MemoryRequest, TrafficClass};
 pub use stats::Ratio;

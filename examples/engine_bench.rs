@@ -1,0 +1,64 @@
+//! Times one simulation cell under both engines and reports the
+//! event-engine speedup — the measurement behind the numbers quoted in
+//! the README's "Two simulation engines" section.
+//!
+//! Usage:
+//!   cargo run --release --example engine_bench [-- paper|quick] [preset] [workload]
+//!
+//! Defaults to the quick scale, Base-open, Web Search. `paper` runs the
+//! 16-core, 4MB-LLC configuration of the evaluation (§V.A) — the scale
+//! the `--full` reproduction suite sweeps.
+
+use bump_sim::{run_experiment, Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let paper = args.iter().any(|a| a == "paper");
+    let preset = args
+        .iter()
+        .find_map(|a| Preset::all().into_iter().find(|p| p.name() == a))
+        .unwrap_or(Preset::BaseOpen);
+    let workload = args
+        .iter()
+        .find_map(|a| Workload::all().into_iter().find(|w| w.name() == a))
+        .unwrap_or(Workload::WebSearch);
+    let base = if paper {
+        RunOptions::paper()
+    } else {
+        RunOptions::quick(8)
+    };
+    println!(
+        "cell: {} x {} ({} scale, {} cores)",
+        preset.name(),
+        workload.name(),
+        if paper { "paper" } else { "quick" },
+        base.cores
+    );
+    let mut wall = [0.0f64; 2];
+    let mut reports = Vec::new();
+    for (i, engine) in [Engine::Cycle, Engine::Event].into_iter().enumerate() {
+        let opts = RunOptions { engine, ..base };
+        let t = Instant::now();
+        let r = run_experiment(preset, workload, opts);
+        wall[i] = t.elapsed().as_secs_f64();
+        println!(
+            "  {engine:>5}: {:>7.2}s  cycles={} ipc={:.3} row_hit={:.3}",
+            wall[i],
+            r.cycles,
+            r.ipc(),
+            r.row_hit_ratio().value()
+        );
+        reports.push(r);
+    }
+    assert_eq!(
+        format!("{:?}", reports[0]),
+        format!("{:?}", reports[1]),
+        "engines diverged"
+    );
+    println!(
+        "  reports byte-identical; event-engine speedup: {:.2}x",
+        wall[0] / wall[1]
+    );
+}

@@ -2,7 +2,7 @@
 //! and different seeds produce different (but statistically similar)
 //! ones. This is what makes the reproduction's numbers reproducible.
 
-use bump_sim::{run_experiment, Preset, RunOptions};
+use bump_sim::{run_experiment, Engine, Preset, RunOptions};
 use bump_workloads::Workload;
 
 fn opts(seed: u64) -> RunOptions {
@@ -13,6 +13,7 @@ fn opts(seed: u64) -> RunOptions {
         max_cycles: 3_000_000,
         seed,
         small_llc: true,
+        engine: Engine::Event,
     }
 }
 

@@ -1,0 +1,105 @@
+//! Differential equivalence: the event-driven engine must reproduce
+//! the cycle-accurate oracle *exactly* — every preset, field for field,
+//! down to the energy counters and stall-cycle accounting. This is the
+//! safety harness behind the event-driven `System::run` rewrite: any
+//! horizon (`next_event_at`, `next_wakeup`) that under-approximates
+//! idleness shows up here as a diverging report.
+
+use bump_sim::{run_experiment, Engine, Preset, RunOptions, SimReport};
+use bump_workloads::Workload;
+
+fn opts(engine: Engine, seed: u64) -> RunOptions {
+    RunOptions {
+        cores: 2,
+        warmup_instructions: 30_000,
+        measure_instructions: 30_000,
+        max_cycles: 3_000_000,
+        seed,
+        small_llc: true,
+        engine,
+    }
+}
+
+/// Field-for-field comparison with targeted messages for the fields
+/// most likely to drift, then a full structural check: `SimReport`'s
+/// `Debug` rendering is a complete value dump (including every nested
+/// stat and float), so identical strings mean identical reports.
+fn assert_reports_identical(oracle: &SimReport, event: &SimReport, what: &str) {
+    assert_eq!(
+        oracle.instructions, event.instructions,
+        "{what}: instructions"
+    );
+    assert_eq!(oracle.cycles, event.cycles, "{what}: cycles");
+    assert_eq!(
+        oracle.load_stall_cycles, event.load_stall_cycles,
+        "{what}: load stall cycles"
+    );
+    assert_eq!(
+        format!("{:?}", oracle.traffic),
+        format!("{:?}", event.traffic),
+        "{what}: traffic breakdown"
+    );
+    assert_eq!(
+        format!("{:?}", oracle.dram),
+        format!("{:?}", event.dram),
+        "{what}: DRAM stats"
+    );
+    assert_eq!(
+        format!("{:?}", oracle.dram_energy),
+        format!("{:?}", event.dram_energy),
+        "{what}: DRAM energy counters"
+    );
+    assert_eq!(
+        format!("{:?}", oracle.noc),
+        format!("{:?}", event.noc),
+        "{what}: NOC stats"
+    );
+    assert_eq!(
+        format!("{:?}", oracle.memory_energy),
+        format!("{:?}", event.memory_energy),
+        "{what}: memory energy"
+    );
+    assert_eq!(
+        format!("{oracle:?}"),
+        format!("{event:?}"),
+        "{what}: full report"
+    );
+}
+
+#[test]
+fn every_preset_is_report_identical_across_engines() {
+    for preset in Preset::all() {
+        let oracle = run_experiment(preset, Workload::WebSearch, opts(Engine::Cycle, 42));
+        let event = run_experiment(preset, Workload::WebSearch, opts(Engine::Event, 42));
+        assert_reports_identical(&oracle, &event, preset.name());
+    }
+}
+
+#[test]
+fn workload_slice_is_report_identical_across_engines() {
+    // The mechanisms stress different horizons: BuMP floods bulk reads
+    // (MSHR backpressure → completion-horizon retries), Full-region
+    // thrashes hardest, Base-close exercises the close-row scheduler.
+    for (preset, workload, seed) in [
+        (Preset::Bump, Workload::DataServing, 7),
+        (Preset::Bump, Workload::MediaStreaming, 1),
+        (Preset::FullRegion, Workload::WebServing, 7),
+        (Preset::BaseClose, Workload::OnlineAnalytics, 3),
+        (Preset::SmsVwq, Workload::SoftwareTesting, 11),
+    ] {
+        let oracle = run_experiment(preset, workload, opts(Engine::Cycle, seed));
+        let event = run_experiment(preset, workload, opts(Engine::Event, seed));
+        assert_reports_identical(
+            &oracle,
+            &event,
+            &format!("{} x {} (seed {seed})", preset.name(), workload.name()),
+        );
+    }
+}
+
+#[test]
+fn event_engine_is_deterministic() {
+    let a = run_experiment(Preset::Bump, Workload::WebSearch, opts(Engine::Event, 42));
+    let b = run_experiment(Preset::Bump, Workload::WebSearch, opts(Engine::Event, 42));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

@@ -3,7 +3,7 @@
 //! (Exact magnitudes are checked by the reproduction binaries at full
 //! scale and recorded in EXPERIMENTS.md.)
 
-use bump_sim::{run_experiment, Preset, RunOptions, SimReport};
+use bump_sim::{run_experiment, Engine, Preset, RunOptions, SimReport};
 use bump_workloads::Workload;
 
 fn opts() -> RunOptions {
@@ -14,6 +14,7 @@ fn opts() -> RunOptions {
         max_cycles: 12_000_000,
         seed: 42,
         small_llc: true,
+        engine: Engine::Event,
     }
 }
 

@@ -2,7 +2,7 @@
 //! runs, conserves its accounting identities, and respects DRAM timing
 //! (checked by the independent auditor).
 
-use bump_sim::{run_experiment_with_config, Preset, RunOptions, SystemConfig};
+use bump_sim::{run_experiment_with_config, Engine, Preset, RunOptions, SystemConfig};
 use bump_workloads::Workload;
 
 fn quick() -> RunOptions {
@@ -13,6 +13,7 @@ fn quick() -> RunOptions {
         max_cycles: 4_000_000,
         seed: 7,
         small_llc: true,
+        engine: Engine::Event,
     }
 }
 
