@@ -9,7 +9,9 @@
 //! Search`, used by six figures) are simulated exactly once, and
 //! independent cells run `--threads`-wide (default: all cores).
 
-use bump_bench::experiment::{run_grid, ExperimentGrid, GridArgs};
+use bump_bench::experiment::{
+    run_grid_with, ExperimentGrid, GridArgs, IncrementalCsv, MetricRow, SeedSummary,
+};
 use bump_bench::figures;
 use std::time::Instant;
 
@@ -20,32 +22,57 @@ fn main() {
     for f in &suite {
         grid.merge((f.grid)(args.scale));
     }
+    let expanded = grid.replicate_seeds(args.seeds);
     println!(
-        "repro_all: {} unique cells across {} targets, {} worker threads, {} engine",
+        "repro_all: {} unique cells ({} with x{} seed replication) across {} targets, \
+         {} worker threads, {} engine",
         grid.len(),
+        expanded.len(),
+        args.seeds,
         suite.len(),
         args.threads,
         args.engine
     );
     let start = Instant::now();
-    let results = run_grid(&grid, args.threads);
+    // Stream rows to results/repro_all.csv as cells land, so an
+    // interrupted --full sweep leaves every finished cell on disk.
+    let stream = IncrementalCsv::new("repro_all");
+    let all = run_grid_with(&expanded, args.threads, move |_, spec, report| {
+        stream.append(&MetricRow::of(spec, report));
+    });
     let simulated = start.elapsed();
+    // Figures render from the replica-0 (calibrated-seed) results;
+    // borrow directly in the common single-seed case.
+    let selected;
+    let results = if args.seeds > 1 {
+        selected = all.select(&grid);
+        &selected
+    } else {
+        &all
+    };
     for f in &suite {
         println!("\n================ {} ================\n", f.name);
-        let out = (f.render)(&results, args.scale);
+        let out = (f.render)(results, args.scale);
         bump_bench::emit(f.name, &out);
         // Match the standalone binaries: per-figure structured rows too.
         let figure_grid = (f.grid)(args.scale);
         if !figure_grid.is_empty() {
-            results.select(&figure_grid).write_files(f.name);
+            let figure_expanded = figure_grid.replicate_seeds(args.seeds);
+            all.select(&figure_expanded).write_files(f.name);
+            if args.seeds > 1 {
+                SeedSummary::from_results(&figure_grid, &all, args.seeds).write_files(f.name);
+            }
         }
     }
-    results.write_files("repro_all");
+    all.write_files("repro_all");
+    if args.seeds > 1 {
+        SeedSummary::from_results(&grid, &all, args.seeds).write_files("repro_all");
+    }
     println!(
         "\nAll {} reproduction targets completed; {} cells simulated in {:.1}s \
          on {} threads; results/ holds the outputs.",
         suite.len(),
-        results.len(),
+        all.len(),
         simulated.as_secs_f64(),
         args.threads
     );

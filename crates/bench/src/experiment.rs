@@ -26,8 +26,9 @@ use bump_sim::{
 };
 use bump_workloads::Workload;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// One cell of an experiment grid.
 #[derive(Clone, Debug)]
@@ -174,6 +175,31 @@ impl ExperimentGrid {
         self
     }
 
+    /// Expands every cell into `replicas` cells across derived seeds
+    /// (the `--seeds N` mode): replica 0 is the cell unchanged, so
+    /// single-seed renderings and golden outputs are unaffected;
+    /// replica `k` is labeled `<label>#s<k>` and seeded by chaining
+    /// [`derive_cell_seed`] `k` times from the base seed — the same
+    /// derivation [`ExperimentGrid::derive_seeds`] applies once.
+    /// Replicas of a cell are consecutive in the expanded grid.
+    pub fn replicate_seeds(&self, replicas: usize) -> ExperimentGrid {
+        let replicas = replicas.max(1);
+        let mut grid = ExperimentGrid::new();
+        for cell in &self.cells {
+            let mut seed = cell.options.seed;
+            for k in 0..replicas {
+                let mut spec = cell.clone();
+                if k > 0 {
+                    seed = derive_cell_seed(seed, &cell.label);
+                    let _ = write!(spec.label, "#s{k}");
+                    spec.options.seed = seed;
+                }
+                grid.push(spec);
+            }
+        }
+        grid
+    }
+
     /// The cells, in insertion (result) order.
     pub fn cells(&self) -> &[ExperimentSpec] {
         &self.cells
@@ -205,27 +231,50 @@ pub fn default_threads() -> usize {
 
 /// Runs every cell of `grid` on `threads` workers.
 ///
-/// Work is handed out cell-by-cell from an atomic cursor; each worker
-/// writes its report into the slot for its cell index, so the returned
-/// [`GridResults`] is in grid order and bit-identical for any thread
-/// count (cells are independent simulations with spec-fixed seeds).
+/// A thin synchronous wrapper over the shared work-stealing
+/// [`crate::sched::Scheduler`] (also the execution path behind the
+/// `bumpd` daemon): cells are stolen in estimated-cost order, and each
+/// worker's report lands in the slot for its cell index, so the
+/// returned [`GridResults`] is in grid order and bit-identical for any
+/// thread count (cells are independent simulations with spec-fixed
+/// seeds).
 pub fn run_grid(grid: &ExperimentGrid, threads: usize) -> GridResults {
+    run_grid_with(grid, threads, |_, _, _| {})
+}
+
+/// [`run_grid`] with a streaming hook: `on_cell` fires (from a worker
+/// thread, in completion order) as each cell's report lands. This is
+/// what drives incremental CSV emission — an interrupted sweep leaves
+/// every finished row on disk (see [`IncrementalCsv`]).
+pub fn run_grid_with<F>(grid: &ExperimentGrid, threads: usize, on_cell: F) -> GridResults
+where
+    F: Fn(usize, &ExperimentSpec, &SimReport) + Send + Sync + 'static,
+{
     let cells = grid.cells();
-    let threads = threads.max(1).min(cells.len().max(1));
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let report = cells[i].run();
-                *slots[i].lock().expect("result slot poisoned") = Some(report);
-            });
-        }
-    });
+    if cells.is_empty() {
+        return GridResults { rows: Vec::new() };
+    }
+    let threads = threads.max(1).min(cells.len());
+    let sched = crate::sched::Scheduler::new(threads);
+    let slots: Arc<Vec<Mutex<Option<SimReport>>>> =
+        Arc::new(cells.iter().map(|_| Mutex::new(None)).collect());
+    let handle = sched.submit(
+        cells.to_vec(),
+        Box::new({
+            let slots = Arc::clone(&slots);
+            move |i, spec, report| {
+                on_cell(i, spec, report);
+                *slots[i].lock().expect("result slot poisoned") = Some(report.clone());
+            }
+        }),
+    );
+    let outcome = handle.wait();
+    drop(sched); // joins the workers; the job callback is dropped with them
+    drop(handle);
+    if let Err(msg) = outcome {
+        panic!("{msg}");
+    }
+    let slots = Arc::try_unwrap(slots).expect("scheduler retained result slots after join");
     let rows = cells
         .iter()
         .cloned()
@@ -303,26 +352,7 @@ impl GridResults {
     pub fn metric_rows(&self) -> Vec<MetricRow> {
         self.rows
             .iter()
-            .map(|(spec, r)| MetricRow {
-                label: spec.label.clone(),
-                preset: spec.preset.name(),
-                workload: spec.workload.name(),
-                cores: spec.options.cores,
-                seed: spec.options.seed,
-                cycles: r.cycles,
-                instructions: r.instructions,
-                ipc: r.ipc(),
-                row_hit: r.row_hit_ratio().value(),
-                ideal_row_hit: r.ideal_row_hit_ratio().value(),
-                energy_per_access_nj: r.energy_per_access_nj(),
-                server_energy_j: r.server_energy.total_j(),
-                dram_accesses: r.traffic.total(),
-                write_fraction: r.traffic.write_fraction(),
-                predicted_read_fraction: r.predicted_read_fraction(),
-                read_overfetch_fraction: r.read_overfetch_fraction(),
-                predicted_write_fraction: r.predicted_write_fraction(),
-                extra_writeback_fraction: r.extra_writeback_fraction(),
-            })
+            .map(|(spec, r)| MetricRow::of(spec, r))
             .collect()
     }
 
@@ -356,20 +386,98 @@ impl GridResults {
 
     /// Writes `results/<name>.csv` and `results/<name>.json`.
     ///
+    /// Each file is written to a tempfile and renamed into place, so a
+    /// completed run atomically replaces any partial CSV an
+    /// [`IncrementalCsv`] streamed while cells were landing (and the
+    /// final row order is always grid order, independent of
+    /// completion order).
+    ///
     /// Errors are reported to stderr but not fatal, matching the text
     /// emitters: a read-only checkout still prints results to stdout.
     pub fn write_files(&self, name: &str) {
-        let dir = std::path::Path::new("results");
+        let dir = Path::new("results");
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("warning: cannot create results/: {e}");
             return;
         }
         for (ext, content) in [("csv", self.to_csv()), ("json", self.to_json())] {
             let path = dir.join(format!("{name}.{ext}"));
-            if let Err(e) = std::fs::write(&path, content) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
+            write_atomically(&path, &content);
+        }
+    }
+}
+
+/// Writes `content` to `path` via a same-directory tempfile + rename.
+fn write_atomically(path: &Path, content: &str) {
+    let tmp = path.with_extension("tmp");
+    if let Err(e) = std::fs::write(&tmp, content) {
+        eprintln!("warning: cannot write {}: {e}", tmp.display());
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        eprintln!("warning: cannot rename into {}: {e}", path.display());
+    }
+}
+
+/// Streams metric rows to `results/<name>.csv` as cells land.
+///
+/// The file is opened lazily on the first row (so figures without
+/// simulations never create one), gets the CSV header up front, and is
+/// flushed after every row: an interrupted `--full` sweep leaves every
+/// finished cell's row on disk, in completion order. A run that
+/// completes rewrites the file in grid order via
+/// [`GridResults::write_files`]'s tempfile + rename.
+pub struct IncrementalCsv {
+    path: PathBuf,
+    state: Mutex<IncrementalState>,
+}
+
+enum IncrementalState {
+    Unopened,
+    Open(std::fs::File),
+    Failed,
+}
+
+impl IncrementalCsv {
+    /// An incremental writer for `results/<name>.csv`.
+    pub fn new(name: &str) -> Self {
+        IncrementalCsv {
+            path: Path::new("results").join(format!("{name}.csv")),
+            state: Mutex::new(IncrementalState::Unopened),
+        }
+    }
+
+    /// Appends one row (header first if this is the first row).
+    /// Errors disable the writer with a warning; the run itself is
+    /// never failed over result-file I/O.
+    pub fn append(&self, row: &MetricRow) {
+        let mut state = self.state.lock().expect("incremental csv poisoned");
+        if let IncrementalState::Unopened = *state {
+            *state = match self.open() {
+                Ok(file) => IncrementalState::Open(file),
+                Err(e) => {
+                    eprintln!("warning: cannot stream {}: {e}", self.path.display());
+                    IncrementalState::Failed
+                }
+            };
+        }
+        if let IncrementalState::Open(file) = &mut *state {
+            let ok = writeln!(file, "{}", row.to_csv()).and_then(|()| file.flush());
+            if let Err(e) = ok {
+                eprintln!("warning: cannot stream {}: {e}", self.path.display());
+                *state = IncrementalState::Failed;
             }
         }
+    }
+
+    fn open(&self) -> std::io::Result<std::fs::File> {
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = std::fs::File::create(&self.path)?;
+        writeln!(file, "{}", MetricRow::CSV_HEADER)?;
+        file.flush()?;
+        Ok(file)
     }
 }
 
@@ -415,6 +523,30 @@ pub struct MetricRow {
 }
 
 impl MetricRow {
+    /// The metric row for one cell's report.
+    pub fn of(spec: &ExperimentSpec, r: &SimReport) -> MetricRow {
+        MetricRow {
+            label: spec.label.clone(),
+            preset: spec.preset.name(),
+            workload: spec.workload.name(),
+            cores: spec.options.cores,
+            seed: spec.options.seed,
+            cycles: r.cycles,
+            instructions: r.instructions,
+            ipc: r.ipc(),
+            row_hit: r.row_hit_ratio().value(),
+            ideal_row_hit: r.ideal_row_hit_ratio().value(),
+            energy_per_access_nj: r.energy_per_access_nj(),
+            server_energy_j: r.server_energy.total_j(),
+            dram_accesses: r.traffic.total(),
+            write_fraction: r.traffic.write_fraction(),
+            predicted_read_fraction: r.predicted_read_fraction(),
+            read_overfetch_fraction: r.read_overfetch_fraction(),
+            predicted_write_fraction: r.predicted_write_fraction(),
+            extra_writeback_fraction: r.extra_writeback_fraction(),
+        }
+    }
+
     /// CSV column names, matching [`MetricRow::to_csv`]'s field order.
     pub const CSV_HEADER: &'static str = "label,preset,workload,cores,seed,cycles,instructions,\
          ipc,row_hit,ideal_row_hit,energy_per_access_nj,server_energy_j,dram_accesses,\
@@ -481,15 +613,197 @@ impl MetricRow {
     }
 }
 
+/// Extracts one numeric metric from a [`MetricRow`] (see
+/// [`SEED_METRICS`]).
+pub type MetricExtractor = fn(&MetricRow) -> f64;
+
+/// The numeric [`MetricRow`] fields aggregated by [`SeedSummary`], as
+/// `(column name, extractor)` pairs in summary column order.
+pub const SEED_METRICS: &[(&str, MetricExtractor)] = &[
+    ("cycles", |r| r.cycles as f64),
+    ("instructions", |r| r.instructions as f64),
+    ("ipc", |r| r.ipc),
+    ("row_hit", |r| r.row_hit),
+    ("ideal_row_hit", |r| r.ideal_row_hit),
+    ("energy_per_access_nj", |r| r.energy_per_access_nj),
+    ("server_energy_j", |r| r.server_energy_j),
+    ("dram_accesses", |r| r.dram_accesses as f64),
+    ("write_fraction", |r| r.write_fraction),
+    ("predicted_read_fraction", |r| r.predicted_read_fraction),
+    ("read_overfetch_fraction", |r| r.read_overfetch_fraction),
+    ("predicted_write_fraction", |r| r.predicted_write_fraction),
+    ("extra_writeback_fraction", |r| r.extra_writeback_fraction),
+];
+
+/// Mean ± sample standard deviation of one metric across seed replicas.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeedStat {
+    /// Arithmetic mean across replicas.
+    pub mean: f64,
+    /// Sample standard deviation (`n-1` denominator; 0 for one replica).
+    pub std: f64,
+}
+
+impl SeedStat {
+    fn of(values: &[f64]) -> SeedStat {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let std = if values.len() < 2 {
+            0.0
+        } else {
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        };
+        SeedStat { mean, std }
+    }
+}
+
+/// Per-cell mean ± stddev across seed replicas (the `--seeds N` mode).
+#[derive(Clone, Debug)]
+pub struct SeedRow {
+    /// Base cell label (without the `#s<k>` replica suffix).
+    pub label: String,
+    /// Preset name.
+    pub preset: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Number of replicas aggregated.
+    pub seeds: usize,
+    /// One [`SeedStat`] per [`SEED_METRICS`] entry, in that order.
+    pub stats: Vec<SeedStat>,
+}
+
+/// Seed-replicated aggregation of a grid run: one row per *base* cell,
+/// each metric reported as mean ± sample stddev across the replicas
+/// produced by [`ExperimentGrid::replicate_seeds`].
+#[derive(Clone, Debug)]
+pub struct SeedSummary {
+    rows: Vec<SeedRow>,
+}
+
+impl SeedSummary {
+    /// Aggregates `results` (a run of `base.replicate_seeds(replicas)`)
+    /// back onto the cells of `base`. Panics if a replica row is
+    /// missing — that is a harness wiring bug.
+    pub fn from_results(base: &ExperimentGrid, results: &GridResults, replicas: usize) -> Self {
+        let replicas = replicas.max(1);
+        let by_label: std::collections::HashMap<String, MetricRow> = results
+            .metric_rows()
+            .into_iter()
+            .map(|row| (row.label.clone(), row))
+            .collect();
+        let rows = base
+            .cells()
+            .iter()
+            .map(|cell| {
+                let replica_rows: Vec<&MetricRow> = (0..replicas)
+                    .map(|k| {
+                        let label = if k == 0 {
+                            cell.label.clone()
+                        } else {
+                            format!("{}#s{k}", cell.label)
+                        };
+                        by_label
+                            .get(label.as_str())
+                            .unwrap_or_else(|| panic!("seed summary missing replica {label:?}"))
+                    })
+                    .collect();
+                let stats = SEED_METRICS
+                    .iter()
+                    .map(|(_, get)| {
+                        let values: Vec<f64> = replica_rows.iter().map(|r| get(r)).collect();
+                        SeedStat::of(&values)
+                    })
+                    .collect();
+                SeedRow {
+                    label: cell.label.clone(),
+                    preset: cell.preset.name(),
+                    workload: cell.workload.name(),
+                    seeds: replicas,
+                    stats,
+                }
+            })
+            .collect();
+        SeedSummary { rows }
+    }
+
+    /// The aggregated rows, in base-grid order.
+    pub fn rows(&self) -> &[SeedRow] {
+        &self.rows
+    }
+
+    /// CSV: `label,preset,workload,seeds` then `<metric>_mean,<metric>_std`
+    /// per [`SEED_METRICS`] entry.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,preset,workload,seeds");
+        for (name, _) in SEED_METRICS {
+            let _ = write!(out, ",{name}_mean,{name}_std");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(
+                out,
+                "{},{},{},{}",
+                row.label, row.preset, row.workload, row.seeds
+            );
+            for stat in &row.stats {
+                let _ = write!(out, ",{:.6},{:.6}", stat.mean, stat.std);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON array with per-metric `{"mean":..,"std":..}` objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  {{\"label\":{:?},\"preset\":{:?},\"workload\":{:?},\"seeds\":{}",
+                row.label, row.preset, row.workload, row.seeds
+            );
+            for ((name, _), stat) in SEED_METRICS.iter().zip(&row.stats) {
+                let _ = write!(
+                    out,
+                    ",\"{name}\":{{\"mean\":{:.6},\"std\":{:.6}}}",
+                    stat.mean, stat.std
+                );
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Writes `results/<name>_seeds.csv` / `.json` (tempfile + rename).
+    pub fn write_files(&self, name: &str) {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        for (ext, content) in [("csv", self.to_csv()), ("json", self.to_json())] {
+            write_atomically(&dir.join(format!("{name}_seeds.{ext}")), &content);
+        }
+    }
+}
+
 /// Command-line context shared by every figure binary: scale
-/// (`--quick`/`--full`), worker count (`--threads N`), and simulation
-/// engine (`--engine {cycle,event}`).
+/// (`--quick`/`--full`), worker count (`--threads N`), seed replication
+/// (`--seeds N`), and simulation engine (`--engine {cycle,event}`).
 #[derive(Clone, Copy, Debug)]
 pub struct GridArgs {
     /// Run scale.
     pub scale: Scale,
     /// Worker threads for [`run_grid`].
     pub threads: usize,
+    /// Seed replicas per cell (1 = single calibrated seed, no summary).
+    pub seeds: usize,
     /// Simulation engine every cell runs under.
     pub engine: bump_sim::Engine,
 }
@@ -502,12 +816,22 @@ impl GridArgs {
     pub fn from_args() -> Self {
         let scale = Scale::from_args();
         let mut threads = default_threads();
+        let mut seeds = 1;
         let mut engine = bump_sim::Engine::default();
         let args: Vec<String> = std::env::args().collect();
         for i in 0..args.len() {
             if args[i] == "--threads" {
                 if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
                     threads = v.max(1);
+                }
+            }
+            if args[i] == "--seeds" {
+                match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => seeds = n,
+                    _ => {
+                        eprintln!("error: --seeds expects a replica count >= 1");
+                        std::process::exit(2);
+                    }
                 }
             }
             if args[i] == "--engine" {
@@ -527,6 +851,7 @@ impl GridArgs {
         GridArgs {
             scale,
             threads,
+            seeds,
             engine,
         }
     }
@@ -608,6 +933,63 @@ mod tests {
             label: "BuMP/Web Search".into(),
             ..ExperimentSpec::with_config("x", cfg, opts())
         });
+    }
+
+    #[test]
+    fn replicate_seeds_keeps_replica_zero_and_decorrelates_the_rest() {
+        let base = ExperimentGrid::cartesian(&[Preset::BaseOpen], &Workload::all(), opts());
+        let grid = base.replicate_seeds(3);
+        assert_eq!(grid.len(), 18);
+        // Replicas of a cell are consecutive; replica 0 is unchanged.
+        assert_eq!(grid.cells()[0].label, base.cells()[0].label);
+        assert_eq!(grid.cells()[0].options.seed, opts().seed);
+        assert_eq!(
+            grid.cells()[1].label,
+            format!("{}#s1", base.cells()[0].label)
+        );
+        // Replica 1's seed matches the one-step derive_seeds derivation.
+        assert_eq!(
+            grid.cells()[1].options.seed,
+            derive_cell_seed(opts().seed, &base.cells()[0].label)
+        );
+        let seeds: std::collections::HashSet<u64> =
+            grid.cells().iter().map(|c| c.options.seed).collect();
+        assert_eq!(
+            seeds.len(),
+            1 + 12,
+            "six base cells share seed 42; replicas differ"
+        );
+        // replicate_seeds(1) is the identity.
+        assert_eq!(base.replicate_seeds(1).len(), base.len());
+    }
+
+    #[test]
+    fn seed_stat_mean_and_sample_std() {
+        let s = SeedStat::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12, "sample stddev of 1,2,3 is 1");
+        let single = SeedStat::of(&[5.0]);
+        assert_eq!(single.std, 0.0);
+        assert_eq!(single.mean, 5.0);
+    }
+
+    #[test]
+    fn seed_summary_shapes() {
+        let base = ExperimentGrid::cartesian(&[Preset::BaseOpen], &[Workload::WebSearch], opts());
+        let grid = base.replicate_seeds(2);
+        let results = run_grid(&grid, 2);
+        let summary = SeedSummary::from_results(&base, &results, 2);
+        assert_eq!(summary.rows().len(), 1);
+        assert_eq!(summary.rows()[0].seeds, 2);
+        assert_eq!(summary.rows()[0].stats.len(), SEED_METRICS.len());
+        let csv = summary.to_csv();
+        assert_eq!(
+            csv.lines().next().unwrap().split(',').count(),
+            4 + 2 * SEED_METRICS.len()
+        );
+        assert_eq!(csv.lines().count(), 2);
+        let json = summary.to_json();
+        assert!(json.contains("\"ipc\":{\"mean\":"));
     }
 
     #[test]

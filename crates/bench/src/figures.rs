@@ -7,7 +7,10 @@
 //! [`ExperimentGrid`], simulates it once in parallel, and renders all
 //! figures from the shared results.
 
-use crate::experiment::{run_grid, ExperimentGrid, ExperimentSpec, GridArgs, GridResults};
+use crate::experiment::{
+    run_grid_with, ExperimentGrid, ExperimentSpec, GridArgs, GridResults, IncrementalCsv,
+    SeedSummary,
+};
 use crate::{emit, paper, pct, Scale, TextTable};
 use bump::BumpConfig;
 use bump_energy::ChipEnergyParams;
@@ -178,14 +181,35 @@ pub fn by_name(name: &str) -> Option<Figure> {
 
 /// Builds, runs, renders, and emits one figure (the body of every thin
 /// figure binary). Also writes the structured per-cell metrics as
-/// `results/<name>.csv` / `.json` when the figure runs simulations.
+/// `results/<name>.csv` / `.json` when the figure runs simulations —
+/// streamed row-by-row as cells land, then atomically rewritten in
+/// grid order on completion. With `--seeds N` (N > 1) every cell is
+/// replicated across derived seeds; the figure renders from the
+/// replica-0 (calibrated-seed) results and a mean ± stddev summary is
+/// written as `results/<name>_seeds.csv` / `.json`.
 pub fn run_figure(figure: &Figure, args: GridArgs) {
     let grid = (figure.grid)(args.scale);
-    let results = run_grid(&grid, args.threads);
-    let out = (figure.render)(&results, args.scale);
+    let expanded = grid.replicate_seeds(args.seeds);
+    let stream = IncrementalCsv::new(figure.name);
+    let all = run_grid_with(&expanded, args.threads, move |_, spec, report| {
+        stream.append(&crate::experiment::MetricRow::of(spec, report));
+    });
+    // Render from the replica-0 (calibrated-seed) subset when seeds
+    // were replicated; borrow the results directly otherwise.
+    let selected;
+    let results = if args.seeds > 1 {
+        selected = all.select(&grid);
+        &selected
+    } else {
+        &all
+    };
+    let out = (figure.render)(results, args.scale);
     emit(figure.name, &out);
-    if !results.is_empty() {
-        results.write_files(figure.name);
+    if !all.is_empty() {
+        all.write_files(figure.name);
+        if args.seeds > 1 {
+            SeedSummary::from_results(&grid, &all, args.seeds).write_files(figure.name);
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod sched;
 
 use bump_sim::{Engine, RunOptions};
 use std::fmt::Write as _;

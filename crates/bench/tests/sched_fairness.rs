@@ -1,0 +1,86 @@
+//! Scheduler fairness regression: a second client's small job must not
+//! starve behind a large sweep. The injector interleaves jobs by age
+//! (round-robin), so with one worker a one-cell job submitted while a
+//! six-cell job is in flight completes within the next two steals —
+//! not after the sweep drains.
+
+use bump_bench::experiment::ExperimentSpec;
+use bump_bench::sched::Scheduler;
+use bump_sim::{Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::sync::{Arc, Mutex};
+
+fn opts() -> RunOptions {
+    RunOptions {
+        cores: 1,
+        warmup_instructions: 30_000,
+        measure_instructions: 30_000,
+        max_cycles: 3_000_000,
+        seed: 42,
+        small_llc: true,
+        engine: Engine::Event,
+    }
+}
+
+#[test]
+fn small_job_interleaves_with_large_sweep() {
+    let sched = Scheduler::new(1);
+    let log: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let large_cells: Vec<ExperimentSpec> = Workload::all()
+        .into_iter()
+        .map(|w| ExperimentSpec::new(Preset::BaseOpen, w, opts()))
+        .collect();
+    let large = sched.submit(
+        large_cells,
+        Box::new({
+            let log = Arc::clone(&log);
+            move |_, spec, _| log.lock().unwrap().push((0, spec.label.clone()))
+        }),
+    );
+    // Submitted while the sweep is pending/in flight — like a second
+    // client connecting mid-sweep.
+    let small = sched.submit(
+        vec![ExperimentSpec::new(
+            Preset::Bump,
+            Workload::WebSearch,
+            opts(),
+        )],
+        Box::new({
+            let log = Arc::clone(&log);
+            move |_, spec, _| log.lock().unwrap().push((1, spec.label.clone()))
+        }),
+    );
+
+    small.wait().expect("small job must succeed");
+    {
+        let log = log.lock().unwrap();
+        let small_pos = log
+            .iter()
+            .position(|(job, _)| *job == 1)
+            .expect("small job's cell must be in the completion log");
+        assert!(
+            small_pos <= 2,
+            "one-cell job must complete within the first three steals \
+             (round-robin by job age), finished at position {small_pos}: {log:?}"
+        );
+        assert!(
+            log.iter().filter(|(job, _)| *job == 0).count() < 6,
+            "large sweep must still be in flight when the small job lands"
+        );
+    }
+    large.wait().expect("large job must succeed");
+    assert_eq!(
+        log.lock().unwrap().len(),
+        7,
+        "every cell completes exactly once"
+    );
+}
+
+#[test]
+fn job_ids_are_assigned_in_submission_order() {
+    let sched = Scheduler::new(2);
+    let a = sched.submit(Vec::new(), Box::new(|_, _, _| {}));
+    let b = sched.submit(Vec::new(), Box::new(|_, _, _| {}));
+    assert!(a.id() < b.id());
+}

@@ -1,0 +1,167 @@
+//! `bumpc` — submit an experiment grid to a `bumpd` daemon and stream
+//! the results.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p bump-serve --bin bumpc -- \
+//!     [--addr 127.0.0.1:4077] [--presets Base-open,BuMP] \
+//!     [--workloads "Web Search,Web Serving"] [--full] [--seeds N] \
+//!     [--resume] [--engine {cycle,event}] [--local] [--threads N]
+//! ```
+//!
+//! The CSV table (grid order, `MetricRow` columns) goes to stdout;
+//! progress narration goes to stderr. `--local` runs the same spec
+//! in-process through the same scheduler instead of over TCP — the two
+//! outputs are byte-identical, which the CI daemon smoke asserts.
+
+use bump_serve::client;
+use bump_serve::proto::{Frame, SubmitSpec};
+use bump_sim::{Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:4077".to_string();
+    let mut presets: Vec<Preset> = Preset::all().to_vec();
+    let mut workloads: Vec<Workload> = Workload::all().to_vec();
+    let mut full = false;
+    let mut seeds = 1usize;
+    let mut resume = false;
+    let mut engine = Engine::default();
+    let mut local = false;
+    let mut threads = bump_bench::experiment::default_threads();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = expect_value(&args, &mut i, "--addr"),
+            "--presets" => {
+                presets = parse_list(&expect_value(&args, &mut i, "--presets"), |name| {
+                    Preset::from_name(name)
+                        .unwrap_or_else(|| usage(&format!("unknown preset {name:?}")))
+                });
+            }
+            "--workloads" => {
+                workloads = parse_list(&expect_value(&args, &mut i, "--workloads"), |name| {
+                    Workload::from_name(name)
+                        .unwrap_or_else(|| usage(&format!("unknown workload {name:?}")))
+                });
+            }
+            "--full" => full = true,
+            "--quick" => full = false,
+            "--seeds" => {
+                // Same bound as the wire protocol, so --local and
+                // remote runs accept exactly the same flags.
+                seeds = expect_value(&args, &mut i, "--seeds")
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=1024).contains(&n))
+                    .unwrap_or_else(|| usage("--seeds expects a replica count in 1..=1024"));
+            }
+            "--resume" => resume = true,
+            "--engine" => {
+                let v = expect_value(&args, &mut i, "--engine");
+                engine = Engine::from_arg(&v)
+                    .unwrap_or_else(|| usage("--engine expects 'cycle' or 'event'"));
+            }
+            "--local" => local = true,
+            "--threads" => {
+                threads = expect_value(&args, &mut i, "--threads")
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| usage("--threads expects a positive integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if presets.is_empty() || workloads.is_empty() {
+        usage("--presets and --workloads must be non-empty");
+    }
+    let mut options = if full {
+        RunOptions::paper()
+    } else {
+        // The bench harness's --quick scale (seconds-long cells).
+        bump_bench::Scale::Quick.options()
+    };
+    options.engine = engine;
+    let spec = SubmitSpec {
+        presets,
+        workloads,
+        options,
+        seeds,
+        resume,
+    };
+    let cells = spec.to_grid().len();
+    if local {
+        eprintln!("bumpc: running {cells} cells locally on {threads} threads");
+        print!("{}", client::local_csv(&spec, threads));
+        return;
+    }
+    let mut stream = client::connect_retry(&addr, Duration::from_secs(10)).unwrap_or_else(|e| {
+        eprintln!("bumpc: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("bumpc: submitting {cells} cells to {addr}");
+    let mut streamed = 0u64;
+    let outcome = client::submit_with(&mut stream, &spec, &mut |frame| match frame {
+        Frame::JobAccepted { job, cells, cached } => {
+            eprintln!("bumpc: job {job} accepted: {cells} cells ({cached} from journal)");
+        }
+        Frame::CellResult(cell) => {
+            streamed += 1;
+            eprintln!(
+                "bumpc: [{streamed}] {}{}",
+                cell.label,
+                if cell.cached { " (journal)" } else { "" }
+            );
+        }
+        _ => {}
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("bumpc: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "bumpc: job {} done: {} cells ({} from journal)",
+        outcome.job,
+        outcome.cells.len(),
+        outcome.cached()
+    );
+    print!("{}", outcome.to_csv());
+}
+
+fn parse_list<T>(value: &str, parse: impl Fn(&str) -> T) -> Vec<T> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
+fn expect_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .unwrap_or_else(|| usage(&format!("{flag} expects a value")))
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("bumpc: {error}");
+    }
+    eprintln!(
+        "usage: bumpc [--addr HOST:PORT] [--presets A,B] [--workloads X,Y]\n\
+         \x20            [--full|--quick] [--seeds N] [--resume]\n\
+         \x20            [--engine cycle|event] [--local] [--threads N]\n\
+         \n\
+         Submit a preset x workload grid to a bumpd daemon and print the\n\
+         streamed results as CSV (stdout). --local runs the same grid\n\
+         in-process instead (byte-identical output). Defaults: all presets,\n\
+         all workloads, --quick, single seed, --addr 127.0.0.1:4077."
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,97 @@
+//! `bumpd` — the long-lived experiment-serving daemon.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p bump-serve --bin bumpd -- \
+//!     [--addr 127.0.0.1:4077] [--threads N] \
+//!     [--journal results/bumpd.journal | --no-journal]
+//! ```
+//!
+//! Accepts `submit` frames (see `docs/PROTOCOL.md`) from any number of
+//! concurrent `bumpc` clients, runs their cells on one shared
+//! work-stealing scheduler, streams each finished cell back over its
+//! client's connection, and journals every finished cell so identical
+//! re-submissions with `"resume": true` skip simulation.
+
+use bump_serve::daemon::Daemon;
+use bump_serve::journal::Journal;
+use std::net::TcpListener;
+
+fn main() {
+    let mut addr = "127.0.0.1:4077".to_string();
+    let mut threads = bump_bench::experiment::default_threads();
+    let mut journal_path = Some("results/bumpd.journal".to_string());
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = expect_value(&args, &mut i, "--addr");
+            }
+            "--threads" => {
+                threads = expect_value(&args, &mut i, "--threads")
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| usage("--threads expects a positive integer"));
+            }
+            "--journal" => {
+                journal_path = Some(expect_value(&args, &mut i, "--journal"));
+            }
+            "--no-journal" => journal_path = None,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let journal = match &journal_path {
+        Some(path) => Journal::open(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("bumpd: cannot open journal {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => Journal::in_memory(),
+    };
+    let journaled = journal.len();
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("bumpd: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    let daemon = Daemon::new(threads, journal);
+    println!(
+        "bumpd: listening on {local} ({} workers, {} journaled cells{})",
+        daemon.threads(),
+        journaled,
+        match &journal_path {
+            Some(p) => format!(" in {p}"),
+            None => " , journal disabled".to_string(),
+        }
+    );
+    if let Err(e) = daemon.serve(listener) {
+        eprintln!("bumpd: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn expect_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .unwrap_or_else(|| usage(&format!("{flag} expects a value")))
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("bumpd: {error}");
+    }
+    eprintln!(
+        "usage: bumpd [--addr HOST:PORT] [--threads N] [--journal PATH | --no-journal]\n\
+         \n\
+         Serve BuMP experiment grids to bumpc clients over newline-delimited\n\
+         JSON (see docs/PROTOCOL.md). Defaults: --addr 127.0.0.1:4077,\n\
+         --threads <available parallelism>, --journal results/bumpd.journal."
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,126 @@
+//! The `bumpc` client side: submit a spec, stream the results back.
+
+use crate::proto::{CellResult, Frame, SubmitSpec};
+use bump_bench::experiment::{run_grid, MetricRow};
+use std::io::{BufRead as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// The collected outcome of one submitted job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Daemon-assigned job id.
+    pub job: u64,
+    /// Every streamed cell, in arrival (completion) order.
+    pub cells: Vec<CellResult>,
+}
+
+impl JobOutcome {
+    /// How many cells were served from the daemon's resume journal.
+    pub fn cached(&self) -> usize {
+        self.cells.iter().filter(|c| c.cached).count()
+    }
+
+    /// The results as a CSV table in *grid order* (header +
+    /// `MetricRow` rows), byte-identical to
+    /// `run_grid(spec.to_grid(), _).to_csv()` for the same spec.
+    pub fn to_csv(&self) -> String {
+        let mut cells: Vec<&CellResult> = self.cells.iter().collect();
+        cells.sort_by_key(|c| c.index);
+        let mut out = String::from(MetricRow::CSV_HEADER);
+        out.push('\n');
+        for cell in cells {
+            out.push_str(&cell.csv);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Incremental observer for [`submit_with`]: called as each frame of
+/// the job arrives (cells stream in completion order).
+pub type FrameObserver<'a> = &'a mut dyn FnMut(&Frame);
+
+/// Connects to `addr`, retrying for up to `timeout` (the daemon may
+/// still be binding its listener when a smoke script launches both).
+pub fn connect_retry(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Submits `spec` over `stream` and collects the streamed job.
+pub fn submit(stream: &mut TcpStream, spec: &SubmitSpec) -> Result<JobOutcome, String> {
+    submit_with(stream, spec, &mut |_| {})
+}
+
+/// [`submit`] with a per-frame observer (used by `bumpc` to narrate
+/// progress as rows stream in).
+pub fn submit_with(
+    stream: &mut TcpStream,
+    spec: &SubmitSpec,
+    observe: FrameObserver<'_>,
+) -> Result<JobOutcome, String> {
+    let line = Frame::Submit(spec.clone()).encode();
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send submission: {e}"))?;
+    let reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    let mut job: Option<u64> = None;
+    let mut expected: u64 = 0;
+    let mut cells: Vec<CellResult> = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("connection lost: {e}"))?;
+        let frame = Frame::parse(&line).map_err(|e| format!("bad frame from daemon: {e}"))?;
+        observe(&frame);
+        match frame {
+            Frame::JobAccepted {
+                job: id, cells: n, ..
+            } => {
+                job = Some(id);
+                expected = n;
+            }
+            Frame::CellResult(cell) => {
+                if Some(cell.job) == job {
+                    cells.push(cell);
+                }
+            }
+            Frame::JobDone { job: id, cells: n } => {
+                if Some(id) != job {
+                    return Err(format!("job_done for unknown job {id}"));
+                }
+                if n != cells.len() as u64 || n != expected {
+                    return Err(format!(
+                        "daemon promised {expected} cells, streamed {}, closed at {n}",
+                        cells.len()
+                    ));
+                }
+                return Ok(JobOutcome { job: id, cells });
+            }
+            Frame::Error { message } => return Err(format!("daemon error: {message}")),
+            Frame::Submit(_) => return Err("daemon echoed a submit frame".to_string()),
+        }
+    }
+    Err("connection closed before job_done".to_string())
+}
+
+/// Runs `spec` in-process over the same scheduler path the daemon uses
+/// and renders the identical CSV — `bumpc --local`, and the reference
+/// side of the CI byte-identity check.
+pub fn local_csv(spec: &SubmitSpec, threads: usize) -> String {
+    run_grid(&spec.to_grid(), threads).to_csv()
+}

@@ -1,0 +1,242 @@
+//! The `bumpd` daemon: a long-lived experiment server.
+//!
+//! One [`Daemon`] owns one work-stealing
+//! [`bump_bench::sched::Scheduler`] and one resume [`Journal`]; every
+//! accepted TCP connection gets a handler thread that parses
+//! newline-delimited [`Frame`]s. Because all connections submit into
+//! the *same* scheduler, cells from concurrent jobs interleave by job
+//! age (a small job is serviced every other steal instead of queueing
+//! behind a `--full` sweep) and expensive cells spread across workers
+//! by estimated cost — the daemon is exactly the shared backend the
+//! synchronous `run_grid` wraps, so streamed rows are byte-identical
+//! to an in-process run of the same grid (`tests/daemon_e2e.rs`).
+//!
+//! Scheduler workers never touch a socket: every outbound frame goes
+//! through a per-connection writer thread fed by a channel, so a slow
+//! or non-reading client stalls only its own connection's TCP stream —
+//! its cells still execute, land in the journal, and the pool stays
+//! available to every other client.
+
+use crate::journal::{cell_identity, cell_key, Journal, JournalEntry};
+use crate::json::Json;
+use crate::proto::{CellResult, Frame, SubmitSpec};
+use bump_bench::experiment::MetricRow;
+use bump_bench::sched::Scheduler;
+use std::io::{BufRead as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// The serving daemon: a scheduler, a journal, and a job-id counter
+/// shared by every client connection.
+pub struct Daemon {
+    sched: Scheduler,
+    journal: Mutex<Journal>,
+    next_job: AtomicU64,
+}
+
+/// The sending half of a connection's outbox: frames queued here are
+/// written to the socket, in order, by that connection's writer thread.
+type Outbox = mpsc::Sender<String>;
+
+impl Daemon {
+    /// A daemon executing cells on `threads` workers, journaling into
+    /// `journal`.
+    pub fn new(threads: usize, journal: Journal) -> Arc<Daemon> {
+        Arc::new(Daemon {
+            sched: Scheduler::new(threads),
+            journal: Mutex::new(journal),
+            next_job: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of scheduler worker threads.
+    pub fn threads(&self) -> usize {
+        self.sched.threads()
+    }
+
+    /// Accept loop: one handler thread per connection, forever (until
+    /// the listener errors).
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        loop {
+            let (stream, peer) = listener.accept()?;
+            let daemon = Arc::clone(self);
+            std::thread::spawn(move || {
+                if let Err(e) = daemon.handle_conn(stream) {
+                    eprintln!("bumpd: connection {peer}: {e}");
+                }
+            });
+        }
+    }
+
+    /// Spawns [`Daemon::serve`] on a background thread (test harness
+    /// convenience). The daemon keeps serving until the process exits.
+    pub fn spawn(self: &Arc<Self>, listener: TcpListener) -> std::thread::JoinHandle<()> {
+        let daemon = Arc::clone(self);
+        std::thread::spawn(move || {
+            if let Err(e) = daemon.serve(listener) {
+                eprintln!("bumpd: accept loop: {e}");
+            }
+        })
+    }
+
+    /// Handles one client connection: a sequence of `submit` frames,
+    /// each answered by `job_accepted`, streamed `cell_result`s, and a
+    /// terminal `job_done` (or `error`). Malformed lines get an
+    /// `error` frame; the connection stays open for the next line.
+    fn handle_conn(self: &Arc<Self>, stream: TcpStream) -> std::io::Result<()> {
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let outbox = spawn_writer(stream);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Frame::parse(&line) {
+                Ok(Frame::Submit(spec)) => self.run_job(&spec, &outbox),
+                Ok(_) => send(
+                    &outbox,
+                    &Frame::Error {
+                        message: "only submit frames are accepted from clients".to_string(),
+                    },
+                ),
+                Err(message) => send(&outbox, &Frame::Error { message }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one submission: journal hits stream immediately, the rest
+    /// go through the shared scheduler and stream as they land.
+    fn run_job(self: &Arc<Self>, spec: &SubmitSpec, outbox: &Outbox) {
+        let grid = spec.to_grid();
+        let cells = grid.cells();
+        let keys: Vec<u64> = cells.iter().map(cell_key).collect();
+        // Partition into journal hits and cells to simulate. A key
+        // match alone is not trusted: the entry's stored identity must
+        // match the cell's, so a 64-bit hash collision degrades to a
+        // re-simulation instead of serving the wrong experiment's row.
+        let mut cached: Vec<(usize, JournalEntry)> = Vec::new();
+        let mut pending: Vec<usize> = Vec::new();
+        {
+            let journal = self.journal.lock().expect("journal poisoned");
+            for (i, key) in keys.iter().enumerate() {
+                let hit = spec
+                    .resume
+                    .then(|| journal.get(*key))
+                    .flatten()
+                    .filter(|entry| entry.identity == cell_identity(&cells[i]));
+                match hit {
+                    Some(entry) => cached.push((i, entry.clone())),
+                    None => pending.push(i),
+                }
+            }
+        }
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        send(
+            outbox,
+            &Frame::JobAccepted {
+                job,
+                cells: cells.len() as u64,
+                cached: cached.len() as u64,
+            },
+        );
+        for (index, entry) in cached {
+            send(
+                outbox,
+                &Frame::CellResult(CellResult {
+                    job,
+                    index: index as u64,
+                    label: entry.label,
+                    cached: true,
+                    csv: entry.csv,
+                    row: entry.row,
+                }),
+            );
+        }
+        if !pending.is_empty() {
+            let pending_specs = pending.iter().map(|&i| cells[i].clone()).collect();
+            let pending_keys: Vec<u64> = pending.iter().map(|&i| keys[i]).collect();
+            let grid_index: Vec<usize> = pending;
+            let cell_outbox = outbox.clone();
+            // The callback runs on scheduler workers, so it owns an
+            // Arc of the daemon for journal access rather than
+            // borrowing this connection handler's stack.
+            let daemon = Arc::clone(self);
+            let handle = self.sched.submit(
+                pending_specs,
+                Box::new(move |j, spec, report| {
+                    let row = MetricRow::of(spec, report);
+                    let csv = row.to_csv();
+                    let row_json =
+                        Json::parse(&row.to_json()).expect("MetricRow::to_json is valid JSON");
+                    daemon.journal.lock().expect("journal poisoned").record(
+                        pending_keys[j],
+                        JournalEntry {
+                            identity: cell_identity(spec),
+                            label: spec.label.clone(),
+                            csv: csv.clone(),
+                            row: row_json.clone(),
+                        },
+                    );
+                    send(
+                        &cell_outbox,
+                        &Frame::CellResult(CellResult {
+                            job,
+                            index: grid_index[j] as u64,
+                            label: spec.label.clone(),
+                            cached: false,
+                            csv,
+                            row: row_json,
+                        }),
+                    );
+                }),
+            );
+            if let Err(message) = handle.wait() {
+                send(outbox, &Frame::Error { message });
+                return;
+            }
+        }
+        send(
+            outbox,
+            &Frame::JobDone {
+                job,
+                cells: cells.len() as u64,
+            },
+        );
+    }
+}
+
+/// Spawns the connection's writer thread: it drains the outbox to the
+/// socket in queue order, and after the first write failure (client
+/// gone) keeps draining and discarding so queued senders never block.
+/// The queue is unbounded but its depth is capped in practice by the
+/// cells of the jobs in flight on this connection (a frame per cell).
+/// The thread exits when every `Outbox` clone has been dropped.
+fn spawn_writer(stream: TcpStream) -> Outbox {
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let mut dead = false;
+        for line in rx {
+            if dead {
+                continue;
+            }
+            let ok = stream
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .and_then(|()| stream.flush());
+            if ok.is_err() {
+                dead = true;
+            }
+        }
+    });
+    tx
+}
+
+/// Queues one frame on the connection's outbox. A send error means the
+/// writer thread is gone (connection torn down); the frame is dropped —
+/// jobs still complete and stay journaled.
+fn send(outbox: &Outbox, frame: &Frame) {
+    let _ = outbox.send(frame.encode());
+}

@@ -1,0 +1,262 @@
+//! The on-disk result journal behind `bumpd --resume` semantics.
+//!
+//! Every cell the daemon finishes is appended (and flushed) as one
+//! NDJSON line keyed by a digest of the cell's full identity — label,
+//! run options (windows, seed, core count, small-LLC flag), and
+//! engine. Re-submitting an identical spec with `resume: true` streams
+//! the journaled rows back instantly instead of re-simulating; any
+//! difference in the identity (a different seed, window, or engine)
+//! changes the key, so resume can never serve a stale row for a
+//! different experiment.
+//!
+//! The file is append-only and human-greppable. A torn final line
+//! (daemon killed mid-append) is skipped on load with a warning, and
+//! the next append overwrites nothing — the journal is only ever a
+//! cache, so losing a line costs one re-simulation, never correctness.
+
+use crate::json::Json;
+use bump_bench::experiment::ExperimentSpec;
+use std::collections::HashMap;
+use std::io::{BufRead as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// One journaled cell: what the daemon streams on a resume hit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// The cell's full identity string ([`cell_identity`]); checked on
+    /// every hit so a [`cell_key`] hash collision can only cost a
+    /// re-simulation, never serve another experiment's row.
+    pub identity: String,
+    /// Cell label.
+    pub label: String,
+    /// `MetricRow::to_csv` row.
+    pub csv: String,
+    /// `MetricRow::to_json` row, parsed.
+    pub row: Json,
+}
+
+/// The cell's full identity: label plus the `Debug` rendering of its
+/// run options (seed, windows, cores, small-LLC, engine). Custom-config
+/// cells are *not* journaled (the daemon protocol cannot submit them),
+/// so this string fully identifies a cell's simulation.
+pub fn cell_identity(spec: &ExperimentSpec) -> String {
+    format!("{}|{:?}", spec.label, spec.options)
+}
+
+/// The journal cell key: 64-bit FNV-1a over [`cell_identity`]. The key
+/// is only a lookup accelerator — hits are confirmed against the
+/// stored identity string before being served.
+pub fn cell_key(spec: &ExperimentSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cell_identity(spec).bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only on-disk map from [`cell_key`] to [`JournalEntry`].
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    entries: HashMap<u64, JournalEntry>,
+    file: Option<std::fs::File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path`, loading every
+    /// well-formed line. Returns an error only if the file exists but
+    /// cannot be read or the directory cannot be created.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut entries = HashMap::new();
+        match std::fs::File::open(path) {
+            Ok(file) => {
+                for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_line(&line) {
+                        Some((key, entry)) => {
+                            entries.insert(key, entry);
+                        }
+                        None => {
+                            // Most likely a torn final append; the row is
+                            // re-simulated on the next submission.
+                            eprintln!(
+                                "warning: skipping malformed journal line {} in {}",
+                                lineno + 1,
+                                path.display()
+                            );
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            entries,
+            file: Some(file),
+        })
+    }
+
+    /// An in-memory journal (used when the daemon is started with the
+    /// journal disabled): resume never hits, appends go nowhere.
+    pub fn in_memory() -> Journal {
+        Journal {
+            path: PathBuf::new(),
+            entries: HashMap::new(),
+            file: None,
+        }
+    }
+
+    /// The journaled entry for `key`, if present.
+    pub fn get(&self, key: u64) -> Option<&JournalEntry> {
+        self.entries.get(&key)
+    }
+
+    /// Number of journaled cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a finished cell: appends the line (flushed) and adds it
+    /// to the in-memory map. I/O errors are warnings — the journal is
+    /// a cache, and a failed append must not fail the job.
+    pub fn record(&mut self, key: u64, entry: JournalEntry) {
+        if let Some(file) = &mut self.file {
+            let line = Json::obj(vec![
+                ("key", Json::from(format!("{key:016x}"))),
+                ("identity", Json::from(entry.identity.as_str())),
+                ("label", Json::from(entry.label.as_str())),
+                ("csv", Json::from(entry.csv.as_str())),
+                ("row", entry.row.clone()),
+            ])
+            .to_string();
+            let ok = writeln!(file, "{line}").and_then(|()| file.flush());
+            if let Err(e) = ok {
+                eprintln!(
+                    "warning: cannot append to journal {}: {e}",
+                    self.path.display()
+                );
+                self.file = None;
+            }
+        }
+        self.entries.insert(key, entry);
+    }
+}
+
+fn parse_line(line: &str) -> Option<(u64, JournalEntry)> {
+    let value = Json::parse(line).ok()?;
+    let key = u64::from_str_radix(value.get("key")?.as_str()?, 16).ok()?;
+    Some((
+        key,
+        JournalEntry {
+            identity: value.get("identity")?.as_str()?.to_string(),
+            label: value.get("label")?.as_str()?.to_string(),
+            csv: value.get("csv")?.as_str()?.to_string(),
+            row: value.get("row")?.clone(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_sim::{Preset, RunOptions};
+    use bump_workloads::Workload;
+
+    fn spec(seed: u64) -> ExperimentSpec {
+        let mut options = RunOptions::quick(1);
+        options.seed = seed;
+        ExperimentSpec::new(Preset::BaseOpen, Workload::WebSearch, options)
+    }
+
+    fn entry(label: &str) -> JournalEntry {
+        JournalEntry {
+            identity: format!("{label}|opts"),
+            label: label.to_string(),
+            csv: format!("{label},1,2,3"),
+            row: Json::obj(vec![("label", Json::from(label))]),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bump-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn keys_separate_identical_labels_with_different_options() {
+        assert_eq!(cell_key(&spec(1)), cell_key(&spec(1)));
+        assert_ne!(cell_key(&spec(1)), cell_key(&spec(2)));
+        let mut other = spec(1);
+        other.options.engine = bump_sim::Engine::Cycle;
+        assert_ne!(cell_key(&spec(1)), cell_key(&other), "engine is identity");
+    }
+
+    #[test]
+    fn record_then_reload_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            assert!(j.is_empty());
+            j.record(7, entry("a"));
+            j.record(9, entry("b"));
+            j.record(7, entry("a2")); // rewrite wins in memory and on reload
+            assert_eq!(j.len(), 2);
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get(7).unwrap().label, "a2");
+        assert_eq!(j.get(9).unwrap(), &entry("b"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record(1, entry("whole"));
+        }
+        // Simulate a crash mid-append.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":\"0000000000000002\",\"label\":\"to").unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.get(1).is_some());
+        assert!(j.get(2).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_journal_never_persists() {
+        let mut j = Journal::in_memory();
+        j.record(3, entry("x"));
+        assert_eq!(j.get(3).unwrap().label, "x");
+        assert_eq!(j.len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! The serving subsystem: `bumpd` / `bumpc` and their wire protocol.
+//!
+//! The reproduction's figure binaries are one-shot processes; this
+//! crate turns the simulator into a *shared backend*. A long-lived
+//! [`daemon::Daemon`] accepts experiment specs as newline-delimited
+//! JSON over TCP ([`proto`]), executes their cells on the same
+//! work-stealing scheduler `run_grid` wraps
+//! (`bump_bench::sched`), streams each cell's metric row back the
+//! moment it finishes, and journals every finished cell on disk
+//! ([`journal`]) so re-submitting an identical spec resumes instead of
+//! re-simulating.
+//!
+//! The offline build rule (no crates.io — see `shims/README.md`) means
+//! everything here is dependency-free `std`: the JSON value, parser,
+//! and serializer are hand-rolled in [`json`], and the transport is
+//! `std::net` TCP.
+//!
+//! Layout:
+//!
+//! * [`json`] — JSON value + strict parser + deterministic serializer.
+//! * [`proto`] — the five frame types and their encode/parse.
+//! * [`journal`] — the append-only on-disk resume journal.
+//! * [`daemon`] — the `bumpd` accept loop / job execution.
+//! * [`client`] — the `bumpc` submit-and-stream helper.
+//!
+//! Binaries: `bumpd` (daemon) and `bumpc` (client / `--local` runner);
+//! the wire format reference lives in `docs/PROTOCOL.md`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod journal;
+pub mod json;
+pub mod proto;

@@ -1,0 +1,408 @@
+//! The `bumpd` wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! Every frame is one JSON object on one line, tagged by a `"type"`
+//! field. The client speaks [`Frame::Submit`]; the daemon answers with
+//! [`Frame::JobAccepted`], streams one [`Frame::CellResult`] per cell
+//! *as it finishes simulating* (journaled cells arrive first, out of
+//! grid order in general — the `index` field recovers grid order), and
+//! closes the job with [`Frame::JobDone`]. Anything the daemon cannot
+//! act on produces a [`Frame::Error`] and the connection stays open
+//! for the next line. See `docs/PROTOCOL.md` for the field-by-field
+//! reference.
+//!
+//! Encoding is deterministic (fixed field order, compact JSON), which
+//! the resume journal and the CI byte-identity smoke lean on. Parsing
+//! is strict: unknown `"type"`s, missing fields, out-of-range numbers,
+//! and malformed JSON are all [`Err`] — covered by the proptest
+//! round-trip suite in `tests/proto_roundtrip.rs`.
+
+use crate::json::Json;
+use bump_bench::experiment::ExperimentGrid;
+use bump_sim::{Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+
+/// An experiment submission: the cartesian grid `presets × workloads`
+/// at `options`, optionally replicated across derived seeds, with
+/// journal-resume semantics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitSpec {
+    /// Design points to run (non-empty).
+    pub presets: Vec<Preset>,
+    /// Workloads to run (non-empty).
+    pub workloads: Vec<Workload>,
+    /// Warmup/measure windows, seed, core count, and engine.
+    pub options: RunOptions,
+    /// Seed replicas per cell (>= 1; see
+    /// `ExperimentGrid::replicate_seeds`).
+    pub seeds: usize,
+    /// When true, cells whose identity is already journaled are
+    /// streamed back from the journal instead of re-simulated.
+    pub resume: bool,
+}
+
+impl SubmitSpec {
+    /// The submission for `presets × workloads` at `options`, single
+    /// seed, no resume.
+    pub fn new(presets: Vec<Preset>, workloads: Vec<Workload>, options: RunOptions) -> Self {
+        SubmitSpec {
+            presets,
+            workloads,
+            options,
+            seeds: 1,
+            resume: false,
+        }
+    }
+
+    /// Expands the submission into its experiment grid (grid order:
+    /// presets outer, workloads inner, seed replicas consecutive).
+    pub fn to_grid(&self) -> ExperimentGrid {
+        ExperimentGrid::cartesian(&self.presets, &self.workloads, self.options)
+            .replicate_seeds(self.seeds)
+    }
+}
+
+/// One streamed cell result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// Daemon-assigned job id (matches the `JobAccepted` frame).
+    pub job: u64,
+    /// Cell index in the submission's grid order; cells stream in
+    /// completion order, so clients sort by this to recover grid order.
+    pub index: u64,
+    /// Cell label (`"<preset>/<workload>"`, plus `#s<k>` for replicas).
+    pub label: String,
+    /// True when the row was served from the resume journal.
+    pub cached: bool,
+    /// The cell's metric row, exactly as `run_grid` renders it to CSV
+    /// (`MetricRow::to_csv`; columns per `MetricRow::CSV_HEADER`).
+    pub csv: String,
+    /// The same row as a structured JSON object
+    /// (`MetricRow::to_json`).
+    pub row: Json,
+}
+
+/// A protocol frame (one line on the wire).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → daemon: run an experiment grid.
+    Submit(SubmitSpec),
+    /// Daemon → client: the submission was accepted.
+    JobAccepted {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Total cells in the expanded grid.
+        cells: u64,
+        /// How many of them will be served from the journal.
+        cached: u64,
+    },
+    /// Daemon → client: one cell finished (or was journaled).
+    CellResult(CellResult),
+    /// Daemon → client: every cell of the job has been streamed.
+    JobDone {
+        /// Job id.
+        job: u64,
+        /// Total cells streamed (equals `JobAccepted.cells`).
+        cells: u64,
+    },
+    /// Daemon → client: the last line could not be acted on.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Encodes the frame as its single-line JSON form (no newline).
+    pub fn encode(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// The frame as a JSON value (deterministic field order).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Frame::Submit(spec) => Json::obj(vec![
+                ("type", Json::from("submit")),
+                (
+                    "presets",
+                    Json::Arr(spec.presets.iter().map(|p| Json::from(p.name())).collect()),
+                ),
+                (
+                    "workloads",
+                    Json::Arr(
+                        spec.workloads
+                            .iter()
+                            .map(|w| Json::from(w.name()))
+                            .collect(),
+                    ),
+                ),
+                ("options", options_to_json(&spec.options)),
+                ("seeds", Json::from(spec.seeds)),
+                ("resume", Json::from(spec.resume)),
+            ]),
+            Frame::JobAccepted { job, cells, cached } => Json::obj(vec![
+                ("type", Json::from("job_accepted")),
+                ("job", Json::from(*job)),
+                ("cells", Json::from(*cells)),
+                ("cached", Json::from(*cached)),
+            ]),
+            Frame::CellResult(cell) => Json::obj(vec![
+                ("type", Json::from("cell_result")),
+                ("job", Json::from(cell.job)),
+                ("index", Json::from(cell.index)),
+                ("label", Json::from(cell.label.as_str())),
+                ("cached", Json::from(cell.cached)),
+                ("csv", Json::from(cell.csv.as_str())),
+                ("row", cell.row.clone()),
+            ]),
+            Frame::JobDone { job, cells } => Json::obj(vec![
+                ("type", Json::from("job_done")),
+                ("job", Json::from(*job)),
+                ("cells", Json::from(*cells)),
+            ]),
+            Frame::Error { message } => Json::obj(vec![
+                ("type", Json::from("error")),
+                ("message", Json::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Parses one wire line. Errors name the malformed field.
+    pub fn parse(line: &str) -> Result<Frame, String> {
+        let value = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("frame has no \"type\" field")?;
+        match kind {
+            "submit" => Ok(Frame::Submit(parse_submit(&value)?)),
+            "job_accepted" => Ok(Frame::JobAccepted {
+                job: field_u64(&value, "job")?,
+                cells: field_u64(&value, "cells")?,
+                cached: field_u64(&value, "cached")?,
+            }),
+            "cell_result" => Ok(Frame::CellResult(CellResult {
+                job: field_u64(&value, "job")?,
+                index: field_u64(&value, "index")?,
+                label: field_str(&value, "label")?,
+                cached: field_bool(&value, "cached")?,
+                csv: field_str(&value, "csv")?,
+                row: value.get("row").cloned().ok_or("missing field \"row\"")?,
+            })),
+            "job_done" => Ok(Frame::JobDone {
+                job: field_u64(&value, "job")?,
+                cells: field_u64(&value, "cells")?,
+            }),
+            "error" => Ok(Frame::Error {
+                message: field_str(&value, "message")?,
+            }),
+            other => Err(format!("unknown frame type {other:?}")),
+        }
+    }
+}
+
+fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not a non-negative integer"))
+}
+
+fn field_bool(value: &Json, key: &str) -> Result<bool, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        .as_bool()
+        .ok_or_else(|| format!("field {key:?} is not a bool"))
+}
+
+fn field_str(value: &Json, key: &str) -> Result<String, String> {
+    Ok(value
+        .get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))?
+        .to_string())
+}
+
+fn options_to_json(options: &RunOptions) -> Json {
+    Json::obj(vec![
+        ("cores", Json::from(options.cores)),
+        (
+            "warmup_instructions",
+            Json::from(options.warmup_instructions),
+        ),
+        (
+            "measure_instructions",
+            Json::from(options.measure_instructions),
+        ),
+        ("max_cycles", Json::from(options.max_cycles)),
+        ("seed", Json::from(options.seed)),
+        ("small_llc", Json::from(options.small_llc)),
+        ("engine", Json::from(options.engine.name())),
+    ])
+}
+
+fn options_from_json(value: &Json) -> Result<RunOptions, String> {
+    let engine_name = field_str(value, "engine")?;
+    let engine =
+        Engine::from_arg(&engine_name).ok_or_else(|| format!("unknown engine {engine_name:?}"))?;
+    let cores = field_u64(value, "cores")?;
+    if cores == 0 {
+        return Err("field \"cores\" must be at least 1".to_string());
+    }
+    Ok(RunOptions {
+        cores: usize::try_from(cores).map_err(|_| "field \"cores\" out of range".to_string())?,
+        warmup_instructions: field_u64(value, "warmup_instructions")?,
+        measure_instructions: field_u64(value, "measure_instructions")?,
+        max_cycles: field_u64(value, "max_cycles")?,
+        seed: field_u64(value, "seed")?,
+        small_llc: field_bool(value, "small_llc")?,
+        engine,
+    })
+}
+
+fn parse_submit(value: &Json) -> Result<SubmitSpec, String> {
+    let presets = value
+        .get("presets")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"presets\"")?
+        .iter()
+        .map(|v| {
+            let name = v.as_str().ok_or("preset names must be strings")?;
+            Preset::from_name(name).ok_or_else(|| format!("unknown preset {name:?}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let workloads = value
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"workloads\"")?
+        .iter()
+        .map(|v| {
+            let name = v.as_str().ok_or("workload names must be strings")?;
+            Workload::from_name(name).ok_or_else(|| format!("unknown workload {name:?}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if presets.is_empty() {
+        return Err("\"presets\" must be non-empty".to_string());
+    }
+    if workloads.is_empty() {
+        return Err("\"workloads\" must be non-empty".to_string());
+    }
+    let options = options_from_json(
+        value
+            .get("options")
+            .ok_or("missing object field \"options\"")?,
+    )?;
+    let seeds = match value.get("seeds") {
+        None => 1,
+        Some(v) => match v.as_u64() {
+            Some(n) if (1..=1024).contains(&n) => n as usize,
+            _ => return Err("field \"seeds\" must be an integer in 1..=1024".to_string()),
+        },
+    };
+    let resume = match value.get("resume") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("field \"resume\" is not a bool")?,
+    };
+    Ok(SubmitSpec {
+        presets,
+        workloads,
+        options,
+        seeds,
+        resume,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RunOptions {
+        RunOptions::quick(2)
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        let spec = SubmitSpec {
+            presets: vec![Preset::BaseOpen, Preset::Bump],
+            workloads: vec![Workload::WebSearch],
+            options: opts(),
+            seeds: 3,
+            resume: true,
+        };
+        let line = Frame::Submit(spec.clone()).encode();
+        assert!(!line.contains('\n'), "frames are single lines");
+        assert_eq!(Frame::parse(&line), Ok(Frame::Submit(spec)));
+    }
+
+    #[test]
+    fn submit_expands_to_the_cartesian_grid() {
+        let spec = SubmitSpec::new(
+            vec![Preset::BaseOpen, Preset::Bump],
+            vec![Workload::WebSearch, Workload::WebServing],
+            opts(),
+        );
+        let grid = spec.to_grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid.cells()[0].label, "Base-open/Web Search");
+    }
+
+    #[test]
+    fn result_frames_round_trip() {
+        let cell = CellResult {
+            job: 7,
+            index: 3,
+            label: "BuMP/Web Search".to_string(),
+            cached: true,
+            csv: "BuMP/Web Search,BuMP,Web Search,1,42,10,20,2.0".to_string(),
+            row: Json::parse(r#"{"label":"BuMP/Web Search","ipc":2.000000}"#).unwrap(),
+        };
+        for frame in [
+            Frame::CellResult(cell),
+            Frame::JobAccepted {
+                job: 7,
+                cells: 4,
+                cached: 2,
+            },
+            Frame::JobDone { job: 7, cells: 4 },
+            Frame::Error {
+                message: "nope\nnewline".to_string(),
+            },
+        ] {
+            let line = frame.encode();
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            assert_eq!(Frame::parse(&line), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"job_done\",\"job\":1}",
+            "{\"type\":\"job_done\",\"job\":-1,\"cells\":1}",
+            "{\"type\":\"job_done\",\"job\":1.5,\"cells\":1}",
+            "{\"type\":\"submit\",\"presets\":[],\"workloads\":[\"Web Search\"]}",
+            "{\"type\":\"submit\",\"presets\":[\"Nope\"],\"workloads\":[\"Web Search\"]}",
+        ] {
+            assert!(Frame::parse(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn submit_rejects_bad_options() {
+        let mut good = Frame::Submit(SubmitSpec::new(
+            vec![Preset::BaseOpen],
+            vec![Workload::WebSearch],
+            opts(),
+        ))
+        .encode();
+        assert!(Frame::parse(&good).is_ok());
+        good = good.replace("\"event\"", "\"warp\"");
+        assert!(Frame::parse(&good).is_err(), "unknown engine must fail");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the wire protocol: every frame the daemon or
+//! client can construct must survive encode → parse exactly, and
+//! malformed lines must be rejected, not misread.
+
+use bump_serve::json::Json;
+use bump_serve::proto::{CellResult, Frame, SubmitSpec};
+use bump_sim::{Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+use proptest::prelude::*;
+
+/// Characters that stress JSON string escaping: quotes, backslashes,
+/// control characters, separators, and multi-byte UTF-8.
+const PALETTE: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{08}', '\u{0C}', '\u{01}', '/', '{', '}',
+    '[', ']', ':', ',', 'é', '中', '🦀', '\u{2028}',
+];
+
+fn arb_string() -> impl proptest::strategy::Strategy<Value = String> {
+    prop::collection::vec((0usize..PALETTE.len()).prop_map(|i| PALETTE[i]), 0..16)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_preset() -> impl proptest::strategy::Strategy<Value = Preset> {
+    (0usize..Preset::all().len()).prop_map(|i| Preset::all()[i])
+}
+
+fn arb_workload() -> impl proptest::strategy::Strategy<Value = Workload> {
+    (0usize..Workload::all().len()).prop_map(|i| Workload::all()[i])
+}
+
+#[allow(clippy::type_complexity)]
+fn arb_options() -> impl proptest::strategy::Strategy<Value = RunOptions> {
+    (
+        (1usize..64, any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |((cores, warmup, measure), (max_cycles, seed), (small_llc, event))| RunOptions {
+                cores,
+                warmup_instructions: warmup,
+                measure_instructions: measure,
+                max_cycles,
+                seed,
+                small_llc,
+                engine: if event { Engine::Event } else { Engine::Cycle },
+            },
+        )
+}
+
+fn arb_submit() -> impl proptest::strategy::Strategy<Value = SubmitSpec> {
+    (
+        prop::collection::vec(arb_preset(), 1..5),
+        prop::collection::vec(arb_workload(), 1..4),
+        arb_options(),
+        (1usize..=1024, any::<bool>()),
+    )
+        .prop_map(
+            |(presets, workloads, options, (seeds, resume))| SubmitSpec {
+                presets,
+                workloads,
+                options,
+                seeds,
+                resume,
+            },
+        )
+}
+
+fn arb_row() -> impl proptest::strategy::Strategy<Value = Json> {
+    (
+        arb_string(),
+        any::<u64>(),
+        (0u64..1_000_000).prop_map(|n| n as f64 / 1000.0),
+    )
+        .prop_map(|(label, cycles, ipc)| {
+            Json::obj(vec![
+                ("label", Json::from(label)),
+                ("cycles", Json::from(cycles)),
+                ("ipc", Json::from(ipc)),
+            ])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn submit_frames_round_trip(spec in arb_submit()) {
+        let frame = Frame::Submit(spec);
+        let line = frame.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        prop_assert_eq!(Frame::parse(&line), Ok(frame));
+    }
+
+    #[test]
+    fn cell_result_frames_round_trip(
+        ids in (any::<u64>(), any::<u64>()),
+        label in arb_string(),
+        cached in any::<bool>(),
+        csv in arb_string(),
+        row in arb_row(),
+    ) {
+        let (job, index) = ids;
+        let frame = Frame::CellResult(CellResult { job, index, label, cached, csv, row });
+        let line = frame.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        prop_assert_eq!(Frame::parse(&line), Ok(frame));
+    }
+
+    #[test]
+    fn bookkeeping_frames_round_trip(
+        counters in (any::<u64>(), any::<u64>(), any::<u64>()),
+        message in arb_string(),
+    ) {
+        let (job, cells, cached) = counters;
+        for frame in [
+            Frame::JobAccepted { job, cells, cached },
+            Frame::JobDone { job, cells },
+            Frame::Error { message },
+        ] {
+            let line = frame.encode();
+            prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+            prop_assert_eq!(Frame::parse(&line), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_parses_as_a_frame(junk in arb_string()) {
+        // Anything that parses must at minimum be a JSON object with a
+        // known type tag — free-form text must be rejected.
+        if let Ok(frame) = Frame::parse(&junk) {
+            // The only strings that can parse are real frame objects;
+            // re-encoding must round-trip (no lossy acceptance).
+            prop_assert_eq!(Frame::parse(&frame.encode()), Ok(frame));
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_are_rejected_with_reasons() {
+    let cases: &[(&str, &str)] = &[
+        ("", "malformed JSON"),
+        ("{\"type\":\"submit\"}", "presets"),
+        ("[1,2,3]", "type"),
+        ("{\"type\":\"cell_result\",\"job\":1}", "index"),
+        (
+            "{\"type\":\"submit\",\"presets\":[\"Base-open\"],\"workloads\":[\"Web Search\"],\
+             \"options\":{\"cores\":0,\"warmup_instructions\":1,\"measure_instructions\":1,\
+             \"max_cycles\":1,\"seed\":1,\"small_llc\":true,\"engine\":\"event\"}}",
+            "cores",
+        ),
+        (
+            "{\"type\":\"submit\",\"presets\":[\"Base-open\"],\"workloads\":[\"Web Search\"],\
+             \"options\":{\"cores\":1,\"warmup_instructions\":1,\"measure_instructions\":1,\
+             \"max_cycles\":1,\"seed\":1,\"small_llc\":true,\"engine\":\"event\"},\"seeds\":0}",
+            "seeds",
+        ),
+        (
+            "{\"type\":\"job_done\",\"job\":1,\"cells\":2} trailing",
+            "malformed JSON",
+        ),
+    ];
+    for (line, needle) in cases {
+        let err = Frame::parse(line).expect_err(&format!("must reject {line:?}"));
+        assert!(
+            err.contains(needle),
+            "error for {line:?} should mention {needle:?}, got {err:?}"
+        );
+    }
+}

@@ -52,6 +52,17 @@ impl Preset {
         }
     }
 
+    /// Parses a preset from its figure name, matched with
+    /// [`bump_workloads::normalized_name`] (so the CLI and the wire
+    /// protocol accept `Base-open`, `base_open`, or `baseopen` alike).
+    pub fn from_name(s: &str) -> Option<Preset> {
+        use bump_workloads::normalized_name;
+        let wanted = normalized_name(s);
+        Preset::all()
+            .into_iter()
+            .find(|p| normalized_name(p.name()) == wanted)
+    }
+
     /// Whether this preset uses the stride prefetcher. Per Table II the
     /// degree-4 stride prefetcher is part of the LLC in every system;
     /// only SMS replaces it.
@@ -193,6 +204,17 @@ impl SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn preset_from_name_round_trips_and_forgives_separators() {
+        for p in Preset::all() {
+            assert_eq!(Preset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Preset::from_name("base open"), Some(Preset::BaseOpen));
+        assert_eq!(Preset::from_name("smsvwq"), Some(Preset::SmsVwq));
+        assert_eq!(Preset::from_name("bump"), Some(Preset::Bump));
+        assert_eq!(Preset::from_name("warp"), None);
+    }
 
     #[test]
     fn presets_name_all_figure13_systems() {

@@ -96,6 +96,16 @@ impl Workload {
         }
     }
 
+    /// Parses a workload from its figure name, matched with
+    /// [`normalized_name`] (so the CLI and the wire protocol accept
+    /// `Web Search`, `web-search`, or `websearch` alike).
+    pub fn from_name(s: &str) -> Option<Workload> {
+        let wanted = normalized_name(s);
+        Workload::all()
+            .into_iter()
+            .find(|w| normalized_name(w.name()) == wanted)
+    }
+
     /// The calibrated generator parameters for this workload.
     pub fn params(self) -> WorkloadParams {
         params::for_workload(self)
@@ -108,9 +118,34 @@ impl std::fmt::Display for Workload {
     }
 }
 
+/// Lowercases `s` and strips the separator characters that name
+/// matching ignores (` `, `-`, `_`, `+`). Shared by
+/// [`Workload::from_name`] and `Preset::from_name` in `bump-sim`, so
+/// the two parsers can never drift apart in what they forgive.
+pub fn normalized_name(s: &str) -> String {
+    s.chars()
+        .filter(|c| !matches!(c, ' ' | '-' | '_' | '+'))
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_name_round_trips_and_forgives_separators() {
+        for w in Workload::all() {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("web-search"), Some(Workload::WebSearch));
+        assert_eq!(Workload::from_name("WEBSEARCH"), Some(Workload::WebSearch));
+        assert_eq!(
+            Workload::from_name("data_serving"),
+            Some(Workload::DataServing)
+        );
+        assert_eq!(Workload::from_name("no such workload"), None);
+    }
 
     #[test]
     fn all_lists_six_distinct_workloads() {

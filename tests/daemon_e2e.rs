@@ -1,0 +1,184 @@
+//! End-to-end `bumpd`/`bumpc` tests: results streamed over TCP are
+//! byte-identical to an in-process `run_grid` of the same grid,
+//! re-submission resumes from the journal (including across a daemon
+//! restart), malformed lines get `error` frames without killing the
+//! connection, and a second client's small job finishes before a
+//! concurrently running sweep.
+
+use bump_bench::experiment::run_grid;
+use bump_serve::client;
+use bump_serve::daemon::Daemon;
+use bump_serve::journal::Journal;
+use bump_serve::proto::{Frame, SubmitSpec};
+use bump_sim::{Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::io::{BufRead as _, Write as _};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn opts() -> RunOptions {
+    RunOptions {
+        cores: 2,
+        warmup_instructions: 30_000,
+        measure_instructions: 30_000,
+        max_cycles: 3_000_000,
+        seed: 42,
+        small_llc: true,
+        engine: Engine::Event,
+    }
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bumpd-e2e-{}-{name}.journal", std::process::id()))
+}
+
+/// Binds a loopback listener, spawns the daemon on it, and returns the
+/// address to dial.
+fn start(daemon: &Arc<Daemon>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    daemon.spawn(listener);
+    addr
+}
+
+#[test]
+fn streamed_results_are_byte_identical_and_resume_from_the_journal() {
+    let journal_path = temp_journal("identity");
+    let _ = std::fs::remove_file(&journal_path);
+    let daemon = Daemon::new(2, Journal::open(&journal_path).expect("open journal"));
+    let addr = start(&daemon);
+
+    // Two presets x one workload x two seed replicas = 4 cells.
+    let spec = SubmitSpec {
+        presets: vec![Preset::BaseOpen, Preset::Bump],
+        workloads: vec![Workload::WebSearch],
+        options: opts(),
+        seeds: 2,
+        resume: true,
+    };
+    let direct = run_grid(&spec.to_grid(), 2).to_csv();
+
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to daemon");
+    let outcome = client::submit(&mut stream, &spec).expect("first submission");
+    assert_eq!(outcome.cells.len(), 4);
+    assert_eq!(outcome.cached(), 0, "cold journal serves nothing");
+    assert!(outcome.cells.iter().any(|c| c.label.ends_with("#s1")));
+    assert_eq!(
+        outcome.to_csv(),
+        direct,
+        "streamed rows must be byte-identical to an in-process run_grid"
+    );
+
+    // Same connection, same spec: every cell resumes from the journal.
+    let resumed = client::submit(&mut stream, &spec).expect("resumed submission");
+    assert_eq!(resumed.cached(), 4, "identical spec must fully resume");
+    assert_eq!(resumed.to_csv(), direct);
+
+    // A different seed is a different identity: nothing resumes.
+    let mut other = spec.clone();
+    other.options.seed = 7;
+    let fresh = client::submit(&mut stream, &other).expect("different-seed submission");
+    assert_eq!(fresh.cached(), 0, "journal must not serve a different seed");
+    assert_ne!(fresh.to_csv(), direct);
+
+    // Restart: a new daemon on the same journal file still resumes.
+    let daemon2 = Daemon::new(2, Journal::open(&journal_path).expect("reopen journal"));
+    let addr2 = start(&daemon2);
+    let mut stream2 =
+        client::connect_retry(&addr2, Duration::from_secs(10)).expect("connect to restarted");
+    let after_restart = client::submit(&mut stream2, &spec).expect("post-restart submission");
+    assert_eq!(
+        after_restart.cached(),
+        4,
+        "journal must survive a daemon restart"
+    );
+    assert_eq!(after_restart.to_csv(), direct);
+
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn malformed_lines_get_error_frames_without_killing_the_connection() {
+    let daemon = Daemon::new(1, Journal::in_memory());
+    let addr = start(&daemon);
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to daemon");
+
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream for reading"));
+    for bad in [
+        "this is not json",
+        "{\"type\":\"warp\"}",
+        "{\"type\":\"job_done\"}",
+    ] {
+        writeln!(stream, "{bad}").expect("send malformed line");
+        stream.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read error frame");
+        match Frame::parse(line.trim_end()) {
+            Ok(Frame::Error { .. }) => {}
+            other => panic!("expected an error frame for {bad:?}, got {other:?}"),
+        }
+    }
+
+    // The connection is still usable for a real submission.
+    let spec = SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts());
+    let outcome = client::submit(&mut stream, &spec).expect("submission after errors");
+    assert_eq!(outcome.cells.len(), 1);
+}
+
+#[test]
+fn second_clients_small_job_finishes_before_a_large_sweep() {
+    // One worker makes the interleaving deterministic: large cells and
+    // the small job's cell strictly alternate once both are queued.
+    let daemon = Daemon::new(1, Journal::in_memory());
+    let addr = start(&daemon);
+
+    let large_spec = SubmitSpec::new(vec![Preset::BaseOpen], Workload::all().to_vec(), opts());
+    let small_spec = SubmitSpec::new(vec![Preset::Bump], vec![Workload::WebSearch], opts());
+
+    let large_done = Arc::new(AtomicBool::new(false));
+    let (first_cell_tx, first_cell_rx) = std::sync::mpsc::channel::<()>();
+    let large_thread = std::thread::spawn({
+        let addr = addr.clone();
+        let large_done = Arc::clone(&large_done);
+        move || {
+            let mut stream = client::connect_retry(&addr, Duration::from_secs(10))
+                .expect("large client connects");
+            let mut sent = false;
+            let outcome = client::submit_with(&mut stream, &large_spec, &mut |frame| {
+                if matches!(frame, Frame::CellResult(_)) && !sent {
+                    sent = true;
+                    let _ = first_cell_tx.send(());
+                }
+            })
+            .expect("large sweep");
+            large_done.store(true, Ordering::SeqCst);
+            outcome
+        }
+    });
+
+    // Submit the small job only once the sweep is demonstrably in
+    // flight (first cell streamed, five still pending).
+    first_cell_rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("large sweep must stream its first cell");
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("small client connects");
+    let small = client::submit(&mut stream, &small_spec).expect("small job");
+    assert_eq!(small.cells.len(), 1);
+    assert!(
+        !large_done.load(Ordering::SeqCst),
+        "fairness: the one-cell job must finish while the six-cell sweep is still running"
+    );
+
+    let large = large_thread.join().expect("large client thread");
+    assert_eq!(large.cells.len(), 6);
+
+    // Cross-check the streamed small job against an in-process run.
+    let direct = run_grid(&small_spec.to_grid(), 1).to_csv();
+    assert_eq!(small.to_csv(), direct);
+}
