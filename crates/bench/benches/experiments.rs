@@ -55,5 +55,10 @@ fn bench_fig10_perf(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig2_rowhits, bench_fig9_energy, bench_fig10_perf);
+criterion_group!(
+    benches,
+    bench_fig2_rowhits,
+    bench_fig9_energy,
+    bench_fig10_perf
+);
 criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Scenario sweep: BuMP vs the open-row baseline across memory specs
+//! (DDR3-1600 / DDR4-2400 / LPDDR4-3200) and LLC capacities (4/8/16MB),
+//! averaged over the Figure 11 workload trio.
+//!
+//! `--smoke` runs the CI-sized slice (one workload, DDR4 + LPDDR4 at
+//! the paper's 4MB LLC). Standard flags (`--quick`/`--full`,
+//! `--threads N`, `--seeds N`, `--engine {cycle,event}`) apply; results
+//! land in `results/scenarios.{txt,csv,json}`.
+
+fn main() {
+    bump_bench::figures::run_named("scenarios");
+}

@@ -22,7 +22,8 @@
 
 use crate::Scale;
 use bump_sim::{
-    run_experiment, run_experiment_with_config, Preset, RunOptions, SimReport, SystemConfig,
+    config_for_scenario, run_experiment, run_experiment_with_config, Preset, RunOptions, Scenario,
+    SimReport, SystemConfig,
 };
 use bump_workloads::Workload;
 use std::fmt::Write as _;
@@ -44,9 +45,15 @@ pub struct ExperimentSpec {
     pub workload: Workload,
     /// Warmup/measure windows and seed for this cell.
     pub options: RunOptions,
+    /// The evaluation scenario (memory spec, LLC capacity, workload
+    /// mix) the cell runs under. The default scenario is the paper's
+    /// platform; non-default scenarios are named in the label
+    /// (`<preset>/<workload>@<scenario>`).
+    pub scenario: Scenario,
     /// Full system-config override for non-standard cells (design-space
     /// sweeps, ablations, virtualization mixes). When set, `options`
-    /// still controls the warmup/measure windows.
+    /// still controls the warmup/measure windows and `scenario` is
+    /// ignored (the override is already a complete configuration).
     pub config: Option<SystemConfig>,
 }
 
@@ -58,6 +65,26 @@ impl ExperimentSpec {
             preset,
             workload,
             options,
+            scenario: Scenario::default(),
+            config: None,
+        }
+    }
+
+    /// The cell for `preset` × `workload` under `scenario`. With the
+    /// default scenario this is exactly [`ExperimentSpec::new`]; any
+    /// other scenario is named in the label.
+    pub fn with_scenario(
+        preset: Preset,
+        workload: Workload,
+        scenario: Scenario,
+        options: RunOptions,
+    ) -> Self {
+        ExperimentSpec {
+            label: scenario_label(preset, workload, &scenario),
+            preset,
+            workload,
+            options,
+            scenario,
             config: None,
         }
     }
@@ -73,6 +100,7 @@ impl ExperimentSpec {
             preset: config.preset,
             workload: config.workload,
             options,
+            scenario: Scenario::default(),
             config: Some(config),
         }
     }
@@ -81,13 +109,31 @@ impl ExperimentSpec {
     pub fn run(&self) -> SimReport {
         match &self.config {
             Some(cfg) => run_experiment_with_config(cfg.clone(), self.options),
-            None => run_experiment(self.preset, self.workload, self.options),
+            None if self.scenario.is_default() => {
+                run_experiment(self.preset, self.workload, self.options)
+            }
+            None => run_experiment_with_config(
+                config_for_scenario(self.preset, self.workload, self.options, &self.scenario),
+                self.options,
+            ),
         }
     }
 }
 
 fn standard_label(preset: Preset, workload: Workload) -> String {
     format!("{}/{}", preset.name(), workload.name())
+}
+
+/// The label for a cell under `scenario`:
+/// `<preset>/<workload>[@<scenario>]` (no suffix for the default
+/// scenario, so pre-scenario labels — and the journals and goldens
+/// keyed on them — are unchanged).
+pub fn scenario_label(preset: Preset, workload: Workload, scenario: &Scenario) -> String {
+    if scenario.is_default() {
+        standard_label(preset, workload)
+    } else {
+        format!("{}/{}@{}", preset.name(), workload.name(), scenario.name())
+    }
 }
 
 /// Derives a per-cell seed from a base seed and the cell's identity.
@@ -124,10 +170,26 @@ impl ExperimentGrid {
     /// Cartesian expansion: one cell per `preset × workload`, in the
     /// given order (presets outer, workloads inner), all at `options`.
     pub fn cartesian(presets: &[Preset], workloads: &[Workload], options: RunOptions) -> Self {
+        Self::cartesian_scenario(presets, workloads, options, &Scenario::default())
+    }
+
+    /// [`ExperimentGrid::cartesian`] with every cell under `scenario`
+    /// (labels gain the `@<scenario>` suffix when it is non-default).
+    pub fn cartesian_scenario(
+        presets: &[Preset],
+        workloads: &[Workload],
+        options: RunOptions,
+        scenario: &Scenario,
+    ) -> Self {
         let mut grid = ExperimentGrid::new();
         for &p in presets {
             for &w in workloads {
-                grid.push(ExperimentSpec::new(p, w, options));
+                grid.push(ExperimentSpec::with_scenario(
+                    p,
+                    w,
+                    scenario.clone(),
+                    options,
+                ));
             }
         }
         grid
@@ -145,6 +207,11 @@ impl ExperimentGrid {
             assert_eq!(
                 existing.options, spec.options,
                 "grid label {:?} reused with different run options",
+                spec.label
+            );
+            assert_eq!(
+                existing.scenario, spec.scenario,
+                "grid label {:?} reused with a different scenario",
                 spec.label
             );
             assert_eq!(
@@ -900,6 +967,64 @@ mod tests {
             Workload::WebSearch,
             other,
         ));
+    }
+
+    #[test]
+    fn scenario_labels_tag_non_default_scenarios_only() {
+        let default = ExperimentSpec::with_scenario(
+            Preset::Bump,
+            Workload::WebSearch,
+            Scenario::default(),
+            opts(),
+        );
+        assert_eq!(default.label, "BuMP/Web Search");
+        let ddr4 = ExperimentSpec::with_scenario(
+            Preset::Bump,
+            Workload::WebSearch,
+            Scenario::from_name("ddr4_2400+llc8m").unwrap(),
+            opts(),
+        );
+        assert_eq!(ddr4.label, "BuMP/Web Search@ddr4_2400+llc8m");
+        // The scenario name embedded in the label round-trips.
+        let name = ddr4.label.split('@').nth(1).unwrap();
+        assert_eq!(Scenario::from_name(name), Ok(ddr4.scenario));
+    }
+
+    #[test]
+    fn cartesian_scenario_tags_every_cell() {
+        let scenario = Scenario::from_name("lpddr4_3200").unwrap();
+        let grid = ExperimentGrid::cartesian_scenario(
+            &[Preset::BaseOpen, Preset::Bump],
+            &[Workload::WebSearch],
+            opts(),
+            &scenario,
+        );
+        assert_eq!(grid.len(), 2);
+        assert!(grid
+            .cells()
+            .iter()
+            .all(|c| c.label.ends_with("@lpddr4_3200") && c.scenario == scenario));
+    }
+
+    #[test]
+    #[should_panic(expected = "different scenario")]
+    fn conflicting_duplicate_scenarios_panic() {
+        let mut grid = ExperimentGrid::new();
+        grid.push(ExperimentSpec::new(
+            Preset::BaseOpen,
+            Workload::WebSearch,
+            opts(),
+        ));
+        // A scenario cell mislabeled as the standard one must not be
+        // silently dropped in favor of the default simulation.
+        let mut spec = ExperimentSpec::with_scenario(
+            Preset::BaseOpen,
+            Workload::WebSearch,
+            Scenario::from_name("ddr4_2400").unwrap(),
+            opts(),
+        );
+        spec.label = "Base-open/Web Search".into();
+        grid.push(spec);
     }
 
     #[test]

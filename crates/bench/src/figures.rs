@@ -14,8 +14,8 @@ use crate::experiment::{
 use crate::{emit, paper, pct, Scale, TextTable};
 use bump::BumpConfig;
 use bump_energy::ChipEnergyParams;
-use bump_sim::{config_for, Preset, RunOptions, SimReport, SystemConfig};
-use bump_types::Interleaving;
+use bump_sim::{config_for, Preset, RunOptions, Scenario, SimReport, SystemConfig};
+use bump_types::{Interleaving, MemSpec};
 use bump_workloads::Workload;
 
 /// One reproduction target: a named grid + renderer pair.
@@ -156,6 +156,12 @@ pub fn all() -> Vec<Figure> {
             render: render_virtualization,
         },
         Figure {
+            name: "scenarios",
+            title: "Scenario sweep: preset x memory spec x LLC capacity",
+            grid: scenarios_grid,
+            render: render_scenarios,
+        },
+        Figure {
             name: "calibrate",
             title: "Calibration sweep (dev tool)",
             grid: |s| ExperimentGrid::cartesian(&Preset::all(), &Workload::all(), s.options()),
@@ -164,13 +170,15 @@ pub fn all() -> Vec<Figure> {
     ]
 }
 
-/// The targets `repro_all` regenerates, in the historical order (the
-/// `calibrate` dev sweep is available by name but not part of the
-/// default suite).
+/// The targets `repro_all` regenerates, in the historical order. The
+/// `calibrate` dev sweep and the `scenarios` platform sweep are
+/// available by name but not part of the default suite (the scenario
+/// grid shares no cells with the paper figures, so merging it would
+/// only lengthen `repro_all` without deduplication wins).
 pub fn repro_suite() -> Vec<Figure> {
     all()
         .into_iter()
-        .filter(|f| f.name != "calibrate")
+        .filter(|f| f.name != "calibrate" && f.name != "scenarios")
         .collect()
 }
 
@@ -203,14 +211,46 @@ pub fn run_figure(figure: &Figure, args: GridArgs) {
     } else {
         &all
     };
-    let out = (figure.render)(results, args.scale);
+    let mut out = (figure.render)(results, args.scale);
+    if args.seeds > 1 && !all.is_empty() {
+        let summary = SeedSummary::from_results(&grid, &all, args.seeds);
+        out.push('\n');
+        out.push_str(&render_seed_table(&summary));
+        summary.write_files(figure.name);
+    }
     emit(figure.name, &out);
     if !all.is_empty() {
         all.write_files(figure.name);
-        if args.seeds > 1 {
-            SeedSummary::from_results(&grid, &all, args.seeds).write_files(figure.name);
-        }
     }
+}
+
+/// The per-metric mean ± sample-stddev table appended to a figure's
+/// text output under `--seeds N` (the full column set is in
+/// `results/<name>_seeds.csv`).
+fn render_seed_table(summary: &SeedSummary) -> String {
+    use crate::experiment::SEED_METRICS;
+    const SHOWN: [&str; 4] = ["ipc", "row_hit", "energy_per_access_nj", "cycles"];
+    let mut header = vec!["cell"];
+    header.extend(SHOWN);
+    let mut t = TextTable::new(&header);
+    for row in summary.rows() {
+        let mut cells = vec![row.label.clone()];
+        for name in SHOWN {
+            let idx = SEED_METRICS
+                .iter()
+                .position(|(n, _)| *n == name)
+                .expect("shown metric is a seed metric");
+            let stat = &row.stats[idx];
+            cells.push(format!("{:.4} ± {:.4}", stat.mean, stat.std));
+        }
+        t.row(cells);
+    }
+    let seeds = summary.rows().first().map_or(0, |r| r.seeds);
+    format!(
+        "Seed variability over {seeds} replicas (mean ± sample stddev;\n\
+         full metric set in results/<name>_seeds.csv):\n\n{}",
+        t.render()
+    )
 }
 
 /// [`run_figure`] for the registry entry called `name`, with arguments
@@ -232,11 +272,12 @@ const FIG9_PRESETS: [Preset; 4] = [
 
 fn render_tab23() -> String {
     use bump_dram::DramEnergyParams;
-    use bump_types::{CacheGeometry, CoreParams, DramGeometry, DramTiming};
+    use bump_types::{CacheGeometry, CoreParams, MemSpec};
 
     let core = CoreParams::paper();
-    let timing = DramTiming::ddr3_1600();
-    let geom = DramGeometry::paper();
+    let spec = MemSpec::ddr3_1600();
+    let timing = spec.timing;
+    let geom = spec.geometry;
     let chip = ChipEnergyParams::paper();
     let dram = DramEnergyParams::paper();
     format!(
@@ -991,6 +1032,125 @@ fn render_virtualization(results: &GridResults, _scale: Scale) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Scenario sweep (memory specs × LLC capacities)
+
+/// The presets the scenario sweep compares: the open-row baseline and
+/// BuMP (the paper's headline pair).
+const SCEN_PRESETS: [Preset; 2] = [Preset::BaseOpen, Preset::Bump];
+
+/// The workload slice averaged per scenario (the same trio Figure 11
+/// sweeps, spanning lookup-, update-, and stream-dominated behavior).
+const SCEN_WORKLOADS: [Workload; 3] = [
+    Workload::WebSearch,
+    Workload::DataServing,
+    Workload::MediaStreaming,
+];
+
+/// LLC design points in mebibytes (4MB is the paper's).
+const SCEN_LLC_MB: [u64; 3] = [4, 8, 16];
+
+/// Whether the process was asked for the reduced scenario grid
+/// (`--smoke`: one workload on DDR4 and LPDDR4 at the paper's LLC —
+/// the CI-sized slice).
+fn scenarios_smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+fn scenario_points(smoke: bool) -> Vec<Scenario> {
+    let mut points = Vec::new();
+    let mems = if smoke {
+        vec![MemSpec::ddr4_2400(), MemSpec::lpddr4_3200()]
+    } else {
+        MemSpec::all().to_vec()
+    };
+    let llcs: &[u64] = if smoke {
+        &SCEN_LLC_MB[..1]
+    } else {
+        &SCEN_LLC_MB
+    };
+    for mem in &mems {
+        for &mb in llcs {
+            points.push(Scenario {
+                mem: *mem,
+                llc_capacity: Some(mb << 20),
+                mix: None,
+            });
+        }
+    }
+    points
+}
+
+fn scenarios_workloads(smoke: bool) -> &'static [Workload] {
+    if smoke {
+        &SCEN_WORKLOADS[..1]
+    } else {
+        &SCEN_WORKLOADS
+    }
+}
+
+fn scenarios_grid(scale: Scale) -> ExperimentGrid {
+    let opts = scale.options();
+    let smoke = scenarios_smoke();
+    let mut grid = ExperimentGrid::new();
+    for scenario in scenario_points(smoke) {
+        grid.merge(ExperimentGrid::cartesian_scenario(
+            &SCEN_PRESETS,
+            scenarios_workloads(smoke),
+            opts,
+            &scenario,
+        ));
+    }
+    grid
+}
+
+fn render_scenarios(results: &GridResults, _scale: Scale) -> String {
+    let smoke = scenarios_smoke();
+    let mut t = TextTable::new(&[
+        "scenario",
+        "Base-open row hit",
+        "BuMP row hit",
+        "BuMP speedup",
+        "BuMP E/acc vs Base",
+    ]);
+    for scenario in scenario_points(smoke) {
+        let workloads = scenarios_workloads(smoke);
+        let n = workloads.len() as f64;
+        let (mut base_hit, mut bump_hit, mut speedup, mut energy) = (0.0, 0.0, 0.0, 0.0);
+        for &w in workloads {
+            let base = results.get_labeled(&crate::experiment::scenario_label(
+                Preset::BaseOpen,
+                w,
+                &scenario,
+            ));
+            let bump = results.get_labeled(&crate::experiment::scenario_label(
+                Preset::Bump,
+                w,
+                &scenario,
+            ));
+            base_hit += base.row_hit_ratio().value() / n;
+            bump_hit += bump.row_hit_ratio().value() / n;
+            speedup += bump.ipc() / base.ipc() / n;
+            energy += bump.energy_per_access_nj() / base.energy_per_access_nj() / n;
+        }
+        t.row(vec![
+            scenario.name(),
+            pct(base_hit),
+            pct(bump_hit),
+            format!("{speedup:.3}x"),
+            format!("{:+.1}%", 100.0 * (energy - 1.0)),
+        ]);
+    }
+    let mut out = String::from(
+        "Scenario sweep — BuMP vs the open-row baseline across memory\n\
+         specs (DDR3-1600 / DDR4-2400 / LPDDR4-3200) and LLC capacities,\n\
+         averaged over Web Search, Data Serving, Media Streaming.\n\
+         The paper's platform is ddr3_1600 at llc4m.\n\n",
+    );
+    out.push_str(&t.render());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1004,8 +1164,32 @@ mod tests {
 
     #[test]
     fn repro_suite_excludes_dev_tools() {
-        assert!(repro_suite().iter().all(|f| f.name != "calibrate"));
+        assert!(repro_suite()
+            .iter()
+            .all(|f| f.name != "calibrate" && f.name != "scenarios"));
         assert_eq!(repro_suite().len(), 15);
+    }
+
+    #[test]
+    fn scenarios_grid_covers_every_platform_point() {
+        let g = scenarios_grid(Scale::Quick);
+        // 2 presets × 3 mem specs × 3 LLC points × 3 workloads.
+        assert_eq!(g.len(), 2 * 3 * 3 * 3);
+        for scenario in scenario_points(false) {
+            for p in SCEN_PRESETS {
+                for w in SCEN_WORKLOADS {
+                    let label = crate::experiment::scenario_label(p, w, &scenario);
+                    assert!(
+                        g.cells().iter().any(|c| c.label == label),
+                        "missing {label}"
+                    );
+                    assert!(label.contains('@'), "scenario cells are tagged: {label}");
+                }
+            }
+        }
+        // Every cell is scenario-tagged (the sweep always overrides the
+        // LLC, so even the ddr3_1600 column is a named scenario).
+        assert!(g.cells().iter().all(|c| c.label.contains('@')));
     }
 
     #[test]

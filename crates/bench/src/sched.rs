@@ -47,6 +47,23 @@ fn preset_weight(preset: Preset) -> u64 {
     }
 }
 
+/// Relative execution weight of a cell's scenario. Larger LLCs take
+/// proportionally longer to warm (more sets to fill before the miss
+/// stream steadies), and heterogeneous mixes keep more regions live at
+/// once (§VI), so both steal earlier. The default scenario weighs 1.
+fn scenario_weight(spec: &ExperimentSpec) -> u64 {
+    let s = &spec.scenario;
+    let mut w: u64 = 1;
+    if s.mix.is_some() {
+        w *= 2;
+    }
+    if let Some(cap) = s.llc_capacity {
+        // Relative to the paper's 4MB LLC, floored at 1.
+        w = w.saturating_mul((cap >> 22).max(1));
+    }
+    w
+}
+
 /// Estimated execution cost of one cell, used by workers to decide
 /// which pending cell of a job to steal first. The absolute scale is
 /// meaningless; only the ordering matters (longest first).
@@ -56,7 +73,9 @@ pub fn estimated_cost(spec: &ExperimentSpec) -> u64 {
         .warmup_instructions
         .saturating_add(spec.options.measure_instructions)
         .max(1);
-    preset_weight(spec.preset).saturating_mul(instructions)
+    preset_weight(spec.preset)
+        .saturating_mul(scenario_weight(spec))
+        .saturating_mul(instructions)
 }
 
 /// Callback invoked (from a worker thread) as each cell of a job
@@ -314,6 +333,40 @@ mod tests {
         let bump = spec(Preset::Bump, Workload::WebSearch);
         assert!(estimated_cost(&full) > estimated_cost(&bump));
         assert!(estimated_cost(&bump) > estimated_cost(&base));
+    }
+
+    #[test]
+    fn cost_weighs_llc_sweeps_and_mixes_heavier() {
+        use bump_sim::Scenario;
+        let plain = spec(Preset::BaseOpen, Workload::WebSearch);
+        let big_llc = ExperimentSpec::with_scenario(
+            Preset::BaseOpen,
+            Workload::WebSearch,
+            Scenario {
+                llc_capacity: Some(16 << 20),
+                ..Scenario::default()
+            },
+            RunOptions::quick(1),
+        );
+        let mix = ExperimentSpec::with_scenario(
+            Preset::BaseOpen,
+            Workload::WebSearch,
+            Scenario {
+                mix: Some(Workload::all().to_vec()),
+                ..Scenario::default()
+            },
+            RunOptions::quick(1),
+        );
+        assert!(estimated_cost(&big_llc) > estimated_cost(&mix));
+        assert!(estimated_cost(&mix) > estimated_cost(&plain));
+        // A non-default mem spec alone does not change the estimate.
+        let ddr4 = ExperimentSpec::with_scenario(
+            Preset::BaseOpen,
+            Workload::WebSearch,
+            Scenario::from_name("ddr4_2400").unwrap(),
+            RunOptions::quick(1),
+        );
+        assert_eq!(estimated_cost(&ddr4), estimated_cost(&plain));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! It is wired into the channel behind a flag and used heavily by unit,
 //! integration, and property tests.
 
-use crate::bank::{CommandKind, DramTimingExt};
+use crate::bank::CommandKind;
 use bump_types::{DramTiming, MemCycle};
 use std::collections::VecDeque;
 
@@ -260,7 +260,7 @@ mod tests {
     use super::*;
 
     fn t() -> DramTiming {
-        DramTiming::ddr3_1600()
+        bump_types::MemSpec::ddr3_1600().timing
     }
 
     #[test]

@@ -203,34 +203,6 @@ impl Bank {
     }
 }
 
-/// Extension of [`DramTiming`] with parameters not listed in the
-/// paper's Table II but required by the DDR3 specification.
-pub trait DramTimingExt {
-    /// CAS write latency (DDR3-1600: 8 bus cycles).
-    fn cwl(&self) -> MemCycle;
-    /// Average refresh interval (7.8µs at 1.25ns/cycle = 6240 cycles).
-    fn refi(&self) -> MemCycle;
-    /// Refresh cycle time for a 2Gb device (160ns = 128 cycles).
-    fn rfc(&self) -> MemCycle;
-    /// Bus turnaround penalty when the data bus switches direction.
-    fn turnaround(&self) -> MemCycle;
-}
-
-impl DramTimingExt for DramTiming {
-    fn cwl(&self) -> MemCycle {
-        8
-    }
-    fn refi(&self) -> MemCycle {
-        6240
-    }
-    fn rfc(&self) -> MemCycle {
-        128
-    }
-    fn turnaround(&self) -> MemCycle {
-        2
-    }
-}
-
 /// Rank-wide timing constraints: tRRD, the four-activate window, the
 /// write-to-read turnaround, and refresh scheduling.
 #[derive(Clone, Debug)]
@@ -361,7 +333,7 @@ mod tests {
     use super::*;
 
     fn t() -> DramTiming {
-        DramTiming::ddr3_1600()
+        bump_types::MemSpec::ddr3_1600().timing
     }
 
     #[test]

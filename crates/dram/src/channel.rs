@@ -17,7 +17,7 @@
 //! Queue paper the baseline compares against.
 
 use crate::audit::TimingAuditor;
-use crate::bank::{Bank, CommandKind, DramTimingExt, RankTimer};
+use crate::bank::{Bank, CommandKind, RankTimer};
 use crate::energy::DramEnergyCounters;
 use crate::mapping::DramCoord;
 use crate::transaction::{Completion, Transaction, TransactionId};
@@ -793,7 +793,7 @@ mod tests {
         let mapper = AddressMapper::new(geom, Interleaving::Region);
         let ch = Channel::new(
             geom,
-            DramTiming::ddr3_1600(),
+            bump_types::MemSpec::ddr3_1600().timing,
             policy,
             WriteQueueConfig::default(),
             64,
@@ -822,7 +822,7 @@ mod tests {
         assert!(ch.enqueue(TransactionId(1), read_txn(0), m.decode(b), 0));
         let done = run(&mut ch, 0, 100);
         assert_eq!(done.len(), 1);
-        let t = DramTiming::ddr3_1600();
+        let t = bump_types::MemSpec::ddr3_1600().timing;
         // ACT at 0, RD at tRCD, data ends tCAS + tBURST later.
         assert_eq!(done[0].done_at, t.t_rcd + t.t_cas + t.t_burst);
         assert!(!done[0].row_hit);
@@ -987,7 +987,7 @@ mod tests {
         let m = AddressMapper::new(geom, Interleaving::Region);
         let mut ch = Channel::new(
             geom,
-            DramTiming::ddr3_1600(),
+            bump_types::MemSpec::ddr3_1600().timing,
             RowPolicy::Open,
             WriteQueueConfig::default(),
             64,

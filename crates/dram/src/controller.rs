@@ -5,15 +5,18 @@ use crate::channel::{Channel, RowPolicy, WriteQueueConfig};
 use crate::energy::DramEnergyCounters;
 use crate::mapping::AddressMapper;
 use crate::transaction::{Completion, Transaction, TransactionId};
-use bump_types::{DramGeometry, DramTiming, Interleaving, MemCycle, Ratio, TrafficClass};
+use bump_types::{DramGeometry, DramTiming, Interleaving, MemCycle, MemSpec, Ratio, TrafficClass};
 
 /// Complete configuration of the memory system.
 #[derive(Clone, Copy, Debug)]
 pub struct DramConfig {
     /// Channel/rank/bank geometry.
     pub geometry: DramGeometry,
-    /// DDR3 timing set.
+    /// DRAM timing set.
     pub timing: DramTiming,
+    /// CPU clock cycles per memory bus cycle, times 1000 (the
+    /// [`MemSpec::freq_ratio_milli`] of the platform in force).
+    pub freq_ratio_milli: u64,
     /// Row-buffer management policy.
     pub policy: RowPolicy,
     /// Address interleaving scheme.
@@ -27,11 +30,13 @@ pub struct DramConfig {
 }
 
 impl DramConfig {
-    /// Base-close: FR-FCFS close-row with block interleaving.
-    pub fn paper_close_row() -> Self {
+    /// FR-FCFS close-row with block interleaving (Base-close) on the
+    /// platform described by `spec`.
+    pub fn close_row(spec: &MemSpec) -> Self {
         DramConfig {
-            geometry: DramGeometry::paper(),
-            timing: DramTiming::ddr3_1600(),
+            geometry: spec.geometry,
+            timing: spec.timing,
+            freq_ratio_milli: spec.freq_ratio_milli,
             policy: RowPolicy::Close,
             interleaving: Interleaving::Block,
             read_queue_capacity: 64,
@@ -40,13 +45,34 @@ impl DramConfig {
         }
     }
 
-    /// Base-open / BuMP: FR-FCFS open-row with region interleaving.
-    pub fn paper_open_row() -> Self {
+    /// FR-FCFS open-row with region interleaving (Base-open / BuMP) on
+    /// the platform described by `spec`.
+    pub fn open_row(spec: &MemSpec) -> Self {
         DramConfig {
             policy: RowPolicy::Open,
             interleaving: Interleaving::Region,
-            ..Self::paper_close_row()
+            ..Self::close_row(spec)
         }
+    }
+
+    /// Base-close on the paper's DDR3-1600 platform.
+    pub fn paper_close_row() -> Self {
+        Self::close_row(&MemSpec::ddr3_1600())
+    }
+
+    /// Base-open / BuMP on the paper's DDR3-1600 platform.
+    pub fn paper_open_row() -> Self {
+        Self::open_row(&MemSpec::ddr3_1600())
+    }
+
+    /// Re-points this configuration at another memory platform,
+    /// keeping the policy/interleaving/queue choices (which belong to
+    /// the preset, not the platform).
+    pub fn with_spec(mut self, spec: &MemSpec) -> Self {
+        self.geometry = spec.geometry;
+        self.timing = spec.timing;
+        self.freq_ratio_milli = spec.freq_ratio_milli;
+        self
     }
 }
 

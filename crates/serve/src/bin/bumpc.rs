@@ -17,7 +17,7 @@
 
 use bump_serve::client;
 use bump_serve::proto::{Frame, SubmitSpec};
-use bump_sim::{Engine, Preset, RunOptions};
+use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
 use std::time::Duration;
 
@@ -25,6 +25,7 @@ fn main() {
     let mut addr = "127.0.0.1:4077".to_string();
     let mut presets: Vec<Preset> = Preset::all().to_vec();
     let mut workloads: Vec<Workload> = Workload::all().to_vec();
+    let mut scenario = Scenario::default();
     let mut full = false;
     let mut seeds = 1usize;
     let mut resume = false;
@@ -47,6 +48,11 @@ fn main() {
                     Workload::from_name(name)
                         .unwrap_or_else(|| usage(&format!("unknown workload {name:?}")))
                 });
+            }
+            "--scenario" => {
+                let v = expect_value(&args, &mut i, "--scenario");
+                scenario = Scenario::from_name(&v)
+                    .unwrap_or_else(|e| usage(&format!("bad --scenario: {e}")));
             }
             "--full" => full = true,
             "--quick" => full = false,
@@ -91,6 +97,7 @@ fn main() {
         presets,
         workloads,
         options,
+        scenario,
         seeds,
         resume,
     };
@@ -155,13 +162,16 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: bumpc [--addr HOST:PORT] [--presets A,B] [--workloads X,Y]\n\
-         \x20            [--full|--quick] [--seeds N] [--resume]\n\
+         \x20            [--scenario NAME] [--full|--quick] [--seeds N] [--resume]\n\
          \x20            [--engine cycle|event] [--local] [--threads N]\n\
          \n\
          Submit a preset x workload grid to a bumpd daemon and print the\n\
          streamed results as CSV (stdout). --local runs the same grid\n\
-         in-process instead (byte-identical output). Defaults: all presets,\n\
-         all workloads, --quick, single seed, --addr 127.0.0.1:4077."
+         in-process instead (byte-identical output). --scenario selects a\n\
+         platform variation (see docs/SCENARIOS.md), e.g. ddr4_2400,\n\
+         lpddr4_3200+llc8m, or \"mix(websearch:dataserving)\". Defaults:\n\
+         all presets, all workloads, default scenario, --quick, single\n\
+         seed, --addr 127.0.0.1:4077."
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

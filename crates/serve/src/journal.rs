@@ -36,11 +36,24 @@ pub struct JournalEntry {
 }
 
 /// The cell's full identity: label plus the `Debug` rendering of its
-/// run options (seed, windows, cores, small-LLC, engine). Custom-config
-/// cells are *not* journaled (the daemon protocol cannot submit them),
-/// so this string fully identifies a cell's simulation.
+/// run options (seed, windows, cores, small-LLC, engine), plus — for
+/// non-default scenarios only — the canonical scenario name. The
+/// default scenario contributes nothing, so identities (and journal
+/// keys) of pre-scenario cells are unchanged and old journals still
+/// resume. Custom-config cells are *not* journaled (the daemon
+/// protocol cannot submit them), so this string fully identifies a
+/// cell's simulation.
 pub fn cell_identity(spec: &ExperimentSpec) -> String {
-    format!("{}|{:?}", spec.label, spec.options)
+    if spec.scenario.is_default() {
+        format!("{}|{:?}", spec.label, spec.options)
+    } else {
+        format!(
+            "{}|{:?}|scenario={}",
+            spec.label,
+            spec.options,
+            spec.scenario.name()
+        )
+    }
 }
 
 /// The journal cell key: 64-bit FNV-1a over [`cell_identity`]. The key
@@ -208,6 +221,25 @@ mod tests {
         let mut other = spec(1);
         other.options.engine = bump_sim::Engine::Cycle;
         assert_ne!(cell_key(&spec(1)), cell_key(&other), "engine is identity");
+    }
+
+    #[test]
+    fn scenario_is_part_of_the_identity_but_default_adds_nothing() {
+        use bump_sim::Scenario;
+        // Default scenario: identity is the pre-scenario string, so
+        // journals written before the scenario axis still resume.
+        let default = spec(1);
+        assert!(
+            !cell_identity(&default).contains("scenario"),
+            "{}",
+            cell_identity(&default)
+        );
+        let mut tagged = spec(1);
+        tagged.scenario = Scenario::from_name("ddr4_2400").unwrap();
+        // (Same label on purpose: even a mislabeled cell must not
+        // collide with the default cell's journal entry.)
+        assert_ne!(cell_key(&default), cell_key(&tagged));
+        assert!(cell_identity(&tagged).ends_with("|scenario=ddr4_2400"));
     }
 
     #[test]

@@ -18,12 +18,12 @@
 
 use crate::json::Json;
 use bump_bench::experiment::ExperimentGrid;
-use bump_sim::{Engine, Preset, RunOptions};
+use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
 
 /// An experiment submission: the cartesian grid `presets × workloads`
-/// at `options`, optionally replicated across derived seeds, with
-/// journal-resume semantics.
+/// at `options` under `scenario`, optionally replicated across derived
+/// seeds, with journal-resume semantics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SubmitSpec {
     /// Design points to run (non-empty).
@@ -32,6 +32,12 @@ pub struct SubmitSpec {
     pub workloads: Vec<Workload>,
     /// Warmup/measure windows, seed, core count, and engine.
     pub options: RunOptions,
+    /// The evaluation scenario every cell runs under (memory spec, LLC
+    /// capacity, workload mix). On the wire this is the optional
+    /// `"scenario"` field, by canonical name; absent means the default
+    /// (paper) scenario, so pre-scenario clients and journals are
+    /// unaffected.
+    pub scenario: Scenario,
     /// Seed replicas per cell (>= 1; see
     /// `ExperimentGrid::replicate_seeds`).
     pub seeds: usize,
@@ -41,13 +47,14 @@ pub struct SubmitSpec {
 }
 
 impl SubmitSpec {
-    /// The submission for `presets × workloads` at `options`, single
-    /// seed, no resume.
+    /// The submission for `presets × workloads` at `options`, default
+    /// scenario, single seed, no resume.
     pub fn new(presets: Vec<Preset>, workloads: Vec<Workload>, options: RunOptions) -> Self {
         SubmitSpec {
             presets,
             workloads,
             options,
+            scenario: Scenario::default(),
             seeds: 1,
             resume: false,
         }
@@ -56,8 +63,13 @@ impl SubmitSpec {
     /// Expands the submission into its experiment grid (grid order:
     /// presets outer, workloads inner, seed replicas consecutive).
     pub fn to_grid(&self) -> ExperimentGrid {
-        ExperimentGrid::cartesian(&self.presets, &self.workloads, self.options)
-            .replicate_seeds(self.seeds)
+        ExperimentGrid::cartesian_scenario(
+            &self.presets,
+            &self.workloads,
+            self.options,
+            &self.scenario,
+        )
+        .replicate_seeds(self.seeds)
     }
 }
 
@@ -82,6 +94,10 @@ pub struct CellResult {
 }
 
 /// A protocol frame (one line on the wire).
+// `Submit` dwarfs the other variants (the scenario embeds a full
+// `MemSpec`), but frames are built once per submission/cell, never
+// stored in bulk — boxing would only complicate every match site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Client → daemon: run an experiment grid.
@@ -120,25 +136,34 @@ impl Frame {
     /// The frame as a JSON value (deterministic field order).
     pub fn to_json(&self) -> Json {
         match self {
-            Frame::Submit(spec) => Json::obj(vec![
-                ("type", Json::from("submit")),
-                (
-                    "presets",
-                    Json::Arr(spec.presets.iter().map(|p| Json::from(p.name())).collect()),
-                ),
-                (
-                    "workloads",
-                    Json::Arr(
-                        spec.workloads
-                            .iter()
-                            .map(|w| Json::from(w.name()))
-                            .collect(),
+            Frame::Submit(spec) => {
+                let mut fields = vec![
+                    ("type", Json::from("submit")),
+                    (
+                        "presets",
+                        Json::Arr(spec.presets.iter().map(|p| Json::from(p.name())).collect()),
                     ),
-                ),
-                ("options", options_to_json(&spec.options)),
-                ("seeds", Json::from(spec.seeds)),
-                ("resume", Json::from(spec.resume)),
-            ]),
+                    (
+                        "workloads",
+                        Json::Arr(
+                            spec.workloads
+                                .iter()
+                                .map(|w| Json::from(w.name()))
+                                .collect(),
+                        ),
+                    ),
+                    ("options", options_to_json(&spec.options)),
+                ];
+                // Emitted only when non-default, so the encoding of a
+                // default-scenario submission is byte-identical to the
+                // pre-scenario protocol (and resumes old journals).
+                if !spec.scenario.is_default() {
+                    fields.push(("scenario", Json::from(spec.scenario.name().as_str())));
+                }
+                fields.push(("seeds", Json::from(spec.seeds)));
+                fields.push(("resume", Json::from(spec.resume)));
+                Json::obj(fields)
+            }
             Frame::JobAccepted { job, cells, cached } => Json::obj(vec![
                 ("type", Json::from("job_accepted")),
                 ("job", Json::from(*job)),
@@ -166,7 +191,12 @@ impl Frame {
         }
     }
 
-    /// Parses one wire line. Errors name the malformed field.
+    /// Parses one wire line. Errors name the malformed field. Unknown
+    /// *top-level* keys are a strict protocol error: a field one side
+    /// understands and the other silently drops (e.g. `"scenario"`
+    /// against a pre-scenario daemon) would change what gets simulated
+    /// without anyone noticing, so both the daemon and the client
+    /// reject rather than ignore.
     pub fn parse(line: &str) -> Result<Frame, String> {
         let value = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
         let kind = value
@@ -174,30 +204,72 @@ impl Frame {
             .and_then(Json::as_str)
             .ok_or("frame has no \"type\" field")?;
         match kind {
-            "submit" => Ok(Frame::Submit(parse_submit(&value)?)),
-            "job_accepted" => Ok(Frame::JobAccepted {
-                job: field_u64(&value, "job")?,
-                cells: field_u64(&value, "cells")?,
-                cached: field_u64(&value, "cached")?,
-            }),
-            "cell_result" => Ok(Frame::CellResult(CellResult {
-                job: field_u64(&value, "job")?,
-                index: field_u64(&value, "index")?,
-                label: field_str(&value, "label")?,
-                cached: field_bool(&value, "cached")?,
-                csv: field_str(&value, "csv")?,
-                row: value.get("row").cloned().ok_or("missing field \"row\"")?,
-            })),
-            "job_done" => Ok(Frame::JobDone {
-                job: field_u64(&value, "job")?,
-                cells: field_u64(&value, "cells")?,
-            }),
-            "error" => Ok(Frame::Error {
-                message: field_str(&value, "message")?,
-            }),
+            "submit" => {
+                reject_unknown_keys(
+                    &value,
+                    &[
+                        "type",
+                        "presets",
+                        "workloads",
+                        "options",
+                        "scenario",
+                        "seeds",
+                        "resume",
+                    ],
+                )?;
+                Ok(Frame::Submit(parse_submit(&value)?))
+            }
+            "job_accepted" => {
+                reject_unknown_keys(&value, &["type", "job", "cells", "cached"])?;
+                Ok(Frame::JobAccepted {
+                    job: field_u64(&value, "job")?,
+                    cells: field_u64(&value, "cells")?,
+                    cached: field_u64(&value, "cached")?,
+                })
+            }
+            "cell_result" => {
+                reject_unknown_keys(
+                    &value,
+                    &["type", "job", "index", "label", "cached", "csv", "row"],
+                )?;
+                Ok(Frame::CellResult(CellResult {
+                    job: field_u64(&value, "job")?,
+                    index: field_u64(&value, "index")?,
+                    label: field_str(&value, "label")?,
+                    cached: field_bool(&value, "cached")?,
+                    csv: field_str(&value, "csv")?,
+                    row: value.get("row").cloned().ok_or("missing field \"row\"")?,
+                }))
+            }
+            "job_done" => {
+                reject_unknown_keys(&value, &["type", "job", "cells"])?;
+                Ok(Frame::JobDone {
+                    job: field_u64(&value, "job")?,
+                    cells: field_u64(&value, "cells")?,
+                })
+            }
+            "error" => {
+                reject_unknown_keys(&value, &["type", "message"])?;
+                Ok(Frame::Error {
+                    message: field_str(&value, "message")?,
+                })
+            }
             other => Err(format!("unknown frame type {other:?}")),
         }
     }
+}
+
+/// Rejects any top-level key of `value` (an object — guaranteed by the
+/// successful `"type"` lookup) not in `allowed`.
+fn reject_unknown_keys(value: &Json, allowed: &[&str]) -> Result<(), String> {
+    if let Json::Obj(fields) = value {
+        for (key, _) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown field {key:?}"));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
@@ -294,6 +366,13 @@ fn parse_submit(value: &Json) -> Result<SubmitSpec, String> {
             .get("options")
             .ok_or("missing object field \"options\"")?,
     )?;
+    let scenario = match value.get("scenario") {
+        None => Scenario::default(),
+        Some(v) => {
+            let name = v.as_str().ok_or("field \"scenario\" is not a string")?;
+            Scenario::from_name(name).map_err(|e| format!("bad scenario: {e}"))?
+        }
+    };
     let seeds = match value.get("seeds") {
         None => 1,
         Some(v) => match v.as_u64() {
@@ -309,6 +388,7 @@ fn parse_submit(value: &Json) -> Result<SubmitSpec, String> {
         presets,
         workloads,
         options,
+        scenario,
         seeds,
         resume,
     })
@@ -328,12 +408,63 @@ mod tests {
             presets: vec![Preset::BaseOpen, Preset::Bump],
             workloads: vec![Workload::WebSearch],
             options: opts(),
+            scenario: Scenario::default(),
             seeds: 3,
             resume: true,
         };
         let line = Frame::Submit(spec.clone()).encode();
         assert!(!line.contains('\n'), "frames are single lines");
+        assert!(
+            !line.contains("scenario"),
+            "default scenario stays off the wire: {line}"
+        );
         assert_eq!(Frame::parse(&line), Ok(Frame::Submit(spec)));
+    }
+
+    #[test]
+    fn scenario_submissions_round_trip_by_name() {
+        for name in [
+            "ddr4_2400",
+            "lpddr4_3200+llc16m",
+            "llc8m+mix(websearch:dataserving)",
+        ] {
+            let spec = SubmitSpec {
+                scenario: Scenario::from_name(name).unwrap(),
+                ..SubmitSpec::new(vec![Preset::Bump], vec![Workload::WebSearch], opts())
+            };
+            let line = Frame::Submit(spec.clone()).encode();
+            assert!(line.contains("\"scenario\""), "{line}");
+            assert_eq!(Frame::parse(&line), Ok(Frame::Submit(spec.clone())));
+            // The grid the daemon expands carries the scenario tag.
+            let grid = spec.to_grid();
+            assert!(grid.cells().iter().all(|c| c.label.contains('@')));
+            assert_eq!(grid.cells()[0].scenario, spec.scenario);
+        }
+    }
+
+    #[test]
+    fn unknown_top_level_keys_are_a_strict_error() {
+        // A mistyped or too-new field must not silently no-op: an old
+        // daemon ignoring "scenario" would simulate the wrong platform.
+        let good = Frame::Submit(SubmitSpec::new(
+            vec![Preset::BaseOpen],
+            vec![Workload::WebSearch],
+            opts(),
+        ))
+        .encode();
+        let bad = good.replacen("{", "{\"scenaro\":\"ddr4_2400\",", 1);
+        let err = Frame::parse(&bad).expect_err("unknown key must fail");
+        assert!(err.contains("scenaro"), "{err}");
+        for bad in [
+            "{\"type\":\"job_done\",\"job\":1,\"cells\":1,\"extra\":0}",
+            "{\"type\":\"error\",\"message\":\"x\",\"hint\":\"y\"}",
+        ] {
+            assert!(Frame::parse(bad).is_err(), "must reject {bad:?}");
+        }
+        // Bad scenario values are named.
+        let bad = good.replacen("{", "{\"scenario\":\"warp9\",", 1);
+        let err = Frame::parse(&bad).expect_err("unknown scenario must fail");
+        assert!(err.contains("bad scenario"), "{err}");
     }
 
     #[test]

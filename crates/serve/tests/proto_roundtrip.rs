@@ -4,7 +4,7 @@
 
 use bump_serve::json::Json;
 use bump_serve::proto::{CellResult, Frame, SubmitSpec};
-use bump_sim::{Engine, Preset, RunOptions};
+use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
 use proptest::prelude::*;
 
@@ -48,18 +48,36 @@ fn arb_options() -> impl proptest::strategy::Strategy<Value = RunOptions> {
         )
 }
 
+/// A palette of scenarios spanning every axis (memory spec, LLC
+/// capacity, workload mix) plus the default.
+fn arb_scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
+    let names = [
+        "",
+        "ddr4_2400",
+        "lpddr4_3200",
+        "llc8m",
+        "ddr4_2400+llc16m",
+        "mix(websearch:dataserving)",
+        "lpddr4_3200+llc4m+mix(mediastreaming:websearch:webserving)",
+    ];
+    (0usize..names.len())
+        .prop_map(move |i| Scenario::from_name(names[i]).expect("palette scenarios parse"))
+}
+
 fn arb_submit() -> impl proptest::strategy::Strategy<Value = SubmitSpec> {
     (
         prop::collection::vec(arb_preset(), 1..5),
         prop::collection::vec(arb_workload(), 1..4),
         arb_options(),
+        arb_scenario(),
         (1usize..=1024, any::<bool>()),
     )
         .prop_map(
-            |(presets, workloads, options, (seeds, resume))| SubmitSpec {
+            |(presets, workloads, options, scenario, (seeds, resume))| SubmitSpec {
                 presets,
                 workloads,
                 options,
+                scenario,
                 seeds,
                 resume,
             },

@@ -33,10 +33,14 @@ mod config;
 mod profiler;
 mod report;
 mod runner;
+mod scenario;
 mod system;
 
 pub use config::{Engine, Preset, SystemConfig};
 pub use profiler::{DensityProfile, DensityProfiler};
 pub use report::{SimReport, TrafficBreakdown};
-pub use runner::{config_for, run_experiment, run_experiment_with_config, RunOptions};
+pub use runner::{
+    config_for, config_for_scenario, run_experiment, run_experiment_with_config, RunOptions,
+};
+pub use scenario::Scenario;
 pub use system::System;

@@ -77,6 +77,19 @@ pub fn config_for(preset: Preset, workload: Workload, opts: RunOptions) -> Syste
     cfg
 }
 
+/// Builds the `SystemConfig` for `opts` under `scenario`. For the
+/// default scenario this is exactly [`config_for`].
+pub fn config_for_scenario(
+    preset: Preset,
+    workload: Workload,
+    opts: RunOptions,
+    scenario: &crate::Scenario,
+) -> SystemConfig {
+    let mut cfg = config_for(preset, workload, opts);
+    scenario.apply(&mut cfg);
+    cfg
+}
+
 /// Runs one experiment: build, warm up, reset statistics, measure,
 /// report.
 pub fn run_experiment(preset: Preset, workload: Workload, opts: RunOptions) -> SimReport {

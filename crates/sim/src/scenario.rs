@@ -1,0 +1,294 @@
+//! Evaluation scenarios: data-driven platform variations layered over
+//! the paper's fixed configuration.
+//!
+//! The paper evaluates one platform (16 cores, 4MB LLC, DDR3-1600). A
+//! [`Scenario`] names a variation of it along three orthogonal axes —
+//! memory technology ([`MemSpec`]), LLC capacity, and a heterogeneous
+//! workload mix (§VI) — and composes with [`SystemConfig::paper`]: the
+//! default scenario is a no-op (byte-identical reports, pinned by the
+//! golden CSV and engine-equivalence suites), and every non-default
+//! scenario has a canonical name that round-trips through
+//! [`Scenario::from_name`], appears in grid labels
+//! (`<preset>/<workload>@<scenario>`), and travels over the `bumpd`
+//! wire protocol.
+//!
+//! Scenario-name grammar (components joined by `+`, any order, each at
+//! most once; see `docs/SCENARIOS.md`):
+//!
+//! ```text
+//! scenario  := component ('+' component)*         (empty = default)
+//! component := <mem spec name>                    e.g. ddr4_2400
+//!            | 'llc' <MB> 'm'                     e.g. llc8m
+//!            | 'mix(' <workload> (':' <workload>)* ')'
+//! ```
+
+use crate::config::SystemConfig;
+use bump_types::{normalized_name, CacheGeometry, MemSpec};
+use bump_workloads::Workload;
+
+/// One platform variation: memory spec, optional LLC capacity
+/// override, and optional §VI-style workload mix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// The memory platform (timing, geometry, clock ratio).
+    pub mem: MemSpec,
+    /// LLC capacity override in bytes (whole mebibytes; associativity
+    /// is kept). Overrides the `small_llc` fast-warmup shrink too, so
+    /// an LLC sweep means the same thing at every run scale.
+    pub llc_capacity: Option<u64>,
+    /// Heterogeneous workload mix, assigned round-robin to cores
+    /// (`SystemConfig::workload_mix`); the cell's nominal workload is
+    /// kept for labeling.
+    pub mix: Option<Vec<Workload>>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            mem: MemSpec::ddr3_1600(),
+            llc_capacity: None,
+            mix: None,
+        }
+    }
+}
+
+impl Scenario {
+    /// Whether this is the paper's platform (the no-op scenario).
+    /// Compares the full memory spec, not just its name, so a
+    /// hand-built spec that reuses the `ddr3_1600` name with tweaked
+    /// timings is still treated (and journaled) as non-default.
+    pub fn is_default(&self) -> bool {
+        self.mem == MemSpec::ddr3_1600() && self.llc_capacity.is_none() && self.mix.is_none()
+    }
+
+    /// The canonical scenario name (empty for the default scenario).
+    /// Non-default names round-trip through [`Scenario::from_name`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llc_capacity` is not a positive whole number of
+    /// mebibytes — the name grammar has MiB granularity, and silently
+    /// truncating would alias a *different* scenario's labels and
+    /// journal identity.
+    pub fn name(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if self.mem != MemSpec::ddr3_1600() {
+            parts.push(self.mem.name.to_string());
+        }
+        if let Some(cap) = self.llc_capacity {
+            assert!(
+                cap > 0 && cap.is_multiple_of(1 << 20),
+                "llc_capacity must be a positive whole number of MiB, got {cap} bytes"
+            );
+            parts.push(format!("llc{}m", cap >> 20));
+        }
+        if let Some(mix) = &self.mix {
+            let names: Vec<String> = mix.iter().map(|w| normalized_name(w.name())).collect();
+            parts.push(format!("mix({})", names.join(":")));
+        }
+        parts.join("+")
+    }
+
+    /// Parses a scenario name (see the module-level grammar). The empty
+    /// string and `"default"` parse to the default scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed component.
+    pub fn from_name(s: &str) -> Result<Scenario, String> {
+        let mut scenario = Scenario::default();
+        let s = s.trim();
+        if s.is_empty() || s == "default" {
+            return Ok(scenario);
+        }
+        let (mut saw_mem, mut saw_llc, mut saw_mix) = (false, false, false);
+        for part in s.split('+') {
+            let part = part.trim();
+            if let Some(mem) = MemSpec::from_name(part) {
+                if saw_mem {
+                    return Err(format!("duplicate memory spec component {part:?}"));
+                }
+                saw_mem = true;
+                scenario.mem = mem;
+            } else if let Some(rest) = part.strip_prefix("llc") {
+                if saw_llc {
+                    return Err(format!("duplicate LLC component {part:?}"));
+                }
+                saw_llc = true;
+                let digits = rest.strip_suffix("mb").or_else(|| rest.strip_suffix('m'));
+                let mb = digits
+                    .and_then(|d| d.parse::<u64>().ok())
+                    .filter(|&mb| mb >= 1)
+                    .ok_or_else(|| {
+                        format!("bad LLC component {part:?} (expected e.g. \"llc8m\")")
+                    })?;
+                scenario.llc_capacity = Some(mb << 20);
+            } else if let Some(inner) = part.strip_prefix("mix(").and_then(|r| r.strip_suffix(')'))
+            {
+                if saw_mix {
+                    return Err(format!("duplicate mix component {part:?}"));
+                }
+                saw_mix = true;
+                let mix = inner
+                    .split(':')
+                    .map(|name| {
+                        Workload::from_name(name)
+                            .ok_or_else(|| format!("unknown workload {name:?} in mix"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                if mix.is_empty() {
+                    return Err("mix() must name at least one workload".to_string());
+                }
+                scenario.mix = Some(mix);
+            } else {
+                return Err(format!("unknown scenario component {part:?}"));
+            }
+        }
+        Ok(scenario)
+    }
+
+    /// Applies this scenario to a built configuration: re-points the
+    /// memory system at [`Scenario::mem`] (keeping the preset's
+    /// policy/interleaving), overrides the LLC capacity, and installs
+    /// the workload mix. Applying the default scenario is a no-op.
+    pub fn apply(&self, cfg: &mut SystemConfig) {
+        cfg.dram = cfg.dram.with_spec(&self.mem);
+        if let Some(cap) = self.llc_capacity {
+            cfg.llc.geometry = CacheGeometry::new(cap, cfg.llc.geometry.ways);
+        }
+        if let Some(mix) = &self.mix {
+            cfg.workload_mix = Some(mix.clone());
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_default() {
+            f.write_str("default")
+        } else {
+            f.write_str(&self.name())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Preset;
+    use crate::runner::{config_for, config_for_scenario};
+    use crate::RunOptions;
+
+    #[test]
+    fn default_scenario_is_nameless_and_a_no_op() {
+        let d = Scenario::default();
+        assert!(d.is_default());
+        assert_eq!(d.name(), "");
+        assert_eq!(d.to_string(), "default");
+        let opts = RunOptions::quick(2);
+        let plain = config_for(Preset::Bump, Workload::WebSearch, opts);
+        let scen = config_for_scenario(Preset::Bump, Workload::WebSearch, opts, &d);
+        assert_eq!(format!("{plain:?}"), format!("{scen:?}"));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let cases = [
+            Scenario::default(),
+            Scenario {
+                mem: MemSpec::ddr4_2400(),
+                ..Scenario::default()
+            },
+            Scenario {
+                llc_capacity: Some(8 << 20),
+                ..Scenario::default()
+            },
+            Scenario {
+                mem: MemSpec::lpddr4_3200(),
+                llc_capacity: Some(16 << 20),
+                mix: Some(vec![Workload::WebSearch, Workload::DataServing]),
+            },
+            Scenario {
+                mix: Some(Workload::all().to_vec()),
+                ..Scenario::default()
+            },
+        ];
+        for s in cases {
+            let parsed = Scenario::from_name(&s.name()).expect("canonical name parses");
+            assert_eq!(parsed, s, "round trip of {:?}", s.name());
+        }
+        assert_eq!(Scenario::from_name("default"), Ok(Scenario::default()));
+        assert_eq!(
+            Scenario::from_name("ddr4_2400+llc8m").unwrap().name(),
+            "ddr4_2400+llc8m"
+        );
+    }
+
+    #[test]
+    fn a_tweaked_spec_reusing_the_default_name_is_not_the_default_scenario() {
+        // Only the genuine paper platform may be identity-transparent:
+        // a hand-built spec with the ddr3_1600 name but other timings
+        // must still be journaled/submitted as a distinct scenario.
+        let mut mem = MemSpec::ddr3_1600();
+        mem.timing.t_cas += 1;
+        let s = Scenario {
+            mem,
+            ..Scenario::default()
+        };
+        assert!(!s.is_default());
+        assert_eq!(s.name(), "ddr3_1600", "named after its spec");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of MiB")]
+    fn non_mib_aligned_llc_capacity_cannot_alias_another_scenario() {
+        // 1.5MB would truncate to "llc1m" — the 1MB scenario's name,
+        // labels, and journal identity. Refuse loudly instead.
+        Scenario {
+            llc_capacity: Some((3 << 20) / 2),
+            ..Scenario::default()
+        }
+        .name();
+    }
+
+    #[test]
+    fn malformed_names_are_rejected_with_the_component() {
+        for (bad, needle) in [
+            ("warp", "unknown scenario component"),
+            ("llcbig", "bad LLC component"),
+            ("llc0m", "bad LLC component"),
+            ("mix()", "unknown workload"),
+            ("mix(websearch:warp)", "unknown workload"),
+            ("ddr4_2400+ddr3_1600", "duplicate memory spec"),
+            ("llc4m+llc8m", "duplicate LLC"),
+        ] {
+            let err = Scenario::from_name(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn apply_threads_every_axis_into_the_config() {
+        let scenario = Scenario {
+            mem: MemSpec::ddr4_2400(),
+            llc_capacity: Some(8 << 20),
+            mix: Some(vec![Workload::WebSearch, Workload::DataServing]),
+        };
+        // quick() sets small_llc: the explicit capacity must win.
+        let opts = RunOptions::quick(2);
+        let cfg = config_for_scenario(Preset::Bump, Workload::WebSearch, opts, &scenario);
+        assert_eq!(cfg.dram.timing.t_cas, 17, "DDR4 timing installed");
+        assert_eq!(cfg.dram.freq_ratio_milli, 2083);
+        assert_eq!(cfg.dram.geometry.banks_per_rank, 16);
+        assert_eq!(cfg.llc.geometry.capacity_bytes, 8 << 20);
+        assert_eq!(cfg.llc.geometry.ways, 16, "associativity kept");
+        assert_eq!(
+            cfg.workload_mix.as_deref(),
+            Some(&[Workload::WebSearch, Workload::DataServing][..])
+        );
+        // The preset's policy/interleaving survive the spec swap.
+        let close = config_for_scenario(Preset::BaseClose, Workload::WebSearch, opts, &scenario);
+        assert_eq!(close.dram.policy, bump_dram::RowPolicy::Close);
+        assert_eq!(close.dram.interleaving, bump_types::Interleaving::Block);
+    }
+}

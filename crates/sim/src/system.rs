@@ -380,7 +380,7 @@ impl System {
     }
 
     fn tick_dram(&mut self) {
-        let ratio = self.cfg.dram.timing.cpu_cycles_per_mem_cycle_milli;
+        let ratio = self.cfg.dram.freq_ratio_milli;
         let engine = self.cfg.engine;
         self.mem_clock_acc += 1000;
         while self.mem_clock_acc >= ratio {
@@ -727,7 +727,7 @@ impl System {
     /// (see [`System::fast_forward`]'s span-end replay).
     fn skip_cycles(&mut self, n: u64) {
         self.measured_cycles += n;
-        let ratio = self.cfg.dram.timing.cpu_cycles_per_mem_cycle_milli;
+        let ratio = self.cfg.dram.freq_ratio_milli;
         // The per-cycle loop adds 1000 then drains below `ratio`; n
         // iterations from an in-range accumulator reduce to one
         // div/mod.
@@ -744,7 +744,7 @@ impl System {
     /// The CPU cycle during whose `tick_dram` memory cycle `target` is
     /// executed (given the current clock-domain accumulator).
     fn cpu_cycle_for_mem(&self, target: MemCycle) -> Cycle {
-        let ratio = self.cfg.dram.timing.cpu_cycles_per_mem_cycle_milli;
+        let ratio = self.cfg.dram.freq_ratio_milli;
         // Memory ticks performed through CPU cycle now+d:
         //   k(d) = (acc + (d+1)*1000) / ratio
         // so the smallest d with k(d) >= pending ticks is:

@@ -1,6 +1,7 @@
 //! Configuration structs for the simulated machine (paper Table II).
 
 use crate::addr::{BlockAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
+use crate::MemCycle;
 
 /// Geometry of the memory regions BuMP tracks (1KB in the paper; 512B
 /// and 2KB appear in the Figure 11 design-space sweep).
@@ -178,8 +179,13 @@ pub enum Interleaving {
     Region,
 }
 
-/// DDR3 timing parameters, in memory-bus clock cycles (paper Table II:
-/// DDR3-1600, i.e. an 800MHz bus clock and a 3.125 CPU:MEM clock ratio).
+/// DRAM timing parameters, in memory-bus clock cycles.
+///
+/// One complete inter-command constraint set: the paper's Table II
+/// parameters plus the JEDEC parameters the table omits but the
+/// scheduler needs (CAS write latency, refresh interval/cycle time,
+/// bus turnaround). Concrete timing sets are constructed by
+/// [`MemSpec`]; nothing else in the workspace hard-codes one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DramTiming {
     /// CAS latency: column command to first data beat.
@@ -202,40 +208,198 @@ pub struct DramTiming {
     pub t_rrd: u64,
     /// Four-activate window per rank.
     pub t_faw: u64,
-    /// Data burst length in bus cycles (BL8 on a 64-bit bus = 4 cycles).
+    /// Data burst occupancy in bus cycles (one 64B cache block; BL8 on
+    /// a 64-bit bus = 4 cycles, BL16 on a 16-bit LPDDR4 channel = 16).
     pub t_burst: u64,
-    /// CPU clock cycles per memory bus cycle, times 1000 (3125 = 3.125).
-    pub cpu_cycles_per_mem_cycle_milli: u64,
+    /// CAS write latency: write command to first data beat.
+    pub t_cwl: u64,
+    /// Average refresh interval (tREFI) in bus cycles.
+    pub t_refi: u64,
+    /// Refresh cycle time (tRFC) in bus cycles.
+    pub t_rfc: u64,
+    /// Bus turnaround penalty when the data bus switches direction.
+    pub t_turnaround: u64,
 }
 
 impl DramTiming {
-    /// The paper's DDR3-1600 timing: 11-11-11-28, 39-12-6-6, 5-24.
+    /// CAS write latency (write command to first data beat).
+    pub const fn cwl(&self) -> MemCycle {
+        self.t_cwl
+    }
+
+    /// Average refresh interval.
+    pub const fn refi(&self) -> MemCycle {
+        self.t_refi
+    }
+
+    /// Refresh cycle time.
+    pub const fn rfc(&self) -> MemCycle {
+        self.t_rfc
+    }
+
+    /// Bus turnaround penalty when the data bus switches direction.
+    pub const fn turnaround(&self) -> MemCycle {
+        self.t_turnaround
+    }
+}
+
+/// A complete, named memory-technology platform: timing set, DRAM
+/// geometry, and the CPU:memory clock ratio. This is the single place
+/// concrete timing sets are constructed — the memory controller, the
+/// figure binaries, and the wire protocol all select platforms through
+/// a `MemSpec`, never by hard-coding `DramTiming` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemSpec {
+    /// Canonical spec name (`ddr3_1600`, `ddr4_2400`, `lpddr4_3200`),
+    /// used in scenario labels and the wire protocol.
+    pub name: &'static str,
+    /// The inter-command constraint set, in bus cycles.
+    pub timing: DramTiming,
+    /// Channel/rank/bank geometry.
+    pub geometry: DramGeometry,
+    /// CPU clock cycles per memory bus cycle, times 1000 (3125 =
+    /// 3.125, i.e. a 2.5GHz core over an 800MHz bus).
+    pub freq_ratio_milli: u64,
+}
+
+impl MemSpec {
+    /// The paper's platform (Table II): DDR3-1600 11-11-11-28,
+    /// 39-12-6-6, 5-24 over 16GB of 2 channels × 4 ranks × 8 banks
+    /// with 8KB rows; 800MHz bus under a 2.5GHz core (ratio 3.125).
     pub fn ddr3_1600() -> Self {
-        DramTiming {
-            t_cas: 11,
-            t_rcd: 11,
-            t_rp: 11,
-            t_ras: 28,
-            t_rc: 39,
-            t_wr: 12,
-            t_wtr: 6,
-            t_rtp: 6,
-            t_rrd: 5,
-            t_faw: 24,
-            t_burst: 4,
-            cpu_cycles_per_mem_cycle_milli: 3125,
+        MemSpec {
+            name: "ddr3_1600",
+            timing: DramTiming {
+                t_cas: 11,
+                t_rcd: 11,
+                t_rp: 11,
+                t_ras: 28,
+                t_rc: 39,
+                t_wr: 12,
+                t_wtr: 6,
+                t_rtp: 6,
+                t_rrd: 5,
+                t_faw: 24,
+                t_burst: 4,
+                t_cwl: 8,
+                t_refi: 6240,
+                t_rfc: 128,
+                t_turnaround: 2,
+            },
+            geometry: DramGeometry::paper(),
+            freq_ratio_milli: 3125,
         }
     }
 
+    /// DDR4-2400 (17-17-17-39 datasheet-style timings at a 1.2GHz bus):
+    /// 32GB of 2 channels × 4 ranks × 16 banks with 8KB rows; clock
+    /// ratio 2.083 under the 2.5GHz core.
+    pub fn ddr4_2400() -> Self {
+        MemSpec {
+            name: "ddr4_2400",
+            timing: DramTiming {
+                t_cas: 17,
+                t_rcd: 17,
+                t_rp: 17,
+                t_ras: 39,
+                t_rc: 56,
+                t_wr: 18,
+                t_wtr: 9,
+                t_rtp: 9,
+                t_rrd: 6,
+                t_faw: 26,
+                t_burst: 4,
+                t_cwl: 12,
+                t_refi: 9360,
+                t_rfc: 420,
+                t_turnaround: 2,
+            },
+            geometry: DramGeometry {
+                channels: 2,
+                ranks_per_channel: 4,
+                banks_per_rank: 16,
+                row_bytes: 8 * 1024,
+                capacity_bytes: 32 * 1024 * 1024 * 1024,
+            },
+            freq_ratio_milli: 2083,
+        }
+    }
+
+    /// LPDDR4-3200 (28-29-29-67 datasheet-style timings at a 1.6GHz
+    /// bus clock): 8GB of 4 single-rank 16-bit channels × 8 banks with
+    /// 2KB rows. A 64B block occupies 16 bus cycles on the narrow
+    /// channel (BL16); clock ratio 1.563 under the 2.5GHz core.
+    pub fn lpddr4_3200() -> Self {
+        MemSpec {
+            name: "lpddr4_3200",
+            timing: DramTiming {
+                t_cas: 28,
+                t_rcd: 29,
+                t_rp: 29,
+                t_ras: 67,
+                t_rc: 96,
+                t_wr: 29,
+                t_wtr: 16,
+                t_rtp: 12,
+                t_rrd: 16,
+                t_faw: 64,
+                t_burst: 16,
+                t_cwl: 14,
+                t_refi: 6246,
+                t_rfc: 448,
+                t_turnaround: 2,
+            },
+            geometry: DramGeometry {
+                channels: 4,
+                ranks_per_channel: 1,
+                banks_per_rank: 8,
+                row_bytes: 2 * 1024,
+                capacity_bytes: 8 * 1024 * 1024 * 1024,
+            },
+            freq_ratio_milli: 1563,
+        }
+    }
+
+    /// Every supported memory spec, default platform first.
+    pub fn all() -> [MemSpec; 3] {
+        [
+            MemSpec::ddr3_1600(),
+            MemSpec::ddr4_2400(),
+            MemSpec::lpddr4_3200(),
+        ]
+    }
+
+    /// Parses a spec from its canonical name, matched with
+    /// [`normalized_name`] (so `DDR4-2400`, `ddr4_2400`, and `ddr42400`
+    /// all resolve).
+    pub fn from_name(s: &str) -> Option<MemSpec> {
+        let wanted = normalized_name(s);
+        MemSpec::all()
+            .into_iter()
+            .find(|m| normalized_name(m.name) == wanted)
+    }
+
     /// Converts a CPU-cycle timestamp into (whole) memory cycles.
-    pub fn cpu_to_mem(self, cpu_cycle: u64) -> u64 {
-        cpu_cycle * 1000 / self.cpu_cycles_per_mem_cycle_milli
+    pub fn cpu_to_mem(&self, cpu_cycle: u64) -> u64 {
+        cpu_cycle * 1000 / self.freq_ratio_milli
     }
 
     /// Converts a memory-cycle timestamp into CPU cycles (rounding up).
-    pub fn mem_to_cpu(self, mem_cycle: u64) -> u64 {
-        (mem_cycle * self.cpu_cycles_per_mem_cycle_milli).div_ceil(1000)
+    pub fn mem_to_cpu(&self, mem_cycle: u64) -> u64 {
+        (mem_cycle * self.freq_ratio_milli).div_ceil(1000)
     }
+}
+
+/// Lowercases `s` and strips the separator characters that name
+/// matching ignores (` `, `-`, `_`, `+`). Shared by
+/// [`MemSpec::from_name`], `Workload::from_name` in `bump-workloads`,
+/// and `Preset::from_name` in `bump-sim`, so the parsers can never
+/// drift apart in what they forgive.
+pub fn normalized_name(s: &str) -> String {
+    s.chars()
+        .filter(|c| !matches!(c, ' ' | '-' | '_' | '+'))
+        .flat_map(char::to_lowercase)
+        .collect()
 }
 
 /// Parameters of the lean out-of-order core model (paper Table II:
@@ -314,14 +478,66 @@ mod tests {
 
     #[test]
     fn clock_domain_conversion_round_trips_within_one_cycle() {
-        let t = DramTiming::ddr3_1600();
+        let m = MemSpec::ddr3_1600();
         for cpu in [0u64, 1, 3, 4, 1000, 12345] {
-            let mem = t.cpu_to_mem(cpu);
-            let back = t.mem_to_cpu(mem);
+            let mem = m.cpu_to_mem(cpu);
+            let back = m.mem_to_cpu(mem);
             assert!(back <= cpu + 4, "cpu={cpu} mem={mem} back={back}");
         }
         // 3.125 CPU cycles per memory cycle.
-        assert_eq!(t.cpu_to_mem(3125), 1000);
-        assert_eq!(t.mem_to_cpu(1000), 3125);
+        assert_eq!(m.cpu_to_mem(3125), 1000);
+        assert_eq!(m.mem_to_cpu(1000), 3125);
+    }
+
+    #[test]
+    fn mem_spec_from_name_round_trips_and_forgives_separators() {
+        for m in MemSpec::all() {
+            assert_eq!(MemSpec::from_name(m.name), Some(m));
+        }
+        assert_eq!(
+            MemSpec::from_name("DDR4-2400").map(|m| m.name),
+            Some("ddr4_2400")
+        );
+        assert_eq!(
+            MemSpec::from_name("lpddr4 3200").map(|m| m.name),
+            Some("lpddr4_3200")
+        );
+        assert_eq!(MemSpec::from_name("ddr5_4800"), None);
+    }
+
+    #[test]
+    fn mem_spec_names_are_distinct_and_geometries_valid() {
+        let names: std::collections::HashSet<&str> =
+            MemSpec::all().iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), 3);
+        for m in MemSpec::all() {
+            assert!(m.geometry.channels.is_power_of_two(), "{}", m.name);
+            assert!(m.geometry.ranks_per_channel.is_power_of_two(), "{}", m.name);
+            assert!(m.geometry.banks_per_rank.is_power_of_two(), "{}", m.name);
+            assert!(m.geometry.row_bytes.is_power_of_two(), "{}", m.name);
+            assert!(m.geometry.rows_per_bank() > 0, "{}", m.name);
+            assert!(m.freq_ratio_milli >= 1000, "{}", m.name);
+            // Basic JEDEC sanity: tRC covers tRAS + tRP, tFAW covers
+            // four tRRD-spaced activates.
+            assert!(m.timing.t_rc >= m.timing.t_ras, "{}", m.name);
+            assert!(m.timing.t_faw >= 3 * m.timing.t_rrd, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn paper_spec_keeps_table_ii_values() {
+        let m = MemSpec::ddr3_1600();
+        let t = m.timing;
+        assert_eq!(
+            (t.t_cas, t.t_rcd, t.t_rp, t.t_ras),
+            (11, 11, 11, 28),
+            "Table II CAS timings"
+        );
+        assert_eq!(
+            (t.cwl(), t.refi(), t.rfc(), t.turnaround()),
+            (8, 6240, 128, 2)
+        );
+        assert_eq!(m.geometry, DramGeometry::paper());
+        assert_eq!(m.freq_ratio_milli, 3125);
     }
 }

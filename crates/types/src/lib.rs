@@ -32,7 +32,10 @@ mod stats;
 mod table;
 
 pub use addr::{BlockAddr, Pc, PcOffset, PhysAddr, RegionAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
-pub use config::{CacheGeometry, CoreParams, DramGeometry, DramTiming, Interleaving, RegionConfig};
+pub use config::{
+    normalized_name, CacheGeometry, CoreParams, DramGeometry, DramTiming, Interleaving, MemSpec,
+    RegionConfig,
+};
 pub use density::{DensityClass, DensityThreshold};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use instr::{Instr, InstrSource};

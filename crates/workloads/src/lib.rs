@@ -118,16 +118,10 @@ impl std::fmt::Display for Workload {
     }
 }
 
-/// Lowercases `s` and strips the separator characters that name
-/// matching ignores (` `, `-`, `_`, `+`). Shared by
-/// [`Workload::from_name`] and `Preset::from_name` in `bump-sim`, so
-/// the two parsers can never drift apart in what they forgive.
-pub fn normalized_name(s: &str) -> String {
-    s.chars()
-        .filter(|c| !matches!(c, ' ' | '-' | '_' | '+'))
-        .flat_map(char::to_lowercase)
-        .collect()
-}
+// The canonical implementation moved to `bump_types` (so
+// `MemSpec::from_name` can share it without a dependency cycle);
+// re-exported here to keep the historical `bump_workloads` path alive.
+pub use bump_types::normalized_name;
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,7 @@ use bump_serve::client;
 use bump_serve::daemon::Daemon;
 use bump_serve::journal::Journal;
 use bump_serve::proto::{Frame, SubmitSpec};
-use bump_sim::{Engine, Preset, RunOptions};
+use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
 use std::io::{BufRead as _, Write as _};
 use std::net::TcpListener;
@@ -56,6 +56,7 @@ fn streamed_results_are_byte_identical_and_resume_from_the_journal() {
         presets: vec![Preset::BaseOpen, Preset::Bump],
         workloads: vec![Workload::WebSearch],
         options: opts(),
+        scenario: Scenario::default(),
         seeds: 2,
         resume: true,
     };
@@ -102,6 +103,56 @@ fn streamed_results_are_byte_identical_and_resume_from_the_journal() {
 }
 
 #[test]
+fn scenario_tagged_cells_stream_byte_identically_and_resume() {
+    let journal_path = temp_journal("scenario");
+    let _ = std::fs::remove_file(&journal_path);
+    let daemon = Daemon::new(2, Journal::open(&journal_path).expect("open journal"));
+    let addr = start(&daemon);
+
+    let spec = SubmitSpec {
+        presets: vec![Preset::BaseOpen, Preset::Bump],
+        workloads: vec![Workload::WebSearch],
+        options: opts(),
+        scenario: Scenario::from_name("ddr4_2400").expect("known scenario"),
+        seeds: 1,
+        resume: true,
+    };
+    let direct = run_grid(&spec.to_grid(), 2).to_csv();
+    assert!(
+        direct.contains("@ddr4_2400"),
+        "scenario tag must reach the CSV labels:\n{direct}"
+    );
+
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to daemon");
+    let outcome = client::submit(&mut stream, &spec).expect("scenario submission");
+    assert_eq!(outcome.cached(), 0, "cold journal serves nothing");
+    assert_eq!(
+        outcome.to_csv(),
+        direct,
+        "scenario cells must stream byte-identically to run_grid"
+    );
+
+    // Re-submission of the scenario-tagged spec resumes from the journal.
+    let resumed = client::submit(&mut stream, &spec).expect("resumed scenario submission");
+    assert_eq!(resumed.cached(), 2, "scenario cells must fully resume");
+    assert_eq!(resumed.to_csv(), direct);
+
+    // The default-scenario spec is a different identity: nothing resumes.
+    let mut plain = spec.clone();
+    plain.scenario = Scenario::default();
+    let fresh = client::submit(&mut stream, &plain).expect("default-scenario submission");
+    assert_eq!(
+        fresh.cached(),
+        0,
+        "journal must not serve a scenario row for the default platform"
+    );
+    assert_ne!(fresh.to_csv(), direct);
+
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
 fn malformed_lines_get_error_frames_without_killing_the_connection() {
     let daemon = Daemon::new(1, Journal::in_memory());
     let addr = start(&daemon);
@@ -109,10 +160,21 @@ fn malformed_lines_get_error_frames_without_killing_the_connection() {
         client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to daemon");
 
     let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream for reading"));
+    let good_submit = Frame::Submit(SubmitSpec::new(
+        vec![Preset::BaseOpen],
+        vec![Workload::WebSearch],
+        opts(),
+    ))
+    .encode();
+    // An unknown top-level key must be a strict protocol error — a
+    // daemon that silently dropped (say) a misspelled "scenario" field
+    // would simulate the wrong platform without anyone noticing.
+    let unknown_key = good_submit.replacen('{', "{\"scenari0\":\"ddr4_2400\",", 1);
     for bad in [
         "this is not json",
         "{\"type\":\"warp\"}",
         "{\"type\":\"job_done\"}",
+        unknown_key.as_str(),
     ] {
         writeln!(stream, "{bad}").expect("send malformed line");
         stream.flush().expect("flush");

@@ -5,7 +5,10 @@
 //! horizon (`next_event_at`, `next_wakeup`) that under-approximates
 //! idleness shows up here as a diverging report.
 
-use bump_sim::{run_experiment, Engine, Preset, RunOptions, SimReport};
+use bump_sim::{
+    config_for_scenario, run_experiment, run_experiment_with_config, Engine, Preset, RunOptions,
+    Scenario, SimReport,
+};
 use bump_workloads::Workload;
 
 fn opts(engine: Engine, seed: u64) -> RunOptions {
@@ -93,6 +96,35 @@ fn workload_slice_is_report_identical_across_engines() {
             &oracle,
             &event,
             &format!("{} x {} (seed {seed})", preset.name(), workload.name()),
+        );
+    }
+}
+
+#[test]
+fn scenario_cells_are_report_identical_across_engines() {
+    // Non-default scenarios stress the horizons under foreign timing
+    // sets (DDR4's 16-bank ranks and longer tRFC) and under the §VI
+    // heterogeneous mix (every core running a different generator).
+    let cases = [
+        ("ddr4_2400", Preset::Bump, Workload::WebSearch),
+        (
+            "mix(websearch:dataserving)",
+            Preset::Bump,
+            Workload::WebSearch,
+        ),
+    ];
+    for (scenario_name, preset, workload) in cases {
+        let scenario = Scenario::from_name(scenario_name).expect("known scenario");
+        let run = |engine| {
+            let o = opts(engine, 42);
+            run_experiment_with_config(config_for_scenario(preset, workload, o, &scenario), o)
+        };
+        let oracle = run(Engine::Cycle);
+        let event = run(Engine::Event);
+        assert_reports_identical(
+            &oracle,
+            &event,
+            &format!("{} x {} @ {scenario_name}", preset.name(), workload.name()),
         );
     }
 }
