@@ -4,12 +4,17 @@
 
 use bump_cache::{Llc, LlcConfig};
 use bump_dram::{DramConfig, MemoryController, Transaction};
-use bump_types::{AccessKind, BlockAddr, InstrSource, MemoryRequest, Pc, TrafficClass};
+use bump_types::{
+    AccessKind, BlockAddr, InstrSource, MemoryRequest, Pc, TrafficClass, BLOCK_BYTES,
+};
 use bump_workloads::{Workload, WorkloadGen};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_dram(c: &mut Criterion) {
     let mut g = c.benchmark_group("dram");
+    // 1000 64-byte transactions per iteration: `cargo bench` reports
+    // the scheduler's simulated-traffic rate in bytes/sec.
+    g.throughput(Throughput::Bytes(1000 * BLOCK_BYTES));
     g.bench_function("fr_fcfs_1k_mixed_transactions", |b| {
         b.iter(|| {
             let mut mc = MemoryController::new(DramConfig::paper_open_row());
@@ -41,6 +46,7 @@ fn bench_dram(c: &mut Criterion) {
 
 fn bench_llc(c: &mut Criterion) {
     let mut g = c.benchmark_group("llc");
+    g.throughput(Throughput::Bytes(1000 * BLOCK_BYTES));
     g.bench_function("access_fill_evict_1k", |b| {
         b.iter(|| {
             let mut llc = Llc::new(LlcConfig::paper());
@@ -64,6 +70,7 @@ fn bench_llc(c: &mut Criterion) {
 
 fn bench_workloads(c: &mut Criterion) {
     let mut g = c.benchmark_group("workloads");
+    g.throughput(Throughput::Elements(10_000));
     for w in [Workload::WebSearch, Workload::SoftwareTesting] {
         g.bench_function(format!("gen_10k_{}", w.name().replace(' ', "_")), |b| {
             let mut gen = WorkloadGen::new(w, 0, 42);

@@ -1,6 +1,6 @@
 //! Scenario sweep: BuMP vs the open-row baseline across memory specs
-//! (DDR3-1600 / DDR4-2400 / LPDDR4-3200) and LLC capacities (4/8/16MB),
-//! averaged over the Figure 11 workload trio.
+//! (DDR3-1600 / DDR4-2400 / LPDDR4-3200) and LLC capacities
+//! (512KB / 4 / 8 / 16MB), averaged over the Figure 11 workload trio.
 //!
 //! `--smoke` runs the CI-sized slice (one workload, DDR4 + LPDDR4 at
 //! the paper's 4MB LLC). Standard flags (`--quick`/`--full`,

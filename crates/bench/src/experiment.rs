@@ -203,26 +203,41 @@ impl ExperimentGrid {
     /// panics. `SystemConfig` has no `PartialEq`; its `Debug` rendering
     /// is a complete value dump, so it serves as the equality witness.
     pub fn push(&mut self, spec: ExperimentSpec) {
+        if let Err(e) = self.try_push(spec) {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking [`ExperimentGrid::push`]: `Ok(true)` when the cell
+    /// was added, `Ok(false)` when an identical cell was already
+    /// present (deduplicated), and `Err` when the label is reused for a
+    /// *different* simulation. The wire protocol builds grids from
+    /// untrusted submissions, where a conflict must become an `error`
+    /// frame rather than a panic.
+    pub fn try_push(&mut self, spec: ExperimentSpec) -> Result<bool, String> {
         if let Some(existing) = self.cells.iter().find(|c| c.label == spec.label) {
-            assert_eq!(
-                existing.options, spec.options,
-                "grid label {:?} reused with different run options",
-                spec.label
-            );
-            assert_eq!(
-                existing.scenario, spec.scenario,
-                "grid label {:?} reused with a different scenario",
-                spec.label
-            );
-            assert_eq!(
-                format!("{:?}", existing.config),
-                format!("{:?}", spec.config),
-                "grid label {:?} reused with a different config override",
-                spec.label
-            );
-            return;
+            if existing.options != spec.options {
+                return Err(format!(
+                    "grid label {:?} reused with different run options",
+                    spec.label
+                ));
+            }
+            if existing.scenario != spec.scenario {
+                return Err(format!(
+                    "grid label {:?} reused with a different scenario",
+                    spec.label
+                ));
+            }
+            if format!("{:?}", existing.config) != format!("{:?}", spec.config) {
+                return Err(format!(
+                    "grid label {:?} reused with a different config override",
+                    spec.label
+                ));
+            }
+            return Ok(false);
         }
         self.cells.push(spec);
+        Ok(true)
     }
 
     /// Merges `other` into `self`, deduplicating by label.
@@ -270,6 +285,30 @@ impl ExperimentGrid {
     /// The cells, in insertion (result) order.
     pub fn cells(&self) -> &[ExperimentSpec] {
         &self.cells
+    }
+
+    /// Splits a grid produced by
+    /// [`ExperimentGrid::replicate_seeds`]`(replicas)` back into its
+    /// per-base-cell work units: consecutive runs of `replicas` cells
+    /// (replica 0 plus its `#s<k>` derivatives). This is the unit the
+    /// `bumpr` router shards across backends — a unit maps onto a
+    /// single-cell `submit` with the same seed count, so the backend
+    /// reproduces exactly the unit's labels and seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid size is not a multiple of `replicas` — the
+    /// grid cannot then be a `replicate_seeds(replicas)` expansion.
+    pub fn unit_ranges(&self, replicas: usize) -> Vec<std::ops::Range<usize>> {
+        let replicas = replicas.max(1);
+        assert!(
+            self.cells.len().is_multiple_of(replicas),
+            "{} cells cannot be a grid of {replicas}-replica units",
+            self.cells.len()
+        );
+        (0..self.cells.len() / replicas)
+            .map(|u| u * replicas..(u + 1) * replicas)
+            .collect()
     }
 
     /// Number of cells.
@@ -1086,6 +1125,48 @@ mod tests {
         );
         // replicate_seeds(1) is the identity.
         assert_eq!(base.replicate_seeds(1).len(), base.len());
+    }
+
+    #[test]
+    fn try_push_reports_conflicts_instead_of_panicking() {
+        let mut grid = ExperimentGrid::new();
+        let spec = ExperimentSpec::new(Preset::BaseOpen, Workload::WebSearch, opts());
+        assert_eq!(grid.try_push(spec.clone()), Ok(true));
+        assert_eq!(grid.try_push(spec.clone()), Ok(false), "identical dedups");
+        let mut other = spec;
+        other.options.seed = 7;
+        let err = grid.try_push(other).expect_err("conflict must be an Err");
+        assert!(err.contains("different run options"), "{err}");
+        assert_eq!(grid.len(), 1);
+    }
+
+    #[test]
+    fn unit_ranges_recover_replicate_seeds_layout() {
+        let base = ExperimentGrid::cartesian(
+            &[Preset::BaseOpen, Preset::Bump],
+            &[Workload::WebSearch],
+            opts(),
+        );
+        let grid = base.replicate_seeds(3);
+        let units = grid.unit_ranges(3);
+        assert_eq!(units.len(), base.len());
+        for (u, range) in units.iter().enumerate() {
+            let cells = &grid.cells()[range.clone()];
+            assert_eq!(cells.len(), 3);
+            // Replica 0 is the base cell; the rest carry its label.
+            assert_eq!(cells[0].label, base.cells()[u].label);
+            for (k, cell) in cells.iter().enumerate().skip(1) {
+                assert_eq!(cell.label, format!("{}#s{k}", base.cells()[u].label));
+            }
+        }
+        // replicas = 1: every cell is its own unit.
+        assert_eq!(base.unit_ranges(1).len(), base.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be a grid")]
+    fn unit_ranges_reject_non_replica_grids() {
+        ExperimentGrid::cartesian(&[Preset::BaseOpen], &Workload::all(), opts()).unit_ranges(4);
     }
 
     #[test]

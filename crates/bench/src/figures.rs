@@ -1047,8 +1047,11 @@ const SCEN_WORKLOADS: [Workload; 3] = [
     Workload::MediaStreaming,
 ];
 
-/// LLC design points in mebibytes (4MB is the paper's).
-const SCEN_LLC_MB: [u64; 3] = [4, 8, 16];
+/// LLC design points in bytes (4MB is the paper's; first, so the
+/// `--smoke` slice keeps the paper capacity). The 512KB point probes
+/// the sub-MB regime where the LLC filters far less of the miss
+/// stream — the worst case for bulk overfetch.
+const SCEN_LLC_BYTES: [u64; 4] = [4 << 20, 8 << 20, 16 << 20, 512 << 10];
 
 /// Whether the process was asked for the reduced scenario grid
 /// (`--smoke`: one workload on DDR4 and LPDDR4 at the paper's LLC —
@@ -1065,15 +1068,15 @@ fn scenario_points(smoke: bool) -> Vec<Scenario> {
         MemSpec::all().to_vec()
     };
     let llcs: &[u64] = if smoke {
-        &SCEN_LLC_MB[..1]
+        &SCEN_LLC_BYTES[..1]
     } else {
-        &SCEN_LLC_MB
+        &SCEN_LLC_BYTES
     };
     for mem in &mems {
-        for &mb in llcs {
+        for &bytes in llcs {
             points.push(Scenario {
                 mem: *mem,
-                llc_capacity: Some(mb << 20),
+                llc_capacity: Some(bytes),
                 mix: None,
             });
         }
@@ -1143,9 +1146,9 @@ fn render_scenarios(results: &GridResults, _scale: Scale) -> String {
     }
     let mut out = String::from(
         "Scenario sweep — BuMP vs the open-row baseline across memory\n\
-         specs (DDR3-1600 / DDR4-2400 / LPDDR4-3200) and LLC capacities,\n\
-         averaged over Web Search, Data Serving, Media Streaming.\n\
-         The paper's platform is ddr3_1600 at llc4m.\n\n",
+         specs (DDR3-1600 / DDR4-2400 / LPDDR4-3200) and LLC capacities\n\
+         (512KB to 16MB), averaged over Web Search, Data Serving,\n\
+         Media Streaming. The paper's platform is ddr3_1600 at llc4m.\n\n",
     );
     out.push_str(&t.render());
     out
@@ -1173,8 +1176,10 @@ mod tests {
     #[test]
     fn scenarios_grid_covers_every_platform_point() {
         let g = scenarios_grid(Scale::Quick);
-        // 2 presets × 3 mem specs × 3 LLC points × 3 workloads.
-        assert_eq!(g.len(), 2 * 3 * 3 * 3);
+        // 2 presets × 3 mem specs × 4 LLC points × 3 workloads.
+        assert_eq!(g.len(), 2 * 3 * 4 * 3);
+        // The sub-MB point is in the full sweep.
+        assert!(g.cells().iter().any(|c| c.label.contains("llc512k")));
         for scenario in scenario_points(false) {
             for p in SCEN_PRESETS {
                 for w in SCEN_WORKLOADS {

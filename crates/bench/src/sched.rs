@@ -78,6 +78,17 @@ pub fn estimated_cost(spec: &ExperimentSpec) -> u64 {
         .saturating_mul(instructions)
 }
 
+/// Estimated execution cost of a slice of cells — the weight of one
+/// router work unit (a base cell plus its seed replicas; see
+/// `ExperimentGrid::unit_ranges`). Same scale caveat as
+/// [`estimated_cost`]: only the ordering matters.
+pub fn estimated_unit_cost(cells: &[ExperimentSpec]) -> u64 {
+    cells
+        .iter()
+        .map(estimated_cost)
+        .fold(0, u64::saturating_add)
+}
+
 /// Callback invoked (from a worker thread) as each cell of a job
 /// finishes: `(cell index within the job, spec, report)`.
 pub type CellCallback = Box<dyn Fn(usize, &ExperimentSpec, &SimReport) + Send + Sync>;
@@ -367,6 +378,19 @@ mod tests {
             RunOptions::quick(1),
         );
         assert_eq!(estimated_cost(&ddr4), estimated_cost(&plain));
+    }
+
+    #[test]
+    fn unit_cost_sums_member_cells() {
+        let cells = vec![
+            spec(Preset::BaseOpen, Workload::WebSearch),
+            spec(Preset::FullRegion, Workload::WebSearch),
+        ];
+        assert_eq!(
+            estimated_unit_cost(&cells),
+            estimated_cost(&cells[0]) + estimated_cost(&cells[1])
+        );
+        assert_eq!(estimated_unit_cost(&[]), 0);
     }
 
     #[test]

@@ -5,7 +5,10 @@ use crate::channel::{Channel, RowPolicy, WriteQueueConfig};
 use crate::energy::DramEnergyCounters;
 use crate::mapping::AddressMapper;
 use crate::transaction::{Completion, Transaction, TransactionId};
-use bump_types::{DramGeometry, DramTiming, Interleaving, MemCycle, MemSpec, Ratio, TrafficClass};
+use bump_types::{
+    DramEnergyParams, DramGeometry, DramTiming, Interleaving, MemCycle, MemSpec, Ratio,
+    TrafficClass,
+};
 
 /// Complete configuration of the memory system.
 #[derive(Clone, Copy, Debug)]
@@ -17,6 +20,10 @@ pub struct DramConfig {
     /// CPU clock cycles per memory bus cycle, times 1000 (the
     /// [`MemSpec::freq_ratio_milli`] of the platform in force).
     pub freq_ratio_milli: u64,
+    /// Per-event energy constants of the platform in force
+    /// ([`MemSpec::energy`]); the counters this controller accumulates
+    /// are costed under these at report time.
+    pub energy: DramEnergyParams,
     /// Row-buffer management policy.
     pub policy: RowPolicy,
     /// Address interleaving scheme.
@@ -37,6 +44,7 @@ impl DramConfig {
             geometry: spec.geometry,
             timing: spec.timing,
             freq_ratio_milli: spec.freq_ratio_milli,
+            energy: spec.energy(),
             policy: RowPolicy::Close,
             interleaving: Interleaving::Block,
             read_queue_capacity: 64,
@@ -72,6 +80,7 @@ impl DramConfig {
         self.geometry = spec.geometry;
         self.timing = spec.timing;
         self.freq_ratio_milli = spec.freq_ratio_milli;
+        self.energy = spec.energy();
         self
     }
 }

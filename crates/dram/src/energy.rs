@@ -6,53 +6,10 @@
 
 use bump_types::MemCycle;
 
-/// Per-event DRAM energy and background power parameters.
-///
-/// Values are the paper's Table III, per 2GB rank and 64-byte transfer.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct DramEnergyParams {
-    /// Energy of one row activation + precharge pair, in nanojoules.
-    pub activation_nj: f64,
-    /// Energy of one 64-byte read burst, in nanojoules.
-    pub read_nj: f64,
-    /// Energy of one 64-byte write burst, in nanojoules.
-    pub write_nj: f64,
-    /// I/O + termination energy of a read, in nanojoules.
-    pub read_io_nj: f64,
-    /// I/O + termination energy of a write, in nanojoules.
-    pub write_io_nj: f64,
-    /// Background power of a rank with all banks precharged, in watts.
-    pub background_idle_w: f64,
-    /// Background power of a rank with at least one open row, in watts.
-    pub background_active_w: f64,
-    /// Memory bus cycle time in nanoseconds (DDR3-1600: 1.25ns).
-    pub cycle_ns: f64,
-}
-
-impl DramEnergyParams {
-    /// The paper's Table III values. The paper lists background power as
-    /// 540–770mW per rank; we use 540mW for an all-precharged rank and
-    /// 770mW when any row is open. Read I/O is 1.5nJ and write I/O 4.6nJ
-    /// (the same-rank termination figures).
-    pub fn paper() -> Self {
-        DramEnergyParams {
-            activation_nj: 29.7,
-            read_nj: 8.1,
-            write_nj: 8.4,
-            read_io_nj: 1.5,
-            write_io_nj: 4.6,
-            background_idle_w: 0.540,
-            background_active_w: 0.770,
-            cycle_ns: 1.25,
-        }
-    }
-}
-
-impl Default for DramEnergyParams {
-    fn default() -> Self {
-        DramEnergyParams::paper()
-    }
-}
+// The parameter struct itself lives in `bump-types` so `MemSpec` can
+// pair each platform with its own Table-III-style constants; this
+// re-export keeps the established `bump_dram::DramEnergyParams` path.
+pub use bump_types::DramEnergyParams;
 
 /// Raw event counts accumulated by the memory controller.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -5,7 +5,8 @@
 //!
 //! ```sh
 //! cargo run --release -p bump-serve --bin bumpc -- \
-//!     [--addr 127.0.0.1:4077] [--presets Base-open,BuMP] \
+//!     [--addr 127.0.0.1:4077 | --router 127.0.0.1:4177] \
+//!     [--presets Base-open,BuMP] \
 //!     [--workloads "Web Search,Web Serving"] [--full] [--seeds N] \
 //!     [--resume] [--engine {cycle,event}] [--local] [--threads N]
 //! ```
@@ -14,6 +15,9 @@
 //! progress narration goes to stderr. `--local` runs the same spec
 //! in-process through the same scheduler instead of over TCP — the two
 //! outputs are byte-identical, which the CI daemon smoke asserts.
+//! `--router` targets a `bumpr` cluster router instead of a single
+//! daemon — same protocol, same bytes, backed by a backend fleet and
+//! the router's result cache.
 
 use bump_serve::client;
 use bump_serve::proto::{Frame, SubmitSpec};
@@ -37,6 +41,9 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => addr = expect_value(&args, &mut i, "--addr"),
+            // Same protocol either way; the separate flag documents
+            // intent (and defaults differ: routers listen on 4177).
+            "--router" => addr = expect_value(&args, &mut i, "--router"),
             "--presets" => {
                 presets = parse_list(&expect_value(&args, &mut i, "--presets"), |name| {
                     Preset::from_name(name)
@@ -115,14 +122,14 @@ fn main() {
     let mut streamed = 0u64;
     let outcome = client::submit_with(&mut stream, &spec, &mut |frame| match frame {
         Frame::JobAccepted { job, cells, cached } => {
-            eprintln!("bumpc: job {job} accepted: {cells} cells ({cached} from journal)");
+            eprintln!("bumpc: job {job} accepted: {cells} cells ({cached} cached)");
         }
         Frame::CellResult(cell) => {
             streamed += 1;
             eprintln!(
                 "bumpc: [{streamed}] {}{}",
                 cell.label,
-                if cell.cached { " (journal)" } else { "" }
+                if cell.cached { " (cached)" } else { "" }
             );
         }
         _ => {}
@@ -132,7 +139,7 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "bumpc: job {} done: {} cells ({} from journal)",
+        "bumpc: job {} done: {} cells ({} cached)",
         outcome.job,
         outcome.cells.len(),
         outcome.cached()
@@ -161,17 +168,19 @@ fn usage(error: &str) -> ! {
         eprintln!("bumpc: {error}");
     }
     eprintln!(
-        "usage: bumpc [--addr HOST:PORT] [--presets A,B] [--workloads X,Y]\n\
-         \x20            [--scenario NAME] [--full|--quick] [--seeds N] [--resume]\n\
-         \x20            [--engine cycle|event] [--local] [--threads N]\n\
+        "usage: bumpc [--addr HOST:PORT | --router HOST:PORT] [--presets A,B]\n\
+         \x20            [--workloads X,Y] [--scenario NAME] [--full|--quick]\n\
+         \x20            [--seeds N] [--resume] [--engine cycle|event] [--local]\n\
+         \x20            [--threads N]\n\
          \n\
-         Submit a preset x workload grid to a bumpd daemon and print the\n\
-         streamed results as CSV (stdout). --local runs the same grid\n\
-         in-process instead (byte-identical output). --scenario selects a\n\
-         platform variation (see docs/SCENARIOS.md), e.g. ddr4_2400,\n\
-         lpddr4_3200+llc8m, or \"mix(websearch:dataserving)\". Defaults:\n\
-         all presets, all workloads, default scenario, --quick, single\n\
-         seed, --addr 127.0.0.1:4077."
+         Submit a preset x workload grid to a bumpd daemon (--addr) or a\n\
+         bumpr cluster router (--router) and print the streamed results as\n\
+         CSV (stdout). --local runs the same grid in-process instead\n\
+         (byte-identical output). --scenario selects a platform variation\n\
+         (see docs/SCENARIOS.md), e.g. ddr4_2400, lpddr4_3200+llc512k, or\n\
+         \"mix(websearch:dataserving)\". Defaults: all presets, all\n\
+         workloads, default scenario, --quick, single seed,\n\
+         --addr 127.0.0.1:4077."
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

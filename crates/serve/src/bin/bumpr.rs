@@ -1,0 +1,106 @@
+//! `bumpr` — the sharding router in front of a fleet of `bumpd`
+//! backends.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p bump-serve --bin bumpr -- \
+//!     [--addr 127.0.0.1:4177] \
+//!     --backends 127.0.0.1:4077,127.0.0.1:4078 \
+//!     [--cache 4096]
+//! ```
+//!
+//! Speaks the same protocol as `bumpd` (point `bumpc --router` at it):
+//! submissions are split into per-cell work units, sharded across the
+//! live backends cost-aware least-loaded-first, streamed back merged
+//! in grid order, and cached in a bounded LRU so a repeated identical
+//! submission never touches a backend. Backends can also be added at
+//! runtime with a `register_backend` frame. See `docs/CLUSTER.md`.
+
+use bump_serve::cluster::Router;
+use std::net::TcpListener;
+
+fn main() {
+    let mut addr = "127.0.0.1:4177".to_string();
+    let mut backends: Vec<String> = Vec::new();
+    let mut cache = 4096usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = expect_value(&args, &mut i, "--addr"),
+            "--backends" => {
+                backends = expect_value(&args, &mut i, "--backends")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--cache" => {
+                cache = expect_value(&args, &mut i, "--cache")
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage("--cache expects a row count (0 disables)"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if backends.is_empty() {
+        eprintln!(
+            "bumpr: warning: starting with an empty pool; add backends with register_backend"
+        );
+    }
+    let router = Router::new(backends, cache);
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("bumpr: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    let states = router.backend_states();
+    println!(
+        "bumpr: listening on {local} ({} backends: {}; cache {} rows)",
+        states.len(),
+        if states.is_empty() {
+            "none".to_string()
+        } else {
+            states
+                .iter()
+                .map(|(a, _)| a.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        },
+        cache
+    );
+    if let Err(e) = router.serve(listener) {
+        eprintln!("bumpr: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn expect_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .unwrap_or_else(|| usage(&format!("{flag} expects a value")))
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("bumpr: {error}");
+    }
+    eprintln!(
+        "usage: bumpr [--addr HOST:PORT] --backends A:P,B:P[,...] [--cache N]\n\
+         \n\
+         Route bumpc submissions across a fleet of bumpd backends: per-cell\n\
+         sharding (cost-aware, least-loaded-first), merged grid-order result\n\
+         streaming, an N-row LRU result cache (default 4096, 0 disables),\n\
+         health-checked backends with automatic failover, and runtime\n\
+         registration via register_backend frames (docs/CLUSTER.md).\n\
+         Defaults: --addr 127.0.0.1:4177."
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

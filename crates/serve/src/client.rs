@@ -1,6 +1,6 @@
 //! The `bumpc` client side: submit a spec, stream the results back.
 
-use crate::proto::{CellResult, Frame, SubmitSpec};
+use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
 use bump_bench::experiment::{run_grid, MetricRow};
 use std::io::{BufRead as _, Write as _};
 use std::net::TcpStream;
@@ -69,7 +69,22 @@ pub fn submit_with(
     spec: &SubmitSpec,
     observe: FrameObserver<'_>,
 ) -> Result<JobOutcome, String> {
-    let line = Frame::Submit(spec.clone()).encode();
+    submit_batch_with(stream, &spec.clone().into(), observe)
+}
+
+/// Submits a multi-spec batch (one `submit` frame, one job whose cells
+/// span the concatenated grids) and collects the streamed outcome.
+pub fn submit_batch(stream: &mut TcpStream, batch: &SubmitBatch) -> Result<JobOutcome, String> {
+    submit_batch_with(stream, batch, &mut |_| {})
+}
+
+/// [`submit_batch`] with a per-frame observer.
+pub fn submit_batch_with(
+    stream: &mut TcpStream,
+    batch: &SubmitBatch,
+    observe: FrameObserver<'_>,
+) -> Result<JobOutcome, String> {
+    let line = Frame::Submit(batch.clone()).encode();
     stream
         .write_all(line.as_bytes())
         .and_then(|()| stream.write_all(b"\n"))
@@ -113,6 +128,12 @@ pub fn submit_with(
             }
             Frame::Error { message } => return Err(format!("daemon error: {message}")),
             Frame::Submit(_) => return Err("daemon echoed a submit frame".to_string()),
+            Frame::Ping
+            | Frame::Pong { .. }
+            | Frame::RegisterBackend { .. }
+            | Frame::BackendRegistered { .. } => {
+                return Err("unexpected control frame mid-job".to_string())
+            }
         }
     }
     Err("connection closed before job_done".to_string())
@@ -123,4 +144,11 @@ pub fn submit_with(
 /// side of the CI byte-identity check.
 pub fn local_csv(spec: &SubmitSpec, threads: usize) -> String {
     run_grid(&spec.to_grid(), threads).to_csv()
+}
+
+/// [`local_csv`] for a batch: runs the concatenated grid in-process.
+/// Errors only when the batch itself is malformed (overlapping jobs).
+pub fn local_batch_csv(batch: &SubmitBatch, threads: usize) -> Result<String, String> {
+    let (grid, _) = batch.expand()?;
+    Ok(run_grid(&grid, threads).to_csv())
 }

@@ -1,0 +1,31 @@
+//! The `bumpr` cluster tier: a sharding router and result cache in
+//! front of a fleet of `bumpd` backends.
+//!
+//! A single daemon is the throughput ceiling for large grids — the
+//! paper's sweeps are embarrassingly parallel across cells, the same
+//! property bulk-synchronous pseudo-streaming systems exploit across
+//! accelerator nodes. This module adds the tier that fans one
+//! submission out across many daemons while looking exactly like one:
+//! `bumpr` accepts the same `submit` frames on its own port and
+//! streams back the same `cell_result`s, byte-identical to
+//! `bumpc --local` for the same spec.
+//!
+//! Layout:
+//!
+//! * [`cache`] — the bounded LRU result cache (same cell-identity keys
+//!   as the backend journals; hits skip the network entirely).
+//! * [`backend`] — health-checked backend endpoints, the shardable
+//!   [`backend::WorkUnit`], and the per-backend dispatch stream.
+//! * [`router`] — job routing: cache pass, cost-aware sharding,
+//!   grid-order merge, and failover.
+//!
+//! Topology, cache-vs-journal semantics, and the failover rules are
+//! documented in `docs/CLUSTER.md`.
+
+pub mod backend;
+pub mod cache;
+pub mod router;
+
+pub use backend::{Backend, WorkUnit};
+pub use cache::ResultCache;
+pub use router::{Router, RouterStats};

@@ -1,0 +1,285 @@
+//! Backend pool plumbing: health-checked `bumpd` endpoints, the work
+//! unit the router shards, and the per-backend dispatch stream.
+//!
+//! A backend is just an address speaking the `bumpd` protocol. The
+//! router health-checks it with a `ping`/`pong` round trip (which also
+//! reports the backend's worker count, feeding the load-balancing
+//! weights), hands it all of its assigned work units as **one batched
+//! `submit`** (so a backend's whole worker pool fills from a single
+//! connection), and maps the streamed batch-local cell indices back to
+//! the client job's grid indices. Any failure on the stream — refused
+//! connection, mid-job disconnect, an `error` frame, a protocol
+//! violation — is reported as a single [`DispatchEvent::Failed`] so
+//! the router can re-dispatch the backend's unfinished cells.
+
+use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec, MAX_BATCH_JOBS};
+use std::io::{BufRead as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs as _};
+use std::sync::mpsc::Sender;
+use std::time::Duration;
+
+/// One `bumpd` endpoint in the router's pool.
+#[derive(Clone, Debug)]
+pub struct Backend {
+    /// `host:port` to dial.
+    pub addr: String,
+    /// Whether the last health check (or dispatch) succeeded. Dead
+    /// backends are excluded from sharding until a later health check
+    /// readmits them.
+    pub alive: bool,
+    /// Scheduler worker count from the last `pong` (1 until known);
+    /// sharding weighs a backend's load by it.
+    pub workers: usize,
+}
+
+impl Backend {
+    /// A backend presumed alive with unknown capacity.
+    pub fn new(addr: impl Into<String>) -> Backend {
+        Backend {
+            addr: addr.into(),
+            alive: true,
+            workers: 1,
+        }
+    }
+
+    /// Pings the backend, updating `alive` and `workers`; returns the
+    /// new liveness.
+    pub fn check(&mut self, timeout: Duration) -> bool {
+        match ping(&self.addr, timeout) {
+            Some(workers) => {
+                self.alive = true;
+                self.workers = workers.max(1);
+            }
+            None => self.alive = false,
+        }
+        self.alive
+    }
+}
+
+/// Round-trips a `ping` frame; `Some(worker count)` when the endpoint
+/// answered with a well-formed `pong` within `timeout`.
+pub fn ping(addr: &str, timeout: Duration) -> Option<usize> {
+    let sockaddr = addr.to_socket_addrs().ok()?.next()?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    stream
+        .write_all(format!("{}\n", Frame::Ping.encode()).as_bytes())
+        .and_then(|()| stream.flush())
+        .ok()?;
+    let mut line = String::new();
+    std::io::BufReader::new(stream).read_line(&mut line).ok()?;
+    match Frame::parse(line.trim_end()) {
+        Ok(Frame::Pong { workers, .. }) => Some(workers as usize),
+        _ => None,
+    }
+}
+
+/// One shardable unit of a client job: a single base cell (one preset ×
+/// one workload under one scenario) together with all of its seed
+/// replicas. Extracted via `ExperimentGrid::unit_ranges` — the unit
+/// maps onto a one-cell `submit` with the same seed count, so a backend
+/// reproduces exactly the unit's labels, seeds, and rows.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// The single-cell submission reproducing this unit.
+    pub spec: SubmitSpec,
+    /// The client job's grid index for each of the unit's cells
+    /// (replica `k` of the base cell is `globals[k]`).
+    pub globals: Vec<usize>,
+    /// Estimated execution cost (`bump_bench::sched::estimated_unit_cost`).
+    pub cost: u64,
+}
+
+/// Longest silence tolerated on a dispatch stream before the backend
+/// is considered wedged and failed over. The gap between streamed
+/// frames is bounded by one cell's simulation time (cells stream as
+/// they land), so 30 minutes clears even paper-scale Full-region
+/// cells by a wide margin.
+pub(crate) const DISPATCH_READ_TIMEOUT: Duration = Duration::from_secs(30 * 60);
+
+/// What a dispatch stream reports back to the routing thread. Events
+/// are tagged with the router-assigned **dispatch id**, not the
+/// backend: one backend can carry several streams over a job's
+/// lifetime (its original share plus failover waves), and a `Done`
+/// must settle only the units of the stream that finished.
+#[derive(Debug)]
+pub enum DispatchEvent {
+    /// One cell landed (indices already mapped to the client grid).
+    Cell {
+        /// Router-assigned id of the reporting dispatch stream.
+        dispatch: usize,
+        /// Client-grid index of the cell.
+        global: usize,
+        /// The backend's row, still carrying its own job id/index.
+        cell: CellResult,
+    },
+    /// The stream's whole batch finished cleanly.
+    Done {
+        /// Router-assigned id of the reporting dispatch stream.
+        dispatch: usize,
+    },
+    /// The stream failed mid-batch; its unfinished cells need a new
+    /// home.
+    Failed {
+        /// Router-assigned id of the reporting dispatch stream.
+        dispatch: usize,
+        /// Human-readable reason (logged by the router).
+        error: String,
+    },
+}
+
+/// Streams `units` to the backend at `addr` as batched `submit`s
+/// (chunked under [`MAX_BATCH_JOBS`] so even an oversized share stays
+/// wire-legal; chunks run sequentially over one connection),
+/// translating every `cell_result` to client-grid indices and
+/// reporting through `events` under the given dispatch id. Runs on its
+/// own thread; always ends with exactly one `Done` or `Failed` event.
+/// Send failures mean the routing thread is gone — nothing left to
+/// report to.
+pub fn dispatch(
+    dispatch: usize,
+    addr: String,
+    units: Vec<WorkUnit>,
+    events: Sender<DispatchEvent>,
+) {
+    let fail = |error: String| {
+        let _ = events.send(DispatchEvent::Failed { dispatch, error });
+    };
+    let mut stream = match addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .ok_or_else(|| format!("cannot resolve {addr}"))
+        .and_then(|sockaddr| {
+            TcpStream::connect_timeout(&sockaddr, Duration::from_secs(5))
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))
+        }) {
+        Ok(stream) => stream,
+        Err(e) => return fail(e),
+    };
+    // Watchdog against a wedged-but-connected backend (SIGSTOPped
+    // daemon, host gone without RST): without a read bound the stream
+    // blocks forever, the dispatch never reports, and the routed job
+    // hangs despite healthy survivors. The bound only needs to exceed
+    // the gap between frames — at most one cell's simulation time —
+    // so it is generous against paper-scale cells.
+    if let Err(e) = stream
+        .set_read_timeout(Some(DISPATCH_READ_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(DISPATCH_READ_TIMEOUT)))
+    {
+        return fail(format!("cannot configure stream to {addr}: {e}"));
+    }
+    let reader = match stream.try_clone() {
+        Ok(clone) => std::io::BufReader::new(clone),
+        Err(e) => return fail(format!("cannot clone stream to {addr}: {e}")),
+    };
+    let mut lines = reader.lines();
+    for chunk in units.chunks(MAX_BATCH_JOBS) {
+        if let Err(error) = stream_chunk(dispatch, &addr, &mut stream, &mut lines, chunk, &events) {
+            return fail(error);
+        }
+    }
+    let _ = events.send(DispatchEvent::Done { dispatch });
+}
+
+/// Submits one wire-legal chunk of units and pumps its frames until
+/// `job_done`. Any anomaly is the whole dispatch's failure.
+fn stream_chunk(
+    dispatch: usize,
+    addr: &str,
+    stream: &mut TcpStream,
+    lines: &mut std::io::Lines<std::io::BufReader<TcpStream>>,
+    units: &[WorkUnit],
+    events: &Sender<DispatchEvent>,
+) -> Result<(), String> {
+    // Batch-local index layout: unit u's cells occupy
+    // [offsets[u], offsets[u] + units[u].globals.len()).
+    let mut offsets = Vec::with_capacity(units.len());
+    let mut total = 0usize;
+    for unit in units {
+        offsets.push(total);
+        total += unit.globals.len();
+    }
+    let batch = SubmitBatch {
+        jobs: units.iter().map(|u| u.spec.clone()).collect(),
+    };
+    stream
+        .write_all(format!("{}\n", Frame::Submit(batch).encode()).as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot submit to {addr}: {e}"))?;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| format!("connection to {addr} lost: {e}"))?;
+        match Frame::parse(&line) {
+            Ok(Frame::JobAccepted { cells, .. }) => {
+                if cells != total as u64 {
+                    return Err(format!(
+                        "{addr} accepted {cells} cells for a {total}-cell batch"
+                    ));
+                }
+            }
+            Ok(Frame::CellResult(cell)) => {
+                let local = cell.index as usize;
+                if local >= total {
+                    return Err(format!("{addr} streamed out-of-range cell {local}"));
+                }
+                let unit = match offsets.binary_search(&local) {
+                    Ok(u) => u,
+                    Err(next) => next - 1,
+                };
+                let global = units[unit].globals[local - offsets[unit]];
+                let _ = events.send(DispatchEvent::Cell {
+                    dispatch,
+                    global,
+                    cell,
+                });
+            }
+            Ok(Frame::JobDone { .. }) => return Ok(()),
+            Ok(Frame::Error { message }) => {
+                return Err(format!("{addr} reported: {message}"));
+            }
+            Ok(other) => {
+                return Err(format!("{addr} sent an unexpected {other:?} frame"));
+            }
+            Err(e) => return Err(format!("{addr} sent a malformed frame: {e}")),
+        }
+    }
+    Err(format!("{addr} closed the connection mid-batch"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_sim::{Preset, RunOptions};
+    use bump_workloads::Workload;
+
+    #[test]
+    fn ping_of_a_dead_address_is_none() {
+        // Port 1 on loopback: nothing listens there.
+        assert_eq!(ping("127.0.0.1:1", Duration::from_millis(200)), None);
+        let mut b = Backend::new("127.0.0.1:1");
+        assert!(!b.check(Duration::from_millis(200)));
+        assert!(!b.alive);
+    }
+
+    #[test]
+    fn dispatch_to_a_dead_backend_reports_failed() {
+        let unit = WorkUnit {
+            spec: SubmitSpec::new(
+                vec![Preset::BaseOpen],
+                vec![Workload::WebSearch],
+                RunOptions::quick(1),
+            ),
+            globals: vec![0],
+            cost: 1,
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        dispatch(3, "127.0.0.1:1".to_string(), vec![unit], tx);
+        match rx.recv().expect("one terminal event") {
+            DispatchEvent::Failed { dispatch: 3, error } => {
+                assert!(error.contains("connect"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,768 @@
+//! The `bumpr` router: shards client jobs across a fleet of `bumpd`
+//! backends behind an LRU result cache.
+//!
+//! A router speaks the exact same wire protocol as a daemon, so any
+//! `bumpc` (or another router's backend dispatcher) can talk to it.
+//! Per submission it:
+//!
+//! 1. expands the batch to its concatenated grid, exactly as a daemon
+//!    would, and serves every cell already in the [`ResultCache`]
+//!    (simulations are deterministic functions of the cell identity,
+//!    so cache hits are byte-identical to fresh runs — the cache is
+//!    transparent memoization, not an opt-in like the journal);
+//! 2. extracts per-base-cell [`WorkUnit`]s from the remaining cells
+//!    (`ExperimentGrid::unit_ranges`) and shards them across the live
+//!    backends, highest [estimated cost] first onto the least-loaded
+//!    backend (load weighted by each backend's worker count from its
+//!    `pong`);
+//! 3. merges the streams back, releasing `cell_result` frames in
+//!    **stable grid order** (a reorder buffer holds out-of-order
+//!    arrivals), caching every row as it lands;
+//! 4. on a backend failure mid-job, re-dispatches that backend's
+//!    unfinished units across the survivors; only when no live backend
+//!    remains does the job end in a strict `error` frame.
+//!
+//! The output of a routed job is byte-identical to `bumpc --local` for
+//! the same spec (`tests/cluster_e2e.rs`, CI cluster smoke).
+//!
+//! [estimated cost]: bump_bench::sched::estimated_cost
+
+use crate::cluster::backend::{dispatch, Backend, DispatchEvent, WorkUnit};
+use crate::cluster::cache::ResultCache;
+use crate::daemon::{send, spawn_writer, Outbox};
+use crate::journal::{cell_identity, cell_key, JournalEntry};
+use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
+use bump_bench::sched::estimated_unit_cost;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Counters the router exposes (and the e2e tests pin the cache
+/// short-circuit with).
+#[derive(Debug, Default)]
+struct RouterCounters {
+    dispatched_cells: AtomicU64,
+    cache_hit_cells: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// A snapshot of the router's counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Cells handed to backends (counting re-dispatches).
+    pub dispatched_cells: u64,
+    /// Cells served from the result cache.
+    pub cache_hit_cells: u64,
+    /// Backend failures that triggered a re-dispatch.
+    pub failovers: u64,
+}
+
+/// The sharding router: a backend pool, a result cache, and a job-id
+/// counter shared by every client connection.
+pub struct Router {
+    backends: Mutex<Vec<Backend>>,
+    cache: Mutex<ResultCache>,
+    next_job: AtomicU64,
+    counters: RouterCounters,
+    ping_timeout: Duration,
+}
+
+impl Router {
+    /// A router over `backends` (addresses, presumed alive until the
+    /// first health check) caching at most `cache_capacity` rows.
+    pub fn new(backends: Vec<String>, cache_capacity: usize) -> Arc<Router> {
+        Arc::new(Router {
+            backends: Mutex::new(backends.into_iter().map(Backend::new).collect()),
+            cache: Mutex::new(ResultCache::new(cache_capacity)),
+            next_job: AtomicU64::new(0),
+            counters: RouterCounters::default(),
+            ping_timeout: Duration::from_secs(2),
+        })
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            dispatched_cells: self.counters.dispatched_cells.load(Ordering::Relaxed),
+            cache_hit_cells: self.counters.cache_hit_cells.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The pool addresses and their last-known liveness.
+    pub fn backend_states(&self) -> Vec<(String, bool)> {
+        self.backends
+            .lock()
+            .expect("backend pool poisoned")
+            .iter()
+            .map(|b| (b.addr.clone(), b.alive))
+            .collect()
+    }
+
+    /// Health-checks `addr` and admits it to the pool (or re-admits a
+    /// known address). Returns the pool size.
+    pub fn register(&self, addr: &str) -> Result<u64, String> {
+        match crate::cluster::backend::ping(addr, self.ping_timeout) {
+            Some(workers) => {
+                let mut pool = self.backends.lock().expect("backend pool poisoned");
+                match pool.iter_mut().find(|b| b.addr == addr) {
+                    Some(existing) => {
+                        existing.alive = true;
+                        existing.workers = workers.max(1);
+                    }
+                    None => {
+                        let mut backend = Backend::new(addr);
+                        backend.workers = workers.max(1);
+                        pool.push(backend);
+                    }
+                }
+                Ok(pool.len() as u64)
+            }
+            None => Err(format!("backend {addr} failed its health check")),
+        }
+    }
+
+    /// Accept loop: one handler thread per connection, forever (until
+    /// the listener errors).
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        loop {
+            let (stream, peer) = listener.accept()?;
+            let router = Arc::clone(self);
+            std::thread::spawn(move || {
+                if let Err(e) = router.handle_conn(stream) {
+                    eprintln!("bumpr: connection {peer}: {e}");
+                }
+            });
+        }
+    }
+
+    /// Spawns [`Router::serve`] on a background thread (test harness
+    /// convenience).
+    pub fn spawn(self: &Arc<Self>, listener: TcpListener) -> std::thread::JoinHandle<()> {
+        let router = Arc::clone(self);
+        std::thread::spawn(move || {
+            if let Err(e) = router.serve(listener) {
+                eprintln!("bumpr: accept loop: {e}");
+            }
+        })
+    }
+
+    /// Handles one client connection: `submit` frames route jobs,
+    /// `ping` and `register_backend` manage the pool; anything else is
+    /// an `error` frame with the connection kept open.
+    fn handle_conn(self: &Arc<Self>, stream: TcpStream) -> std::io::Result<()> {
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let outbox = spawn_writer(stream);
+        for line in std::io::BufRead::lines(reader) {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Frame::parse(&line) {
+                Ok(Frame::Submit(batch)) => self.route_job(&batch, &outbox),
+                Ok(Frame::Ping) => {
+                    let workers: u64 = {
+                        let pool = self.backends.lock().expect("backend pool poisoned");
+                        pool.iter()
+                            .filter(|b| b.alive)
+                            .map(|b| b.workers as u64)
+                            .sum()
+                    };
+                    let results = self.cache.lock().expect("cache poisoned").len() as u64;
+                    send(&outbox, &Frame::Pong { workers, results });
+                }
+                Ok(Frame::RegisterBackend { addr }) => match self.register(&addr) {
+                    Ok(backends) => send(&outbox, &Frame::BackendRegistered { addr, backends }),
+                    Err(message) => send(&outbox, &Frame::Error { message }),
+                },
+                Ok(_) => send(
+                    &outbox,
+                    &Frame::Error {
+                        message: "only submit, ping, and register_backend frames are accepted"
+                            .to_string(),
+                    },
+                ),
+                Err(message) => send(&outbox, &Frame::Error { message }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Pings every pool backend, writes the outcomes back, and returns
+    /// the live `(pool index, worker count)` pairs for this job.
+    fn check_backends(&self) -> Vec<(usize, usize)> {
+        let snapshot = self.backends.lock().expect("backend pool poisoned").clone();
+        // Pings happen outside the lock and concurrently: serial
+        // checks would stall every job by one full timeout per
+        // unreachable backend.
+        let timeout = self.ping_timeout;
+        let snapshot: Vec<Backend> = snapshot
+            .into_iter()
+            .map(|mut backend| {
+                std::thread::spawn(move || {
+                    backend.check(timeout);
+                    backend
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("ping thread panicked"))
+            .collect();
+        let mut pool = self.backends.lock().expect("backend pool poisoned");
+        for checked in &snapshot {
+            if let Some(b) = pool.iter_mut().find(|b| b.addr == checked.addr) {
+                b.alive = checked.alive;
+                b.workers = checked.workers;
+            }
+        }
+        snapshot
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.alive)
+            .map(|(i, b)| (i, b.workers))
+            .collect()
+    }
+
+    /// Routes one job (see the module docs for the four phases).
+    fn route_job(self: &Arc<Self>, batch: &SubmitBatch, outbox: &Outbox) {
+        let (grid, _resume) = match batch.expand() {
+            Ok(expanded) => expanded,
+            Err(message) => {
+                send(outbox, &Frame::Error { message });
+                return;
+            }
+        };
+        let cells = grid.cells();
+        let keys: Vec<u64> = cells.iter().map(cell_key).collect();
+        let identities: Vec<String> = cells.iter().map(cell_identity).collect();
+
+        // Phase 1: the cache pass.
+        let mut hits: Vec<(usize, JournalEntry)> = Vec::new();
+        let mut missing: HashSet<usize> = HashSet::new();
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for i in 0..cells.len() {
+                match cache.get(keys[i], &identities[i]) {
+                    Some(entry) => hits.push((i, entry)),
+                    None => {
+                        missing.insert(i);
+                    }
+                }
+            }
+        }
+        self.counters
+            .cache_hit_cells
+            .fetch_add(hits.len() as u64, Ordering::Relaxed);
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        send(
+            outbox,
+            &Frame::JobAccepted {
+                job,
+                cells: cells.len() as u64,
+                cached: hits.len() as u64,
+            },
+        );
+        let mut emitter = OrderedEmitter::new(outbox);
+        for (index, entry) in hits {
+            emitter.insert(
+                index,
+                CellResult {
+                    job,
+                    index: index as u64,
+                    label: entry.label,
+                    cached: true,
+                    csv: entry.csv,
+                    row: entry.row,
+                },
+            );
+        }
+        if missing.is_empty() {
+            send(
+                outbox,
+                &Frame::JobDone {
+                    job,
+                    cells: cells.len() as u64,
+                },
+            );
+            return;
+        }
+
+        // Phase 2: shard the missing cells' units across live backends.
+        let units = plan_units(batch);
+        debug_assert_eq!(
+            units.iter().map(|u| u.globals.len()).sum::<usize>(),
+            cells.len()
+        );
+        let mut unit_of: HashMap<usize, usize> = HashMap::new();
+        // Per-unit set of client-grid indices still unserved. A unit
+        // with any missing cell is dispatched whole (its cached cells
+        // are simply not forwarded twice) so replica labels and seeds
+        // stay a single-cell submission on the backend.
+        let mut needed: Vec<HashSet<usize>> = units
+            .iter()
+            .map(|unit| {
+                unit.globals
+                    .iter()
+                    .copied()
+                    .filter(|g| missing.contains(g))
+                    .collect::<HashSet<usize>>()
+            })
+            .collect();
+        for (u, unit) in units.iter().enumerate() {
+            for &g in &unit.globals {
+                unit_of.insert(g, u);
+            }
+        }
+        let pending: Vec<usize> = (0..units.len())
+            .filter(|&u| !needed[u].is_empty())
+            .collect();
+        let alive = self.check_backends();
+        if alive.is_empty() {
+            send(
+                outbox,
+                &Frame::Error {
+                    message: "no live backends to route the job to".to_string(),
+                },
+            );
+            return;
+        }
+        let (events_tx, events_rx) = mpsc::channel::<DispatchEvent>();
+        let mut excluded: HashSet<usize> = HashSet::new();
+        // In-flight dispatch streams by router-assigned id: the pool
+        // backend each runs on and the units it carries. A backend can
+        // hold several streams over a job's lifetime (its original
+        // share plus failover waves), and a stream's Done/Failed must
+        // settle only its *own* units — keyed by backend, a late Done
+        // from an early stream would misread the backend's newer
+        // assignments as skipped cells.
+        let mut streams: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
+        let mut next_dispatch = 0usize;
+        let mut waves = 0usize;
+        let wave_cap = 2 * alive.len() + 4;
+        let launch = |router: &Router,
+                      unit_ids: &[usize],
+                      excluded: &HashSet<usize>,
+                      streams: &mut HashMap<usize, (usize, Vec<usize>)>,
+                      next_dispatch: &mut usize|
+         -> usize {
+            let targets: Vec<(usize, usize)> = alive
+                .iter()
+                .copied()
+                .filter(|(b, _)| !excluded.contains(b))
+                .collect();
+            if targets.is_empty() {
+                return 0;
+            }
+            let plan = assign_units(&units, unit_ids, &targets);
+            let mut spawned = 0;
+            for (backend, unit_ids) in plan {
+                let cell_count: usize = unit_ids.iter().map(|&u| units[u].globals.len()).sum();
+                router
+                    .counters
+                    .dispatched_cells
+                    .fetch_add(cell_count as u64, Ordering::Relaxed);
+                // Snapshot indices stay valid pool indices for the
+                // job's lifetime: the pool only grows (registration
+                // appends, failure just flips the alive flag).
+                let addr = router.backends.lock().expect("backend pool poisoned")[backend]
+                    .addr
+                    .clone();
+                let work: Vec<WorkUnit> = unit_ids.iter().map(|&u| units[u].clone()).collect();
+                let id = *next_dispatch;
+                *next_dispatch += 1;
+                streams.insert(id, (backend, unit_ids));
+                let tx = events_tx.clone();
+                std::thread::spawn(move || dispatch(id, addr, work, tx));
+                spawned += 1;
+            }
+            spawned
+        };
+        let mut active = launch(self, &pending, &excluded, &mut streams, &mut next_dispatch);
+
+        // Phases 3 and 4: merge streams in grid order; fail over.
+        // Every live dispatch stream must produce *something* within
+        // its read timeout, so a silence longer than that means a
+        // stream died without its terminal event (a dispatch bug) —
+        // fail the job rather than hang the client forever. (recv()'s
+        // own Err can't serve as the guard: route_job holds a sender
+        // until it returns, so the channel never disconnects.)
+        let event_timeout =
+            crate::cluster::backend::DISPATCH_READ_TIMEOUT + Duration::from_secs(60);
+        let mut remaining = missing.len();
+        while remaining > 0 {
+            let event = match events_rx.recv_timeout(event_timeout) {
+                Ok(event) => event,
+                Err(_) => {
+                    send(
+                        outbox,
+                        &Frame::Error {
+                            message: format!(
+                                "router lost its dispatch streams with {remaining} cells pending"
+                            ),
+                        },
+                    );
+                    return;
+                }
+            };
+            // Units needing a new home after this event (a failed or
+            // lying stream's unserved share); relaunched — or given up
+            // on — in one place below the match.
+            let mut to_relaunch: Vec<usize> = Vec::new();
+            match event {
+                DispatchEvent::Cell {
+                    global,
+                    cell,
+                    dispatch: _,
+                } => {
+                    let Some(&u) = unit_of.get(&global) else {
+                        continue;
+                    };
+                    // Duplicates (a cell landing both from a dying
+                    // backend and its re-dispatch) are dropped here.
+                    if !needed[u].remove(&global) {
+                        continue;
+                    }
+                    remaining -= 1;
+                    self.cache.lock().expect("cache poisoned").insert(
+                        keys[global],
+                        JournalEntry {
+                            identity: identities[global].clone(),
+                            label: cell.label.clone(),
+                            csv: cell.csv.clone(),
+                            row: cell.row.clone(),
+                        },
+                    );
+                    emitter.insert(
+                        global,
+                        CellResult {
+                            job,
+                            index: global as u64,
+                            label: cell.label,
+                            cached: cell.cached,
+                            csv: cell.csv,
+                            row: cell.row,
+                        },
+                    );
+                }
+                DispatchEvent::Done { dispatch } => {
+                    active -= 1;
+                    let (backend, stream_units) = streams
+                        .remove(&dispatch)
+                        .unwrap_or((usize::MAX, Vec::new()));
+                    to_relaunch = unserved(&stream_units, &needed);
+                    if !to_relaunch.is_empty() {
+                        // A clean job_done that skipped cells is a
+                        // protocol violation: treat like a failure.
+                        self.fail_backend(backend, "completed without streaming every cell");
+                        excluded.insert(backend);
+                    }
+                }
+                DispatchEvent::Failed { dispatch, error } => {
+                    active -= 1;
+                    let (backend, stream_units) = streams
+                        .remove(&dispatch)
+                        .unwrap_or((usize::MAX, Vec::new()));
+                    self.fail_backend(backend, &error);
+                    excluded.insert(backend);
+                    to_relaunch = unserved(&stream_units, &needed);
+                }
+            }
+            if to_relaunch.is_empty() && remaining > 0 && active == 0 {
+                // No stream is running but cells are missing (e.g. a
+                // stream finished while its leftovers were already
+                // re-homed) — relaunch everything still needed, or
+                // give up.
+                to_relaunch = (0..units.len())
+                    .filter(|&u| !needed[u].is_empty())
+                    .collect();
+            }
+            if !to_relaunch.is_empty() {
+                waves += 1;
+                let spawned = if waves > wave_cap {
+                    0
+                } else {
+                    launch(
+                        self,
+                        &to_relaunch,
+                        &excluded,
+                        &mut streams,
+                        &mut next_dispatch,
+                    )
+                };
+                if spawned == 0 {
+                    send(outbox, &all_backends_gone(remaining));
+                    return;
+                }
+                active += spawned;
+            }
+        }
+        debug_assert!(emitter.is_drained(cells.len()));
+        send(
+            outbox,
+            &Frame::JobDone {
+                job,
+                cells: cells.len() as u64,
+            },
+        );
+    }
+
+    /// Marks a pool backend dead and logs why.
+    fn fail_backend(&self, backend: usize, error: &str) {
+        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+        let mut pool = self.backends.lock().expect("backend pool poisoned");
+        if let Some(b) = pool.get_mut(backend) {
+            b.alive = false;
+            eprintln!("bumpr: backend {} failed: {error}", b.addr);
+        }
+    }
+}
+
+/// The terminal error when a job cannot make progress.
+fn all_backends_gone(remaining: usize) -> Frame {
+    Frame::Error {
+        message: format!("all backends failed with {remaining} cells incomplete"),
+    }
+}
+
+/// The subset of a stream's units that still have unserved cells.
+fn unserved(stream_units: &[usize], needed: &[HashSet<usize>]) -> Vec<usize> {
+    stream_units
+        .iter()
+        .copied()
+        .filter(|&u| !needed[u].is_empty())
+        .collect()
+}
+
+/// Extracts the batch's shardable units: one per base cell of each
+/// job, carrying the client-grid indices of its seed replicas and its
+/// scheduler cost estimate.
+fn plan_units(batch: &SubmitBatch) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    let mut base = 0usize;
+    for job in &batch.jobs {
+        let grid = job.to_grid();
+        for range in grid.unit_ranges(job.seeds) {
+            // The unit's design point comes from the grid cell itself,
+            // never from index math over `job.presets`/`job.workloads`:
+            // grid expansion deduplicates repeated entries, so a spec
+            // like presets ["Base-open","Base-open","BuMP"] yields
+            // fewer units than index arithmetic would predict.
+            let cell = &grid.cells()[range.start];
+            units.push(WorkUnit {
+                spec: SubmitSpec {
+                    presets: vec![cell.preset],
+                    workloads: vec![cell.workload],
+                    options: job.options,
+                    scenario: job.scenario.clone(),
+                    seeds: job.seeds,
+                    resume: job.resume,
+                },
+                globals: (base + range.start..base + range.end).collect(),
+                cost: estimated_unit_cost(&grid.cells()[range]),
+            });
+        }
+        base += grid.len();
+    }
+    units
+}
+
+/// Cost-aware, least-loaded-first sharding: units in descending cost
+/// order each go to the backend with the lowest load per worker
+/// (longest-processing-time greedy, the same ordering heuristic the
+/// in-process scheduler steals by).
+fn assign_units(
+    units: &[WorkUnit],
+    unit_ids: &[usize],
+    backends: &[(usize, usize)],
+) -> HashMap<usize, Vec<usize>> {
+    let mut order: Vec<usize> = unit_ids.to_vec();
+    order.sort_by(|&a, &b| units[b].cost.cmp(&units[a].cost).then(a.cmp(&b)));
+    let mut load: Vec<u128> = vec![0; backends.len()];
+    let mut plan: HashMap<usize, Vec<usize>> = HashMap::new();
+    for u in order {
+        let mut best = 0;
+        for j in 1..backends.len() {
+            // load[j]/workers[j] < load[best]/workers[best], integrally.
+            if load[j] * (backends[best].1 as u128) < load[best] * (backends[j].1 as u128) {
+                best = j;
+            }
+        }
+        load[best] += units[u].cost as u128;
+        plan.entry(backends[best].0).or_default().push(u);
+    }
+    plan
+}
+
+/// Releases cell results in stable grid order: out-of-order arrivals
+/// wait in a reorder buffer until every earlier index has streamed.
+struct OrderedEmitter<'a> {
+    outbox: &'a Outbox,
+    next: usize,
+    buffered: BTreeMap<usize, CellResult>,
+}
+
+impl<'a> OrderedEmitter<'a> {
+    fn new(outbox: &'a Outbox) -> Self {
+        OrderedEmitter {
+            outbox,
+            next: 0,
+            buffered: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, index: usize, cell: CellResult) {
+        self.buffered.insert(index, cell);
+        while let Some(cell) = self.buffered.remove(&self.next) {
+            send(self.outbox, &Frame::CellResult(cell));
+            self.next += 1;
+        }
+    }
+
+    /// Whether every cell of a `total`-cell job has been released.
+    fn is_drained(&self, total: usize) -> bool {
+        self.buffered.is_empty() && self.next == total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bump_sim::{Preset, RunOptions, Scenario};
+    use bump_workloads::Workload;
+
+    fn unit(cost: u64) -> WorkUnit {
+        WorkUnit {
+            spec: SubmitSpec::new(
+                vec![Preset::BaseOpen],
+                vec![Workload::WebSearch],
+                RunOptions::quick(1),
+            ),
+            globals: vec![0],
+            cost,
+        }
+    }
+
+    #[test]
+    fn plan_units_covers_the_batch_grid_exactly() {
+        let a = SubmitSpec {
+            seeds: 2,
+            ..SubmitSpec::new(
+                vec![Preset::BaseOpen, Preset::Bump],
+                vec![Workload::WebSearch],
+                RunOptions::quick(1),
+            )
+        };
+        let b = SubmitSpec {
+            scenario: Scenario::from_name("ddr4_2400").unwrap(),
+            ..SubmitSpec::new(
+                vec![Preset::Sms],
+                vec![Workload::DataServing],
+                RunOptions::quick(1),
+            )
+        };
+        let batch = SubmitBatch { jobs: vec![a, b] };
+        let (grid, _) = batch.expand().unwrap();
+        let units = plan_units(&batch);
+        assert_eq!(units.len(), 3, "two base cells + one scenario cell");
+        // Globals tile the concatenated grid without gaps or overlap.
+        let mut covered: Vec<usize> = units.iter().flat_map(|u| u.globals.clone()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..grid.len()).collect::<Vec<_>>());
+        // Each unit reproduces exactly its slice of the grid.
+        for u in &units {
+            let unit_grid = u.spec.to_grid();
+            assert_eq!(unit_grid.len(), u.globals.len());
+            for (k, &g) in u.globals.iter().enumerate() {
+                assert_eq!(unit_grid.cells()[k].label, grid.cells()[g].label);
+                assert_eq!(
+                    unit_grid.cells()[k].options.seed,
+                    grid.cells()[g].options.seed
+                );
+            }
+            assert!(u.cost > 0);
+        }
+    }
+
+    #[test]
+    fn plan_units_survives_duplicate_presets_and_workloads() {
+        // Grid expansion dedups repeated entries; the unit plan must
+        // follow the deduplicated grid, not the raw spec lists.
+        let job = SubmitSpec {
+            seeds: 2,
+            ..SubmitSpec::new(
+                vec![Preset::BaseOpen, Preset::BaseOpen, Preset::Bump],
+                vec![Workload::WebSearch, Workload::WebSearch],
+                RunOptions::quick(1),
+            )
+        };
+        let batch = SubmitBatch { jobs: vec![job] };
+        let (grid, _) = batch.expand().unwrap();
+        assert_eq!(grid.len(), 4, "2 unique base cells × 2 replicas");
+        let units = plan_units(&batch);
+        assert_eq!(units.len(), 2);
+        for u in &units {
+            let unit_grid = u.spec.to_grid();
+            assert_eq!(unit_grid.len(), u.globals.len());
+            for (k, &g) in u.globals.iter().enumerate() {
+                assert_eq!(unit_grid.cells()[k].label, grid.cells()[g].label);
+            }
+        }
+        assert_eq!(units[0].spec.presets, vec![Preset::BaseOpen]);
+        assert_eq!(units[1].spec.presets, vec![Preset::Bump]);
+    }
+
+    #[test]
+    fn assignment_is_cost_aware_and_least_loaded_first() {
+        let units = vec![unit(8), unit(4), unit(2), unit(1)];
+        let ids = vec![0, 1, 2, 3];
+        // Two equal backends: LPT puts 8 alone and {4,2,1} together.
+        let plan = assign_units(&units, &ids, &[(0, 1), (1, 1)]);
+        let of = |u: usize| {
+            plan.iter()
+                .find(|(_, us)| us.contains(&u))
+                .map(|(&b, _)| b)
+                .unwrap()
+        };
+        assert_ne!(of(0), of(1), "the two big units split");
+        assert_eq!(of(1), of(2), "small units balance the big one");
+        assert_eq!(of(1), of(3));
+        // A 3-worker backend takes ~3x the load of a 1-worker one.
+        let plan = assign_units(&units, &ids, &[(0, 3), (1, 1)]);
+        let loads: HashMap<usize, u64> = plan
+            .iter()
+            .map(|(&b, us)| (b, us.iter().map(|&u| units[u].cost).sum()))
+            .collect();
+        assert!(loads.get(&0).copied().unwrap_or(0) > loads.get(&1).copied().unwrap_or(0));
+        // Every unit is assigned exactly once.
+        let mut all: Vec<usize> = plan.values().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, ids);
+    }
+
+    #[test]
+    fn ordered_emitter_releases_in_grid_order() {
+        let (tx, rx) = mpsc::channel::<String>();
+        let mut emitter = OrderedEmitter::new(&tx);
+        let cell = |i: u64| CellResult {
+            job: 0,
+            index: i,
+            label: format!("c{i}"),
+            cached: false,
+            csv: format!("c{i},row"),
+            row: crate::json::Json::obj(vec![]),
+        };
+        emitter.insert(2, cell(2));
+        emitter.insert(1, cell(1));
+        assert!(rx.try_recv().is_err(), "nothing released before index 0");
+        emitter.insert(0, cell(0));
+        let order: Vec<String> = rx.try_iter().collect();
+        assert_eq!(order.len(), 3);
+        for (i, line) in order.iter().enumerate() {
+            assert!(line.contains(&format!("\"index\":{i}")), "{line}");
+        }
+        emitter.insert(3, cell(3));
+        assert!(emitter.is_drained(4));
+    }
+}

@@ -19,7 +19,7 @@
 
 use crate::journal::{cell_identity, cell_key, Journal, JournalEntry};
 use crate::json::Json;
-use crate::proto::{CellResult, Frame, SubmitSpec};
+use crate::proto::{CellResult, Frame, SubmitBatch};
 use bump_bench::experiment::MetricRow;
 use bump_bench::sched::Scheduler;
 use std::io::{BufRead as _, Write as _};
@@ -37,7 +37,9 @@ pub struct Daemon {
 
 /// The sending half of a connection's outbox: frames queued here are
 /// written to the socket, in order, by that connection's writer thread.
-type Outbox = mpsc::Sender<String>;
+/// Shared with the `bumpr` router, whose connections use the same
+/// writer-thread discipline.
+pub(crate) type Outbox = mpsc::Sender<String>;
 
 impl Daemon {
     /// A daemon executing cells on `threads` workers, journaling into
@@ -93,11 +95,22 @@ impl Daemon {
                 continue;
             }
             match Frame::parse(&line) {
-                Ok(Frame::Submit(spec)) => self.run_job(&spec, &outbox),
+                Ok(Frame::Submit(batch)) => self.run_job(&batch, &outbox),
+                Ok(Frame::Ping) => {
+                    let results = self.journal.lock().expect("journal poisoned").len() as u64;
+                    send(
+                        &outbox,
+                        &Frame::Pong {
+                            workers: self.threads() as u64,
+                            results,
+                        },
+                    );
+                }
                 Ok(_) => send(
                     &outbox,
                     &Frame::Error {
-                        message: "only submit frames are accepted from clients".to_string(),
+                        message: "only submit and ping frames are accepted from clients"
+                            .to_string(),
                     },
                 ),
                 Err(message) => send(&outbox, &Frame::Error { message }),
@@ -106,10 +119,19 @@ impl Daemon {
         Ok(())
     }
 
-    /// Runs one submission: journal hits stream immediately, the rest
-    /// go through the shared scheduler and stream as they land.
-    fn run_job(self: &Arc<Self>, spec: &SubmitSpec, outbox: &Outbox) {
-        let grid = spec.to_grid();
+    /// Runs one submission batch as one job: journal hits stream
+    /// immediately, the rest go through the shared scheduler and
+    /// stream as they land.
+    fn run_job(self: &Arc<Self>, batch: &SubmitBatch, outbox: &Outbox) {
+        // A conflicting batch (jobs overlapping on a cell label) is a
+        // protocol error, not a panic.
+        let (grid, resume) = match batch.expand() {
+            Ok(expanded) => expanded,
+            Err(message) => {
+                send(outbox, &Frame::Error { message });
+                return;
+            }
+        };
         let cells = grid.cells();
         let keys: Vec<u64> = cells.iter().map(cell_key).collect();
         // Partition into journal hits and cells to simulate. A key
@@ -121,8 +143,7 @@ impl Daemon {
         {
             let journal = self.journal.lock().expect("journal poisoned");
             for (i, key) in keys.iter().enumerate() {
-                let hit = spec
-                    .resume
+                let hit = resume[i]
                     .then(|| journal.get(*key))
                     .flatten()
                     .filter(|entry| entry.identity == cell_identity(&cells[i]));
@@ -213,7 +234,7 @@ impl Daemon {
 /// The queue is unbounded but its depth is capped in practice by the
 /// cells of the jobs in flight on this connection (a frame per cell).
 /// The thread exits when every `Outbox` clone has been dropped.
-fn spawn_writer(stream: TcpStream) -> Outbox {
+pub(crate) fn spawn_writer(stream: TcpStream) -> Outbox {
     let (tx, rx) = mpsc::channel::<String>();
     std::thread::spawn(move || {
         let mut stream = stream;
@@ -237,6 +258,6 @@ fn spawn_writer(stream: TcpStream) -> Outbox {
 /// Queues one frame on the connection's outbox. A send error means the
 /// writer thread is gone (connection torn down); the frame is dropped —
 /// jobs still complete and stay journaled.
-fn send(outbox: &Outbox, frame: &Frame) {
+pub(crate) fn send(outbox: &Outbox, frame: &Frame) {
     let _ = outbox.send(frame.encode());
 }

@@ -18,17 +18,21 @@
 //! Layout:
 //!
 //! * [`json`] — JSON value + strict parser + deterministic serializer.
-//! * [`proto`] — the five frame types and their encode/parse.
+//! * [`proto`] — the frame types and their encode/parse.
 //! * [`journal`] — the append-only on-disk resume journal.
 //! * [`daemon`] — the `bumpd` accept loop / job execution.
 //! * [`client`] — the `bumpc` submit-and-stream helper.
+//! * [`cluster`] — the `bumpr` sharding router + LRU result cache in
+//!   front of a fleet of daemons (`docs/CLUSTER.md`).
 //!
-//! Binaries: `bumpd` (daemon) and `bumpc` (client / `--local` runner);
-//! the wire format reference lives in `docs/PROTOCOL.md`.
+//! Binaries: `bumpd` (daemon), `bumpc` (client / `--local` runner),
+//! and `bumpr` (cluster router); the wire format reference lives in
+//! `docs/PROTOCOL.md`.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod daemon;
 pub mod journal;
 pub mod json;

@@ -73,6 +73,59 @@ impl SubmitSpec {
     }
 }
 
+/// Most submissions a single batched `submit` frame may carry (the
+/// parser rejects larger batches; the router chunks its dispatches to
+/// stay under it).
+pub const MAX_BATCH_JOBS: usize = 1024;
+
+/// One or more submissions carried by a single `submit` frame and
+/// executed as **one job**: the expanded grids are concatenated in
+/// order, `cell_result.index` spans the concatenation, and one
+/// `job_accepted`/`job_done` pair brackets the whole batch. A batch of
+/// one encodes in the original flat form, so pre-batch peers
+/// interoperate unchanged; the `bumpr` router uses larger batches to
+/// hand a backend all of its work units in one frame (keeping every
+/// backend worker busy without one connection per unit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitBatch {
+    /// The submissions, in grid-concatenation order (non-empty).
+    pub jobs: Vec<SubmitSpec>,
+}
+
+impl From<SubmitSpec> for SubmitBatch {
+    fn from(spec: SubmitSpec) -> Self {
+        SubmitBatch { jobs: vec![spec] }
+    }
+}
+
+impl SubmitBatch {
+    /// Expands the batch into one concatenated grid plus each cell's
+    /// resume flag (cells inherit it from their own job). Jobs must be
+    /// disjoint: a cell label appearing in two jobs is an error —
+    /// index positions would otherwise be ambiguous between the peers.
+    pub fn expand(&self) -> Result<(ExperimentGrid, Vec<bool>), String> {
+        let mut grid = ExperimentGrid::new();
+        let mut resume = Vec::new();
+        for job in &self.jobs {
+            for cell in job.to_grid().cells() {
+                match grid.try_push(cell.clone()) {
+                    Ok(true) => resume.push(job.resume),
+                    Ok(false) => {
+                        return Err(format!("batch jobs overlap on cell {:?}", cell.label))
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok((grid, resume))
+    }
+
+    /// Total cells across the batch's expanded grids.
+    pub fn cell_count(&self) -> usize {
+        self.jobs.iter().map(|j| j.to_grid().len()).sum()
+    }
+}
+
 /// One streamed cell result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellResult {
@@ -100,8 +153,10 @@ pub struct CellResult {
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
-    /// Client → daemon: run an experiment grid.
-    Submit(SubmitSpec),
+    /// Client → daemon/router: run one or more experiment grids as one
+    /// job (see [`SubmitBatch`]; a batch of one is the classic flat
+    /// `submit`).
+    Submit(SubmitBatch),
     /// Daemon → client: the submission was accepted.
     JobAccepted {
         /// Daemon-assigned job id.
@@ -125,6 +180,30 @@ pub enum Frame {
         /// Human-readable reason.
         message: String,
     },
+    /// Health probe (router → backend, or any peer → router/daemon).
+    Ping,
+    /// Health response. From a daemon: scheduler worker count and
+    /// journaled rows. From a router: the live backends' summed worker
+    /// count and cached rows.
+    Pong {
+        /// Execution capacity behind this endpoint.
+        workers: u64,
+        /// Result rows held (journal entries / cache entries).
+        results: u64,
+    },
+    /// Operator → router: add a `bumpd` backend to the pool at runtime.
+    /// The router health-checks the address before admitting it.
+    RegisterBackend {
+        /// The backend's `host:port`.
+        addr: String,
+    },
+    /// Router → operator: the registration outcome.
+    BackendRegistered {
+        /// The address just admitted (or re-admitted).
+        addr: String,
+        /// Pool size after registration.
+        backends: u64,
+    },
 }
 
 impl Frame {
@@ -136,33 +215,29 @@ impl Frame {
     /// The frame as a JSON value (deterministic field order).
     pub fn to_json(&self) -> Json {
         match self {
-            Frame::Submit(spec) => {
-                let mut fields = vec![
-                    ("type", Json::from("submit")),
-                    (
-                        "presets",
-                        Json::Arr(spec.presets.iter().map(|p| Json::from(p.name())).collect()),
-                    ),
-                    (
-                        "workloads",
-                        Json::Arr(
-                            spec.workloads
-                                .iter()
-                                .map(|w| Json::from(w.name()))
-                                .collect(),
+            Frame::Submit(batch) => {
+                // A batch of one keeps the original flat form, so
+                // single-spec submissions are byte-identical to the
+                // pre-batch protocol (and old clients keep working).
+                if let [spec] = batch.jobs.as_slice() {
+                    let mut fields = vec![("type", Json::from("submit"))];
+                    fields.extend(submit_fields(spec));
+                    Json::obj(fields)
+                } else {
+                    Json::obj(vec![
+                        ("type", Json::from("submit")),
+                        (
+                            "jobs",
+                            Json::Arr(
+                                batch
+                                    .jobs
+                                    .iter()
+                                    .map(|spec| Json::obj(submit_fields(spec)))
+                                    .collect(),
+                            ),
                         ),
-                    ),
-                    ("options", options_to_json(&spec.options)),
-                ];
-                // Emitted only when non-default, so the encoding of a
-                // default-scenario submission is byte-identical to the
-                // pre-scenario protocol (and resumes old journals).
-                if !spec.scenario.is_default() {
-                    fields.push(("scenario", Json::from(spec.scenario.name().as_str())));
+                    ])
                 }
-                fields.push(("seeds", Json::from(spec.seeds)));
-                fields.push(("resume", Json::from(spec.resume)));
-                Json::obj(fields)
             }
             Frame::JobAccepted { job, cells, cached } => Json::obj(vec![
                 ("type", Json::from("job_accepted")),
@@ -188,6 +263,21 @@ impl Frame {
                 ("type", Json::from("error")),
                 ("message", Json::from(message.as_str())),
             ]),
+            Frame::Ping => Json::obj(vec![("type", Json::from("ping"))]),
+            Frame::Pong { workers, results } => Json::obj(vec![
+                ("type", Json::from("pong")),
+                ("workers", Json::from(*workers)),
+                ("results", Json::from(*results)),
+            ]),
+            Frame::RegisterBackend { addr } => Json::obj(vec![
+                ("type", Json::from("register_backend")),
+                ("addr", Json::from(addr.as_str())),
+            ]),
+            Frame::BackendRegistered { addr, backends } => Json::obj(vec![
+                ("type", Json::from("backend_registered")),
+                ("addr", Json::from(addr.as_str())),
+                ("backends", Json::from(*backends)),
+            ]),
         }
     }
 
@@ -205,19 +295,57 @@ impl Frame {
             .ok_or("frame has no \"type\" field")?;
         match kind {
             "submit" => {
-                reject_unknown_keys(
-                    &value,
-                    &[
-                        "type",
-                        "presets",
-                        "workloads",
-                        "options",
-                        "scenario",
-                        "seeds",
-                        "resume",
-                    ],
-                )?;
-                Ok(Frame::Submit(parse_submit(&value)?))
+                if value.get("jobs").is_some() {
+                    // Batched form: the frame carries only the job list.
+                    reject_unknown_keys(&value, &["type", "jobs"])?;
+                    let jobs_json = value
+                        .get("jobs")
+                        .and_then(Json::as_arr)
+                        .ok_or("field \"jobs\" is not an array")?;
+                    if jobs_json.is_empty() {
+                        return Err("\"jobs\" must be non-empty".to_string());
+                    }
+                    if jobs_json.len() > MAX_BATCH_JOBS {
+                        return Err(format!(
+                            "\"jobs\" holds at most {MAX_BATCH_JOBS} submissions"
+                        ));
+                    }
+                    let jobs = jobs_json
+                        .iter()
+                        .map(|job| {
+                            if !matches!(job, Json::Obj(_)) {
+                                return Err("\"jobs\" entries must be objects".to_string());
+                            }
+                            reject_unknown_keys(
+                                job,
+                                &[
+                                    "presets",
+                                    "workloads",
+                                    "options",
+                                    "scenario",
+                                    "seeds",
+                                    "resume",
+                                ],
+                            )?;
+                            parse_submit(job)
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    Ok(Frame::Submit(SubmitBatch { jobs }))
+                } else {
+                    reject_unknown_keys(
+                        &value,
+                        &[
+                            "type",
+                            "presets",
+                            "workloads",
+                            "options",
+                            "scenario",
+                            "seeds",
+                            "resume",
+                        ],
+                    )?;
+                    Ok(Frame::Submit(parse_submit(&value)?.into()))
+                }
             }
             "job_accepted" => {
                 reject_unknown_keys(&value, &["type", "job", "cells", "cached"])?;
@@ -252,6 +380,30 @@ impl Frame {
                 reject_unknown_keys(&value, &["type", "message"])?;
                 Ok(Frame::Error {
                     message: field_str(&value, "message")?,
+                })
+            }
+            "ping" => {
+                reject_unknown_keys(&value, &["type"])?;
+                Ok(Frame::Ping)
+            }
+            "pong" => {
+                reject_unknown_keys(&value, &["type", "workers", "results"])?;
+                Ok(Frame::Pong {
+                    workers: field_u64(&value, "workers")?,
+                    results: field_u64(&value, "results")?,
+                })
+            }
+            "register_backend" => {
+                reject_unknown_keys(&value, &["type", "addr"])?;
+                Ok(Frame::RegisterBackend {
+                    addr: field_str(&value, "addr")?,
+                })
+            }
+            "backend_registered" => {
+                reject_unknown_keys(&value, &["type", "addr", "backends"])?;
+                Ok(Frame::BackendRegistered {
+                    addr: field_str(&value, "addr")?,
+                    backends: field_u64(&value, "backends")?,
                 })
             }
             other => Err(format!("unknown frame type {other:?}")),
@@ -295,6 +447,37 @@ fn field_str(value: &Json, key: &str) -> Result<String, String> {
         .as_str()
         .ok_or_else(|| format!("field {key:?} is not a string"))?
         .to_string())
+}
+
+/// The encoded fields of one submission, shared by the flat `submit`
+/// form and each entry of the batched `jobs` array (which is the flat
+/// object minus the `type` tag).
+fn submit_fields(spec: &SubmitSpec) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![
+        (
+            "presets",
+            Json::Arr(spec.presets.iter().map(|p| Json::from(p.name())).collect()),
+        ),
+        (
+            "workloads",
+            Json::Arr(
+                spec.workloads
+                    .iter()
+                    .map(|w| Json::from(w.name()))
+                    .collect(),
+            ),
+        ),
+        ("options", options_to_json(&spec.options)),
+    ];
+    // Emitted only when non-default, so the encoding of a
+    // default-scenario submission is byte-identical to the
+    // pre-scenario protocol (and resumes old journals).
+    if !spec.scenario.is_default() {
+        fields.push(("scenario", Json::from(spec.scenario.name().as_str())));
+    }
+    fields.push(("seeds", Json::from(spec.seeds)));
+    fields.push(("resume", Json::from(spec.resume)));
+    fields
 }
 
 fn options_to_json(options: &RunOptions) -> Json {
@@ -412,13 +595,74 @@ mod tests {
             seeds: 3,
             resume: true,
         };
-        let line = Frame::Submit(spec.clone()).encode();
+        let line = Frame::Submit(spec.clone().into()).encode();
         assert!(!line.contains('\n'), "frames are single lines");
         assert!(
             !line.contains("scenario"),
             "default scenario stays off the wire: {line}"
         );
-        assert_eq!(Frame::parse(&line), Ok(Frame::Submit(spec)));
+        assert!(
+            !line.contains("jobs"),
+            "single submissions keep the flat pre-batch form: {line}"
+        );
+        assert_eq!(Frame::parse(&line), Ok(Frame::Submit(spec.into())));
+    }
+
+    #[test]
+    fn batched_submissions_round_trip_and_stay_disjoint() {
+        let a = SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts());
+        let b = SubmitSpec {
+            seeds: 2,
+            ..SubmitSpec::new(vec![Preset::Bump], vec![Workload::DataServing], opts())
+        };
+        let batch = SubmitBatch {
+            jobs: vec![a.clone(), b.clone()],
+        };
+        let line = Frame::Submit(batch.clone()).encode();
+        assert!(line.contains("\"jobs\""), "{line}");
+        assert_eq!(Frame::parse(&line), Ok(Frame::Submit(batch.clone())));
+        // Expansion concatenates the grids, carrying per-job resume.
+        let (grid, resume) = batch.expand().expect("disjoint batch expands");
+        assert_eq!(grid.len(), 3);
+        assert_eq!(batch.cell_count(), 3);
+        assert_eq!(grid.cells()[0].label, "Base-open/Web Search");
+        assert_eq!(grid.cells()[2].label, "BuMP/Data Serving#s1");
+        assert_eq!(resume, vec![false, false, false]);
+        // Overlapping jobs are an error, not a silent dedup (index
+        // positions would be ambiguous between peers).
+        let overlap = SubmitBatch {
+            jobs: vec![a.clone(), a],
+        };
+        let err = overlap.expand().expect_err("overlap must fail");
+        assert!(err.contains("overlap"), "{err}");
+        // A single-job batch encodes in the flat pre-batch form.
+        let single = Frame::Submit(SubmitBatch { jobs: vec![b] });
+        assert!(!single.encode().contains("\"jobs\""));
+        assert_eq!(Frame::parse(&single.encode()), Ok(single));
+    }
+
+    #[test]
+    fn health_and_registration_frames_round_trip() {
+        for frame in [
+            Frame::Ping,
+            Frame::Pong {
+                workers: 8,
+                results: 123,
+            },
+            Frame::RegisterBackend {
+                addr: "10.0.0.7:4077".to_string(),
+            },
+            Frame::BackendRegistered {
+                addr: "10.0.0.7:4077".to_string(),
+                backends: 3,
+            },
+        ] {
+            let line = frame.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Frame::parse(&line), Ok(frame));
+        }
+        assert!(Frame::parse("{\"type\":\"ping\",\"x\":1}").is_err());
+        assert!(Frame::parse("{\"type\":\"pong\",\"workers\":1}").is_err());
     }
 
     #[test]
@@ -432,9 +676,9 @@ mod tests {
                 scenario: Scenario::from_name(name).unwrap(),
                 ..SubmitSpec::new(vec![Preset::Bump], vec![Workload::WebSearch], opts())
             };
-            let line = Frame::Submit(spec.clone()).encode();
+            let line = Frame::Submit(spec.clone().into()).encode();
             assert!(line.contains("\"scenario\""), "{line}");
-            assert_eq!(Frame::parse(&line), Ok(Frame::Submit(spec.clone())));
+            assert_eq!(Frame::parse(&line), Ok(Frame::Submit(spec.clone().into())));
             // The grid the daemon expands carries the scenario tag.
             let grid = spec.to_grid();
             assert!(grid.cells().iter().all(|c| c.label.contains('@')));
@@ -446,11 +690,9 @@ mod tests {
     fn unknown_top_level_keys_are_a_strict_error() {
         // A mistyped or too-new field must not silently no-op: an old
         // daemon ignoring "scenario" would simulate the wrong platform.
-        let good = Frame::Submit(SubmitSpec::new(
-            vec![Preset::BaseOpen],
-            vec![Workload::WebSearch],
-            opts(),
-        ))
+        let good = Frame::Submit(
+            SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts()).into(),
+        )
         .encode();
         let bad = good.replacen("{", "{\"scenaro\":\"ddr4_2400\",", 1);
         let err = Frame::parse(&bad).expect_err("unknown key must fail");
@@ -526,11 +768,9 @@ mod tests {
 
     #[test]
     fn submit_rejects_bad_options() {
-        let mut good = Frame::Submit(SubmitSpec::new(
-            vec![Preset::BaseOpen],
-            vec![Workload::WebSearch],
-            opts(),
-        ))
+        let mut good = Frame::Submit(
+            SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts()).into(),
+        )
         .encode();
         assert!(Frame::parse(&good).is_ok());
         good = good.replace("\"event\"", "\"warp\"");

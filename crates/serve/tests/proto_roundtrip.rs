@@ -3,7 +3,7 @@
 //! malformed lines must be rejected, not misread.
 
 use bump_serve::json::Json;
-use bump_serve::proto::{CellResult, Frame, SubmitSpec};
+use bump_serve::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
 use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
 use proptest::prelude::*;
@@ -56,7 +56,9 @@ fn arb_scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
         "ddr4_2400",
         "lpddr4_3200",
         "llc8m",
+        "llc512k",
         "ddr4_2400+llc16m",
+        "lpddr4_3200+llc768k",
         "mix(websearch:dataserving)",
         "lpddr4_3200+llc4m+mix(mediastreaming:websearch:webserving)",
     ];
@@ -104,10 +106,42 @@ proptest! {
 
     #[test]
     fn submit_frames_round_trip(spec in arb_submit()) {
-        let frame = Frame::Submit(spec);
+        let frame = Frame::Submit(spec.into());
         let line = frame.encode();
         prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        prop_assert!(!line.contains("\"jobs\""), "single submissions stay flat: {line}");
         prop_assert_eq!(Frame::parse(&line), Ok(frame));
+    }
+
+    #[test]
+    fn batched_submit_frames_round_trip(
+        specs in prop::collection::vec(arb_submit(), 1..5),
+    ) {
+        let frame = Frame::Submit(SubmitBatch { jobs: specs.clone() });
+        let line = frame.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        prop_assert_eq!(line.contains("\"jobs\""), specs.len() > 1,
+            "only multi-job batches use the jobs form");
+        prop_assert_eq!(Frame::parse(&line), Ok(frame));
+    }
+
+    #[test]
+    fn health_frames_round_trip(
+        workers in any::<u64>(),
+        results in any::<u64>(),
+        addr in arb_string(),
+        backends in any::<u64>(),
+    ) {
+        for frame in [
+            Frame::Ping,
+            Frame::Pong { workers, results },
+            Frame::RegisterBackend { addr: addr.clone() },
+            Frame::BackendRegistered { addr, backends },
+        ] {
+            let line = frame.encode();
+            prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+            prop_assert_eq!(Frame::parse(&line), Ok(frame));
+        }
     }
 
     #[test]
@@ -177,6 +211,15 @@ fn malformed_frames_are_rejected_with_reasons() {
             "{\"type\":\"job_done\",\"job\":1,\"cells\":2} trailing",
             "malformed JSON",
         ),
+        ("{\"type\":\"submit\",\"jobs\":[]}", "non-empty"),
+        ("{\"type\":\"submit\",\"jobs\":[1]}", "objects"),
+        (
+            // The batched form carries nothing but jobs.
+            "{\"type\":\"submit\",\"jobs\":[],\"resume\":true}",
+            "resume",
+        ),
+        ("{\"type\":\"ping\",\"extra\":1}", "extra"),
+        ("{\"type\":\"register_backend\"}", "addr"),
     ];
     for (line, needle) in cases {
         let err = Frame::parse(line).expect_err(&format!("must reject {line:?}"));

@@ -104,6 +104,9 @@ pub struct SimReport {
     pub memory_energy: MemoryEnergy,
     /// Full-server energy breakdown.
     pub server_energy: ServerEnergy,
+    /// The DRAM energy constants the run was costed under (the
+    /// platform's [`bump_types::MemSpec::energy`] set).
+    pub energy_params: bump_dram::DramEnergyParams,
     /// Speculative requests dropped for lack of MSHRs.
     pub spec_dropped: u64,
     /// DRAM timing-audit violations (0 unless auditing enabled).
@@ -213,7 +216,7 @@ impl SimReport {
     /// the first in a generation hits the row buffer; burst/IO energy
     /// matches this run's read/write mix.
     pub fn ideal_energy_per_access_nj(&self) -> f64 {
-        let params = bump_dram::DramEnergyParams::paper();
+        let params = self.energy_params;
         let hit = self.ideal_row_hit_ratio().value();
         let reads = self.traffic.total_reads() as f64;
         let writes = self.traffic.total_writes() as f64;

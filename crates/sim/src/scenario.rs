@@ -19,6 +19,7 @@
 //! scenario  := component ('+' component)*         (empty = default)
 //! component := <mem spec name>                    e.g. ddr4_2400
 //!            | 'llc' <MB> 'm'                     e.g. llc8m
+//!            | 'llc' <KB> 'k'                     e.g. llc512k
 //!            | 'mix(' <workload> (':' <workload>)* ')'
 //! ```
 
@@ -67,9 +68,11 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if `llc_capacity` is not a positive whole number of
-    /// mebibytes — the name grammar has MiB granularity, and silently
+    /// kibibytes — the name grammar has KiB granularity, and silently
     /// truncating would alias a *different* scenario's labels and
-    /// journal identity.
+    /// journal identity. Whole-MiB capacities keep their `llc<N>m`
+    /// spelling (so pre-sub-MB names, labels, and journal identities
+    /// are unchanged); anything finer renders as `llc<N>k`.
     pub fn name(&self) -> String {
         let mut parts: Vec<String> = Vec::new();
         if self.mem != MemSpec::ddr3_1600() {
@@ -77,10 +80,14 @@ impl Scenario {
         }
         if let Some(cap) = self.llc_capacity {
             assert!(
-                cap > 0 && cap.is_multiple_of(1 << 20),
-                "llc_capacity must be a positive whole number of MiB, got {cap} bytes"
+                cap > 0 && cap.is_multiple_of(1 << 10),
+                "llc_capacity must be a positive whole number of KiB, got {cap} bytes"
             );
-            parts.push(format!("llc{}m", cap >> 20));
+            if cap.is_multiple_of(1 << 20) {
+                parts.push(format!("llc{}m", cap >> 20));
+            } else {
+                parts.push(format!("llc{}k", cap >> 10));
+            }
         }
         if let Some(mix) = &self.mix {
             let names: Vec<String> = mix.iter().map(|w| normalized_name(w.name())).collect();
@@ -115,14 +122,30 @@ impl Scenario {
                     return Err(format!("duplicate LLC component {part:?}"));
                 }
                 saw_llc = true;
-                let digits = rest.strip_suffix("mb").or_else(|| rest.strip_suffix('m'));
-                let mb = digits
+                // MiB (`llc8m`) or, for sub-MB points, KiB (`llc512k`).
+                let (digits, shift) =
+                    match rest.strip_suffix("mb").or_else(|| rest.strip_suffix('m')) {
+                        Some(d) => (Some(d), 20),
+                        None => (
+                            rest.strip_suffix("kb").or_else(|| rest.strip_suffix('k')),
+                            10,
+                        ),
+                    };
+                let units = digits
                     .and_then(|d| d.parse::<u64>().ok())
-                    .filter(|&mb| mb >= 1)
+                    .filter(|&n| n >= 1)
                     .ok_or_else(|| {
-                        format!("bad LLC component {part:?} (expected e.g. \"llc8m\")")
+                        format!(
+                            "bad LLC component {part:?} (expected e.g. \"llc8m\" or \"llc512k\")"
+                        )
                     })?;
-                scenario.llc_capacity = Some(mb << 20);
+                // Checked: a plain shift would silently wrap huge wire
+                // values to 0 (or alias another capacity), and this
+                // parse is reachable from untrusted submit frames.
+                let bytes = units
+                    .checked_mul(1u64 << shift)
+                    .ok_or_else(|| format!("LLC component {part:?} is out of range"))?;
+                scenario.llc_capacity = Some(bytes);
             } else if let Some(inner) = part.strip_prefix("mix(").and_then(|r| r.strip_suffix(')'))
             {
                 if saw_mix {
@@ -240,12 +263,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "whole number of MiB")]
-    fn non_mib_aligned_llc_capacity_cannot_alias_another_scenario() {
-        // 1.5MB would truncate to "llc1m" — the 1MB scenario's name,
+    fn sub_mb_llc_points_round_trip_in_kib() {
+        // 512KB is a named scenario; whole-MiB capacities keep their
+        // old `m` spelling (names, labels, journal identities pinned).
+        let half = Scenario {
+            llc_capacity: Some(512 << 10),
+            ..Scenario::default()
+        };
+        assert_eq!(half.name(), "llc512k");
+        assert_eq!(Scenario::from_name("llc512k"), Ok(half.clone()));
+        assert_eq!(Scenario::from_name("llc512kb"), Ok(half));
+        // 1.5MB renders in KiB (never truncates to another MiB name);
+        // 1024KiB canonicalizes to the MiB spelling.
+        let mib_and_a_half = Scenario {
+            llc_capacity: Some((3 << 20) / 2),
+            ..Scenario::default()
+        };
+        assert_eq!(mib_and_a_half.name(), "llc1536k");
+        assert_eq!(
+            Scenario::from_name(&mib_and_a_half.name()),
+            Ok(mib_and_a_half)
+        );
+        assert_eq!(Scenario::from_name("llc1024k").unwrap().name(), "llc1m");
+        // Composes with the other axes.
+        let combo = Scenario::from_name("ddr4_2400+llc512k").unwrap();
+        assert_eq!(combo.llc_capacity, Some(512 << 10));
+        assert_eq!(combo.name(), "ddr4_2400+llc512k");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of KiB")]
+    fn non_kib_aligned_llc_capacity_cannot_alias_another_scenario() {
+        // 1000 bytes would truncate into some other point's name,
         // labels, and journal identity. Refuse loudly instead.
         Scenario {
-            llc_capacity: Some((3 << 20) / 2),
+            llc_capacity: Some(1000),
             ..Scenario::default()
         }
         .name();
@@ -261,10 +313,42 @@ mod tests {
             ("mix(websearch:warp)", "unknown workload"),
             ("ddr4_2400+ddr3_1600", "duplicate memory spec"),
             ("llc4m+llc8m", "duplicate LLC"),
+            // 2^44 MiB would wrap a plain shift to exactly 0 bytes;
+            // nearby values would silently alias small capacities.
+            ("llc17592186044416m", "out of range"),
+            ("llc17592186044420m", "out of range"),
+            ("llc18446744073709551615k", "out of range"),
         ] {
             let err = Scenario::from_name(bad).expect_err(bad);
             assert!(err.contains(needle), "{bad:?} -> {err:?}");
         }
+    }
+
+    #[test]
+    fn scenarios_cost_energy_under_their_own_spec_constants() {
+        use bump_types::DramEnergyParams;
+        let opts = RunOptions::quick(2);
+        // The default platform keeps Table III exactly (golden-pinned).
+        let ddr3 = config_for(Preset::BaseOpen, Workload::WebSearch, opts);
+        assert_eq!(ddr3.dram.energy, DramEnergyParams::paper());
+        // A DDR4 scenario re-points the constants along with the timing.
+        let scen = Scenario::from_name("ddr4_2400").unwrap();
+        let ddr4 = config_for_scenario(Preset::BaseOpen, Workload::WebSearch, opts, &scen);
+        assert_eq!(ddr4.dram.energy, DramEnergyParams::ddr4_2400());
+        // And the run's report carries (and is costed under) them:
+        // same counters would be cheaper per event on DDR4.
+        let r = crate::run_experiment_with_config(ddr4, opts);
+        assert_eq!(r.energy_params, DramEnergyParams::ddr4_2400());
+        let under_ddr4 = r.dram_energy.cost(&r.energy_params).dynamic_nj();
+        let under_ddr3 = r.dram_energy.cost(&DramEnergyParams::paper()).dynamic_nj();
+        assert!(
+            under_ddr4 < under_ddr3,
+            "DDR4 events must be cheaper: {under_ddr4} vs {under_ddr3}"
+        );
+        assert!(
+            (r.memory_energy.breakdown.dynamic_nj() - under_ddr4).abs() < 1e-6,
+            "the report's own breakdown must be costed under the spec's constants"
+        );
     }
 
     #[test]

@@ -791,7 +791,13 @@ impl System {
     /// Produces the final report (finalizes the density profiler).
     pub fn report(&mut self) -> SimReport {
         self.profiler.finalize();
-        let energy_model = EnergyModel::paper();
+        // Chip-side parameters are the paper's; the DRAM side is costed
+        // under the platform's own constants (MemSpec::energy — the
+        // paper's Table III for the default DDR3-1600 scenario).
+        let energy_model = EnergyModel {
+            dram: self.cfg.dram.energy,
+            ..EnergyModel::paper()
+        };
         let dram_energy = self.mc.energy();
         let activity = SystemActivity {
             cycles: self.measured_cycles,
@@ -819,6 +825,7 @@ impl System {
             density: *self.profiler.profile(),
             memory_energy: energy_model.memory_energy(&activity),
             server_energy: energy_model.server_energy(&activity),
+            energy_params: self.cfg.dram.energy,
             spec_dropped: self.spec_dropped,
             audit_errors: self.mc.audit_errors(),
         }

@@ -379,6 +379,19 @@ impl MemSpec {
             .find(|m| normalized_name(m.name) == wanted)
     }
 
+    /// The energy parameter set for this platform: each named spec
+    /// carries its own Table-III-style constants (DDR3's numbers would
+    /// misprice DDR4/LPDDR4 by their voltage and row-size differences).
+    /// A hand-built spec reusing an unknown name falls back to the
+    /// paper's DDR3 values.
+    pub fn energy(&self) -> crate::DramEnergyParams {
+        match self.name {
+            "ddr4_2400" => crate::DramEnergyParams::ddr4_2400(),
+            "lpddr4_3200" => crate::DramEnergyParams::lpddr4_3200(),
+            _ => crate::DramEnergyParams::paper(),
+        }
+    }
+
     /// Converts a CPU-cycle timestamp into (whole) memory cycles.
     pub fn cpu_to_mem(&self, cpu_cycle: u64) -> u64 {
         cpu_cycle * 1000 / self.freq_ratio_milli
@@ -522,6 +535,33 @@ mod tests {
             assert!(m.timing.t_rc >= m.timing.t_ras, "{}", m.name);
             assert!(m.timing.t_faw >= 3 * m.timing.t_rrd, "{}", m.name);
         }
+    }
+
+    #[test]
+    fn every_spec_has_consistent_energy_parameters() {
+        // Each named spec resolves to its own constants, and the bus
+        // cycle time agrees with the spec's clock ratio (a 2.5GHz CPU
+        // cycle is 0.4ns, so mem cycle = ratio × 0.4ns).
+        let params: Vec<_> = MemSpec::all().iter().map(|m| m.energy()).collect();
+        assert_ne!(params[0], params[1]);
+        assert_ne!(params[1], params[2]);
+        assert_eq!(
+            MemSpec::ddr3_1600().energy(),
+            crate::DramEnergyParams::paper()
+        );
+        for m in MemSpec::all() {
+            let expected_ns = m.freq_ratio_milli as f64 * 0.4 / 1000.0;
+            let got = m.energy().cycle_ns;
+            assert!(
+                (got - expected_ns).abs() / expected_ns < 0.01,
+                "{}: cycle {got}ns vs clock-ratio {expected_ns}ns",
+                m.name
+            );
+        }
+        // A tweaked spec under an unknown name falls back to Table III.
+        let mut odd = MemSpec::ddr4_2400();
+        odd.name = "ddr5_4800";
+        assert_eq!(odd.energy(), crate::DramEnergyParams::paper());
     }
 
     #[test]

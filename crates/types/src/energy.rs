@@ -1,0 +1,132 @@
+//! Per-technology DRAM energy parameters (paper Table III and its
+//! DDR4 / LPDDR4 extrapolations).
+//!
+//! The struct lives here (rather than in `bump-dram`, which does the
+//! counter accounting) so [`crate::MemSpec`] can pair every memory
+//! platform with its own constants: the paper's Table III is Micron's
+//! DDR3 power model, and re-using those numbers for DDR4-2400 or
+//! LPDDR4-3200 would misprice exactly the activation-vs-burst tradeoff
+//! BuMP optimizes. `bump-dram` re-exports the type, so existing
+//! `bump_dram::DramEnergyParams` paths keep working.
+
+/// Per-event DRAM energy and background power parameters.
+///
+/// Values are per rank and per 64-byte transfer, in the units noted on
+/// each field. [`DramEnergyParams::paper`] is the paper's Table III
+/// (DDR3-1600); the DDR4/LPDDR4 sets are derived the same way from the
+/// corresponding Micron power models (see each constructor).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramEnergyParams {
+    /// Energy of one row activation + precharge pair, in nanojoules.
+    pub activation_nj: f64,
+    /// Energy of one 64-byte read burst, in nanojoules.
+    pub read_nj: f64,
+    /// Energy of one 64-byte write burst, in nanojoules.
+    pub write_nj: f64,
+    /// I/O + termination energy of a read, in nanojoules.
+    pub read_io_nj: f64,
+    /// I/O + termination energy of a write, in nanojoules.
+    pub write_io_nj: f64,
+    /// Background power of a rank with all banks precharged, in watts.
+    pub background_idle_w: f64,
+    /// Background power of a rank with at least one open row, in watts.
+    pub background_active_w: f64,
+    /// Memory bus cycle time in nanoseconds (DDR3-1600: 1.25ns).
+    pub cycle_ns: f64,
+}
+
+impl DramEnergyParams {
+    /// The paper's Table III values (DDR3-1600, 1.5V). The paper lists
+    /// background power as 540–770mW per rank; we use 540mW for an
+    /// all-precharged rank and 770mW when any row is open. Read I/O is
+    /// 1.5nJ and write I/O 4.6nJ (the same-rank termination figures).
+    pub fn paper() -> Self {
+        DramEnergyParams {
+            activation_nj: 29.7,
+            read_nj: 8.1,
+            write_nj: 8.4,
+            read_io_nj: 1.5,
+            write_io_nj: 4.6,
+            background_idle_w: 0.540,
+            background_active_w: 0.770,
+            cycle_ns: 1.25,
+        }
+    }
+
+    /// Table-III-style constants for DDR4-2400 (1.2V, 8KB rows, 1.2GHz
+    /// bus): the voltage drop from DDR3's 1.5V scales dynamic energy by
+    /// roughly (1.2/1.5)² ≈ 0.64, POD termination cuts write I/O, and
+    /// the finer bank structure trims background power.
+    pub fn ddr4_2400() -> Self {
+        DramEnergyParams {
+            activation_nj: 19.0,
+            read_nj: 5.2,
+            write_nj: 5.4,
+            read_io_nj: 1.2,
+            write_io_nj: 3.1,
+            background_idle_w: 0.380,
+            background_active_w: 0.560,
+            cycle_ns: 1.0 / 1.2,
+        }
+    }
+
+    /// Table-III-style constants for LPDDR4-3200 (1.1V, 2KB rows,
+    /// 1.6GHz bus): the 4×-smaller row makes an activation roughly a
+    /// quarter of DDR4's, unterminated low-swing I/O is far cheaper,
+    /// and the mobile part's background power is an order of magnitude
+    /// below a server DIMM rank's.
+    pub fn lpddr4_3200() -> Self {
+        DramEnergyParams {
+            activation_nj: 5.5,
+            read_nj: 3.0,
+            write_nj: 3.2,
+            read_io_nj: 0.5,
+            write_io_nj: 0.9,
+            background_idle_w: 0.100,
+            background_active_w: 0.210,
+            cycle_ns: 0.625,
+        }
+    }
+}
+
+impl Default for DramEnergyParams {
+    fn default() -> Self {
+        DramEnergyParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table_iii() {
+        let p = DramEnergyParams::paper();
+        assert_eq!(p.activation_nj, 29.7);
+        assert_eq!(p.read_nj, 8.1);
+        assert_eq!(p.write_io_nj, 4.6);
+        assert_eq!(p.cycle_ns, 1.25);
+    }
+
+    #[test]
+    fn newer_specs_cost_less_per_event() {
+        let ddr3 = DramEnergyParams::paper();
+        let ddr4 = DramEnergyParams::ddr4_2400();
+        let lp4 = DramEnergyParams::lpddr4_3200();
+        // Voltage scaling: every dynamic component shrinks DDR3→DDR4,
+        // and the 2KB-row mobile part undercuts both.
+        assert!(ddr4.activation_nj < ddr3.activation_nj);
+        assert!(lp4.activation_nj < ddr4.activation_nj);
+        assert!(ddr4.read_nj < ddr3.read_nj && lp4.read_nj < ddr4.read_nj);
+        assert!(lp4.background_idle_w < ddr4.background_idle_w);
+        assert!(ddr4.background_idle_w < ddr3.background_idle_w);
+        // Faster buses have shorter cycles.
+        assert!(ddr4.cycle_ns < ddr3.cycle_ns && lp4.cycle_ns < ddr4.cycle_ns);
+        // Activation stays the dominant per-event cost everywhere —
+        // the paper's premise that row hits are what matters.
+        for p in [ddr3, ddr4, lp4] {
+            assert!(p.activation_nj > p.read_nj + p.read_io_nj);
+            assert!(p.background_active_w > p.background_idle_w);
+        }
+    }
+}

@@ -25,6 +25,7 @@
 mod addr;
 mod config;
 mod density;
+mod energy;
 mod hash;
 mod instr;
 mod request;
@@ -37,6 +38,7 @@ pub use config::{
     RegionConfig,
 };
 pub use density::{DensityClass, DensityThreshold};
+pub use energy::DramEnergyParams;
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use instr::{Instr, InstrSource};
 pub use request::{AccessKind, MemoryRequest, TrafficClass};

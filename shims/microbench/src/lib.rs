@@ -2,11 +2,13 @@
 //!
 //! Implements exactly the `criterion` API surface the benches in
 //! `crates/bench/benches/` use — [`black_box`], [`Criterion`],
-//! `benchmark_group`/`bench_function`/`sample_size`/`finish`, and the
-//! [`criterion_group!`]/[`criterion_main!`] macros (both the list and
-//! the `name/config/targets` forms) — on top of a simple measurement
-//! loop: a wall-clock warmup sizes a per-sample batch, then N samples
-//! are timed and reported as min/median/mean per iteration.
+//! `benchmark_group`/`bench_function`/`sample_size`/`throughput`/
+//! `finish`, and the [`criterion_group!`]/[`criterion_main!`] macros
+//! (both the list and the `name/config/targets` forms) — on top of a
+//! simple measurement loop: a wall-clock warmup sizes a per-sample
+//! batch, then N samples are timed and reported as min/median/mean per
+//! iteration. A group [`Throughput`] declaration additionally reports
+//! the sustained rate (bytes/sec or elements/sec) at the median.
 //!
 //! Like the real crate under `harness = false`, the binary only runs
 //! the full measurement when cargo passes `--bench` (what `cargo
@@ -75,8 +77,19 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            throughput: None,
         }
     }
+}
+
+/// The amount of work one benchmark iteration processes, for
+/// throughput reporting (mirrors the real crate's enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration moves this many bytes.
+    Bytes(u64),
+    /// One iteration processes this many elements.
+    Elements(u64),
 }
 
 /// A named group of benchmarks sharing a sample-size override.
@@ -85,12 +98,21 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Overrides the sample count for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares the per-iteration work of this group's benchmarks;
+    /// measured reports gain a `thrpt:` line (rate at the median, with
+    /// the min/mean-derived bounds).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -110,14 +132,26 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         match bencher.report {
-            Some(r) if self.criterion.measure => println!(
-                "{id}\n    time: [min {}  median {}  mean {}]  ({} samples x {} iters)",
-                fmt_ns(r.min_ns),
-                fmt_ns(r.median_ns),
-                fmt_ns(r.mean_ns),
-                r.samples,
-                r.iters_per_sample,
-            ),
+            Some(r) if self.criterion.measure => {
+                println!(
+                    "{id}\n    time: [min {}  median {}  mean {}]  ({} samples x {} iters)",
+                    fmt_ns(r.min_ns),
+                    fmt_ns(r.median_ns),
+                    fmt_ns(r.mean_ns),
+                    r.samples,
+                    r.iters_per_sample,
+                );
+                if let Some(throughput) = self.throughput {
+                    // Fastest sample = peak rate, mean = sustained;
+                    // report the spread the way criterion orders it.
+                    println!(
+                        "    thrpt: [peak {}  median {}  mean {}]",
+                        fmt_rate(throughput, r.min_ns),
+                        fmt_rate(throughput, r.median_ns),
+                        fmt_rate(throughput, r.mean_ns),
+                    );
+                }
+            }
             Some(_) => println!("{id}: ok (test mode, 1 iteration)"),
             None => println!("{id}: no iter() call"),
         }
@@ -196,6 +230,39 @@ impl Bencher {
     }
 }
 
+/// Formats the rate implied by `throughput` work per `ns`-nanosecond
+/// iteration (`"—"` when the iteration time is degenerate).
+fn fmt_rate(throughput: Throughput, ns: f64) -> String {
+    // NaN and zero/negative timings alike have no meaningful rate.
+    if ns.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return "—".to_string();
+    }
+    match throughput {
+        Throughput::Bytes(bytes) => {
+            // Binary thresholds to match the binary units, so the
+            // printed value is always >= 1.0 in its own unit.
+            let per_sec = bytes as f64 / (ns * 1e-9);
+            if per_sec >= (1u64 << 30) as f64 {
+                format!("{:.3} GiB/s", per_sec / (1u64 << 30) as f64)
+            } else if per_sec >= (1u64 << 20) as f64 {
+                format!("{:.3} MiB/s", per_sec / (1u64 << 20) as f64)
+            } else {
+                format!("{per_sec:.1} B/s")
+            }
+        }
+        Throughput::Elements(n) => {
+            let per_sec = n as f64 / (ns * 1e-9);
+            if per_sec >= 1e6 {
+                format!("{:.3} Melem/s", per_sec / 1e6)
+            } else if per_sec >= 1e3 {
+                format!("{:.3} Kelem/s", per_sec / 1e3)
+            } else {
+                format!("{per_sec:.1} elem/s")
+            }
+        }
+    }
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3}s", ns / 1e9)
@@ -263,6 +330,28 @@ mod tests {
         assert!(r.min_ns <= r.median_ns && r.median_ns <= r.mean_ns * 2.0);
         assert_eq!(r.samples, 5);
         assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn throughput_rates_scale_with_work_and_time() {
+        // 1 GiB moved in 1 second.
+        let gib = Throughput::Bytes(1 << 30);
+        assert_eq!(fmt_rate(gib, 1e9), "1.000 GiB/s");
+        // Twice the time, half the rate; sub-GiB drops to MiB/s.
+        assert_eq!(fmt_rate(gib, 2e9), "512.000 MiB/s");
+        // 1000 elements in 1 ms = 1 Melem/s.
+        assert_eq!(fmt_rate(Throughput::Elements(1000), 1e6), "1.000 Melem/s");
+        assert_eq!(fmt_rate(Throughput::Elements(5), 1e6), "5.000 Kelem/s");
+        // Degenerate timings never divide by zero.
+        assert_eq!(fmt_rate(gib, 0.0), "—");
+        // The builder composes with sample_size and runs in test mode.
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(64)).sample_size(5);
+        g.bench_function("f", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! End-to-end `bumpr` cluster tests: a routed job over two `bumpd`
+//! backends is byte-identical to `bumpc --local`, a repeated identical
+//! submission is served entirely from the router's result cache
+//! (touching no backend), a backend dying mid-job fails over to the
+//! survivor with correct output, a cluster with no live backends ends
+//! in a strict `error` frame, and backends can be registered at
+//! runtime over the wire.
+
+use bump_serve::client;
+use bump_serve::cluster::Router;
+use bump_serve::daemon::Daemon;
+use bump_serve::journal::Journal;
+use bump_serve::proto::{Frame, SubmitBatch, SubmitSpec};
+use bump_sim::{Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::io::{BufRead as _, Write as _};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn opts() -> RunOptions {
+    RunOptions {
+        cores: 2,
+        warmup_instructions: 30_000,
+        measure_instructions: 30_000,
+        max_cycles: 3_000_000,
+        seed: 42,
+        small_llc: true,
+        engine: Engine::Event,
+    }
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bumpr-e2e-{}-{name}.journal", std::process::id()))
+}
+
+/// Spawns an in-process daemon on a loopback port; returns its address.
+fn start_daemon(journal: Journal) -> String {
+    let daemon = Daemon::new(2, journal);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind backend");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    daemon.spawn(listener);
+    addr
+}
+
+/// Spawns an in-process router over `backends`; returns it + address.
+fn start_router(backends: Vec<String>, cache: usize) -> (Arc<Router>, String) {
+    let router = Router::new(backends, cache);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    router.spawn(listener);
+    (router, addr)
+}
+
+/// A backend that passes health checks but drops every submission
+/// right after accepting it — the deterministic stand-in for a daemon
+/// killed mid-job.
+fn flaky_backend() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind flaky backend");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { return };
+            std::thread::spawn(move || {
+                let mut reader =
+                    std::io::BufReader::new(stream.try_clone().expect("clone flaky stream"));
+                let mut stream = stream;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    match Frame::parse(line.trim_end()) {
+                        Ok(Frame::Ping) => {
+                            let pong = Frame::Pong {
+                                workers: 1,
+                                results: 0,
+                            };
+                            if writeln!(stream, "{}", pong.encode())
+                                .and_then(|()| stream.flush())
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        Ok(Frame::Submit(batch)) => {
+                            // Accept, then die mid-job.
+                            let accepted = Frame::JobAccepted {
+                                job: 0,
+                                cells: batch.cell_count() as u64,
+                                cached: 0,
+                            };
+                            let _ = writeln!(stream, "{}", accepted.encode());
+                            let _ = stream.flush();
+                            return;
+                        }
+                        _ => return,
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn routed_jobs_are_byte_identical_and_repeat_submissions_hit_only_the_cache() {
+    let journals = [temp_journal("shard-b1"), temp_journal("shard-b2")];
+    for j in &journals {
+        let _ = std::fs::remove_file(j);
+    }
+    let backends: Vec<String> = journals
+        .iter()
+        .map(|j| start_daemon(Journal::open(j).expect("open backend journal")))
+        .collect();
+    let (router, addr) = start_router(backends, 1024);
+
+    // Two base cells × two seed replicas = 4 cells in 2 work units.
+    let spec = SubmitSpec {
+        seeds: 2,
+        ..SubmitSpec::new(
+            vec![Preset::BaseOpen, Preset::Bump],
+            vec![Workload::WebSearch],
+            opts(),
+        )
+    };
+    let direct = client::local_csv(&spec, 2);
+
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let mut seen: Vec<u64> = Vec::new();
+    let outcome = client::submit_with(&mut stream, &spec, &mut |frame| {
+        if let Frame::CellResult(cell) = frame {
+            seen.push(cell.index);
+        }
+    })
+    .expect("routed submission");
+    assert_eq!(outcome.cells.len(), 4);
+    assert_eq!(outcome.cached(), 0, "cold cache serves nothing");
+    assert_eq!(
+        outcome.to_csv(),
+        direct,
+        "routed rows must be byte-identical to an in-process run"
+    );
+    // The router streams in stable grid order, not completion order.
+    assert_eq!(seen, vec![0, 1, 2, 3]);
+    let after_first = router.stats();
+    assert_eq!(after_first.dispatched_cells, 4);
+    assert_eq!(after_first.cache_hit_cells, 0);
+    // Both backends simulated something (the units were sharded, not
+    // funneled to one daemon): each journal holds at least one row.
+    for j in &journals {
+        let lines = std::fs::read_to_string(j).expect("backend journal exists");
+        assert!(
+            lines.lines().count() >= 1,
+            "backend journal {} must hold sharded work",
+            j.display()
+        );
+    }
+
+    // The repeated identical submission is served entirely from the
+    // router cache: every cell cached, zero new backend dispatches.
+    let cached = client::submit(&mut stream, &spec).expect("cached submission");
+    assert_eq!(cached.cached(), 4, "every cell must come from the cache");
+    assert_eq!(cached.to_csv(), direct);
+    let after_second = router.stats();
+    assert_eq!(
+        after_second.dispatched_cells, after_first.dispatched_cells,
+        "a fully cached job must touch no backend"
+    );
+    assert_eq!(after_second.cache_hit_cells, 4);
+
+    for j in &journals {
+        let _ = std::fs::remove_file(j);
+    }
+}
+
+#[test]
+fn batched_submissions_run_as_one_job_on_daemon_and_router() {
+    let backend = start_daemon(Journal::in_memory());
+    let batch = SubmitBatch {
+        jobs: vec![
+            SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts()),
+            SubmitSpec {
+                seeds: 2,
+                ..SubmitSpec::new(vec![Preset::Bump], vec![Workload::DataServing], opts())
+            },
+        ],
+    };
+    let direct = client::local_batch_csv(&batch, 2).expect("batch expands");
+
+    // Straight to the daemon.
+    let mut stream =
+        client::connect_retry(&backend, Duration::from_secs(10)).expect("connect to daemon");
+    let outcome = client::submit_batch(&mut stream, &batch).expect("batched submission");
+    assert_eq!(outcome.cells.len(), 3);
+    assert_eq!(outcome.to_csv(), direct);
+
+    // Through a router in front of it.
+    let (_router, addr) = start_router(vec![backend], 64);
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let routed = client::submit_batch(&mut stream, &batch).expect("routed batch");
+    assert_eq!(routed.to_csv(), direct);
+
+    // Overlapping jobs are rejected with an error frame on both paths.
+    let overlap = SubmitBatch {
+        jobs: vec![batch.jobs[0].clone(), batch.jobs[0].clone()],
+    };
+    let err = client::submit_batch(&mut stream, &overlap).expect_err("overlap must fail");
+    assert!(err.contains("overlap"), "{err}");
+}
+
+#[test]
+fn a_backend_dying_mid_job_fails_over_to_the_survivor() {
+    let flaky = flaky_backend();
+    let survivor = start_daemon(Journal::in_memory());
+    let (router, addr) = start_router(vec![flaky.clone(), survivor], 64);
+
+    // Two equal-cost units: the first shards onto the flaky backend
+    // (pool order), which accepts and then drops the connection.
+    let spec = SubmitSpec::new(
+        vec![Preset::BaseOpen, Preset::Bump],
+        vec![Workload::WebSearch],
+        opts(),
+    );
+    let direct = client::local_csv(&spec, 2);
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let outcome = client::submit(&mut stream, &spec).expect("failover submission");
+    assert_eq!(outcome.cells.len(), 2);
+    assert_eq!(
+        outcome.to_csv(),
+        direct,
+        "failover must not change the output bytes"
+    );
+    let stats = router.stats();
+    assert!(stats.failovers >= 1, "the flaky backend must be failed");
+    let states = router.backend_states();
+    assert_eq!(
+        states.iter().find(|(a, _)| *a == flaky).map(|(_, ok)| *ok),
+        Some(false),
+        "the flaky backend must be marked dead"
+    );
+}
+
+#[test]
+fn a_cluster_with_no_live_backends_errors_strictly() {
+    // A pool whose only member accepts jobs and then dies: the job
+    // must end in a strict error frame once no backend remains.
+    let (_, addr) = start_router(vec![flaky_backend()], 64);
+    let spec = SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts());
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let err = client::submit(&mut stream, &spec).expect_err("job must fail");
+    assert!(err.contains("all backends failed"), "{err}");
+
+    // An empty pool fails before dispatching anything.
+    let (_, addr) = start_router(Vec::new(), 64);
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let err = client::submit(&mut stream, &spec).expect_err("empty pool must fail");
+    assert!(err.contains("no live backends"), "{err}");
+}
+
+#[test]
+fn backends_register_at_runtime_over_the_wire() {
+    let (router, addr) = start_router(Vec::new(), 64);
+    let backend = start_daemon(Journal::in_memory());
+
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+
+    // Health probe: an empty router answers with zero capacity.
+    writeln!(stream, "{}", Frame::Ping.encode()).expect("send ping");
+    reader.read_line(&mut line).expect("read pong");
+    assert_eq!(
+        Frame::parse(line.trim_end()),
+        Ok(Frame::Pong {
+            workers: 0,
+            results: 0
+        })
+    );
+
+    // Register the daemon; the router health-checks and admits it.
+    let register = Frame::RegisterBackend {
+        addr: backend.clone(),
+    };
+    writeln!(stream, "{}", register.encode()).expect("send register");
+    line.clear();
+    reader.read_line(&mut line).expect("read registration");
+    assert_eq!(
+        Frame::parse(line.trim_end()),
+        Ok(Frame::BackendRegistered {
+            addr: backend.clone(),
+            backends: 1
+        })
+    );
+    assert_eq!(router.backend_states(), vec![(backend.clone(), true)]);
+
+    // Registering a dead address is refused.
+    let bogus = Frame::RegisterBackend {
+        addr: "127.0.0.1:1".to_string(),
+    };
+    writeln!(stream, "{}", bogus.encode()).expect("send bogus register");
+    line.clear();
+    reader.read_line(&mut line).expect("read refusal");
+    assert!(matches!(
+        Frame::parse(line.trim_end()),
+        Ok(Frame::Error { .. })
+    ));
+
+    // The freshly registered backend serves jobs.
+    let spec = SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts());
+    let outcome = client::submit(&mut stream, &spec).expect("routed job after registration");
+    assert_eq!(outcome.to_csv(), client::local_csv(&spec, 1));
+}

@@ -160,11 +160,9 @@ fn malformed_lines_get_error_frames_without_killing_the_connection() {
         client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to daemon");
 
     let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream for reading"));
-    let good_submit = Frame::Submit(SubmitSpec::new(
-        vec![Preset::BaseOpen],
-        vec![Workload::WebSearch],
-        opts(),
-    ))
+    let good_submit = Frame::Submit(
+        SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts()).into(),
+    )
     .encode();
     // An unknown top-level key must be a strict protocol error — a
     // daemon that silently dropped (say) a misspelled "scenario" field
