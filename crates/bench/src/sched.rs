@@ -37,13 +37,19 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Relative execution weight of a preset, calibrated from the observed
-/// per-cell wall-clock of `repro_all --full` (the Full-region strawman's
-/// retry storms make it ~4× a Base cell; BuMP's bulk machinery ~2×).
+/// per-cell event-engine wall-clock of `repro_all --full` after the
+/// retry-storm coalescer landed. Storm coalescing cut Full-region's
+/// per-event cost, but the strawman still simulates ~4× the cycles of
+/// a Base cell, so it measures ~4.5× a Base cell (was ~7× pre-
+/// coalescing, weighted 4); the stream-predictor presets and BuMP's
+/// bulk machinery measure ~1.25× (the old 2× BuMP weight predates the
+/// batched-response path). Weights are ×4 so the quarter-steps stay
+/// integral; only the ordering and rough proportions matter.
 fn preset_weight(preset: Preset) -> u64 {
     match preset {
-        Preset::FullRegion => 4,
-        Preset::Bump | Preset::SmsVwq => 2,
-        Preset::BaseClose | Preset::BaseOpen | Preset::Sms | Preset::Vwq => 1,
+        Preset::FullRegion => 18,
+        Preset::Bump | Preset::SmsVwq | Preset::Sms => 5,
+        Preset::BaseClose | Preset::BaseOpen | Preset::Vwq => 4,
     }
 }
 

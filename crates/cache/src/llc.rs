@@ -290,8 +290,49 @@ impl Llc {
         &self.config
     }
 
-    fn bank_of(&self, block: BlockAddr) -> usize {
+    /// The bank `block` maps to (exposed for the retry coalescer's
+    /// per-bank occupancy replay).
+    pub fn bank_of(&self, block: BlockAddr) -> usize {
         (self.config.geometry.set_of(block) % u64::from(self.config.banks)) as usize
+    }
+
+    /// Number of banks (the length a per-bank count array must have).
+    pub fn bank_count(&self) -> usize {
+        self.bank_free.len()
+    }
+
+    /// How many more *speculative* MSHR allocations [`Llc::access`]
+    /// would currently grant before answering `MshrFull`.
+    pub fn spec_mshr_headroom(&self) -> usize {
+        self.config
+            .mshrs
+            .saturating_sub(self.config.demand_reserved_mshrs)
+            .saturating_sub(self.mshrs.len())
+    }
+
+    /// Bulk-replays the side effects of `total` refused speculative
+    /// lookups performed at `now`, with `bank_counts[b]` of them
+    /// hitting bank `b`.
+    ///
+    /// This is the retry coalescer's fast path for a Full-region retry
+    /// round that provably refuses wholesale (no speculative headroom,
+    /// and no member block gained an MSHR or residency since the last
+    /// round). A refused speculative [`Llc::access`] does exactly
+    /// three externally visible things — charges its bank for one slot,
+    /// counts a speculative lookup, and counts an MSHR stall. Same-
+    /// cycle bank charges fold (`k` charges at `now` leave the bank at
+    /// `max(free, now) + k`), and the `LlcEvent::Access` record a real
+    /// access would emit is ignored by every consumer for non-demand
+    /// misses, so replaying the counters is exact.
+    pub fn replay_refused_speculative(&mut self, bank_counts: &[u32], total: u64, now: Cycle) {
+        debug_assert_eq!(bank_counts.len(), self.bank_free.len());
+        for (free, &n) in self.bank_free.iter_mut().zip(bank_counts) {
+            if n > 0 {
+                *free = (*free).max(now) + Cycle::from(n);
+            }
+        }
+        self.stats.speculative_lookups += total;
+        self.stats.mshr_stalls += total;
     }
 
     /// Charges one bank slot and returns when the lookup completes.

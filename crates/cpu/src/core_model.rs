@@ -72,14 +72,22 @@ enum RobSlot {
     NotIssued { instr: Instr },
 }
 
-/// The cached result of the idle analysis (see `LeanCore::idle_cache`).
+/// The result of the idle analysis ([`LeanCore::classify_idle`]).
+///
+/// The core's architectural state is frozen between [`LeanCore::tick`]
+/// and [`LeanCore::memory_response`] calls, so this classification —
+/// probed once per cycle by the event-driven system — holds until
+/// either runs. The system caches it in a dense side array (its
+/// `CoreBank`) rather than inside the core, so the event loop's
+/// idle scan never touches the cores' cold state.
 #[derive(Clone, Copy, Debug)]
-struct IdleClass {
-    wakeup: CoreWakeup,
+pub struct IdleClass {
+    /// When the next tick could do real work.
+    pub wakeup: CoreWakeup,
     /// The ROB head waits on memory: each idle cycle is a load stall.
-    load_stall: bool,
+    pub load_stall: bool,
     /// A parked store is blocked: each idle cycle is a buffer stall.
-    store_stall: bool,
+    pub store_stall: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -112,14 +120,11 @@ pub struct LeanCore {
     /// Number of `NotIssued` entries in the ROB (kept so the wakeup
     /// probe can skip the ROB scan in the common case).
     deferred_loads: u32,
-    /// Memoized idle classification. The core's architectural state is
-    /// frozen between [`LeanCore::tick`] and
-    /// [`LeanCore::memory_response`] calls, so the wakeup/stall
-    /// analysis — probed once per cycle by the event-driven system —
-    /// holds until either invalidates it.
-    idle_cache: Option<IdleClass>,
     /// Remaining count of a partially dispatched compute batch.
     compute_backlog: u32,
+    /// Scratch for [`LeanCore::memory_response_many`]:
+    /// `(block, waiters, rob_waiters)` per accepted response.
+    resp_scratch: Vec<(BlockAddr, u32, u32)>,
     stats: CoreStats,
     stream_done: bool,
 }
@@ -138,8 +143,8 @@ impl LeanCore {
             load_done: FxHashMap::default(),
             pending_dispatch: None,
             deferred_loads: 0,
-            idle_cache: None,
             compute_backlog: 0,
+            resp_scratch: Vec::new(),
             stats: CoreStats::default(),
             stream_done: false,
         }
@@ -187,22 +192,15 @@ impl LeanCore {
     /// [`LeanCore::skip_idle`] replays in O(1). `Busy` is deliberately
     /// conservative: whenever dispatch *might* make progress (e.g. the
     /// source could yield an instruction) the core must be ticked.
-    pub fn next_wakeup(&mut self, _now: Cycle, l1: &L1Cache) -> CoreWakeup {
-        self.idle_class(l1).wakeup
+    pub fn next_wakeup(&self, _now: Cycle, l1: &L1Cache) -> CoreWakeup {
+        self.classify_idle(l1).wakeup
     }
 
-    /// The memoized idle analysis, recomputed only after a tick or a
-    /// memory response changed the core's state.
-    fn idle_class(&mut self, l1: &L1Cache) -> IdleClass {
-        if let Some(c) = self.idle_cache {
-            return c;
-        }
-        let c = self.compute_idle_class(l1);
-        self.idle_cache = Some(c);
-        c
-    }
-
-    fn compute_idle_class(&self, l1: &L1Cache) -> IdleClass {
+    /// The full idle analysis: wakeup plus which stall counters an idle
+    /// cycle charges. Valid until the next [`LeanCore::tick`] or
+    /// accepted [`LeanCore::memory_response`]; the event-driven system
+    /// caches it per core in its dense wakeup array.
+    pub fn classify_idle(&self, l1: &L1Cache) -> IdleClass {
         let wakeup = self.compute_wakeup(l1);
         if wakeup == CoreWakeup::Busy {
             // A busy core is always fully ticked, never skipped, so its
@@ -296,23 +294,31 @@ impl LeanCore {
     /// architectural state is frozen there, so each skipped tick would
     /// have applied exactly these increments).
     pub fn skip_idle(&mut self, cycles: u64, l1: &L1Cache) {
-        let class = self.idle_class(l1);
+        let class = self.classify_idle(l1);
+        self.apply_idle(cycles, class.load_stall, class.store_stall);
+    }
+
+    /// Replays `cycles` idle ticks from an already-computed
+    /// classification (the split half of [`LeanCore::skip_idle`] used
+    /// by the system's dense wakeup cache).
+    pub fn apply_idle(&mut self, cycles: u64, load_stall: bool, store_stall: bool) {
         self.stats.cycles += cycles;
-        if class.load_stall {
+        if load_stall {
             self.stats.load_stall_cycles += cycles;
         }
-        if class.store_stall {
+        if store_stall {
             self.stats.store_buffer_stall_cycles += cycles;
         }
     }
 
     /// Delivers a memory response for `block` at cycle `now`: all ROB
-    /// entries and store-buffer slots waiting on it complete.
-    pub fn memory_response(&mut self, block: BlockAddr, now: Cycle) {
+    /// entries and store-buffer slots waiting on it complete. Returns
+    /// whether the core was waiting on `block` (i.e. whether any state
+    /// changed and a cached [`IdleClass`] is now stale).
+    pub fn memory_response(&mut self, block: BlockAddr, now: Cycle) -> bool {
         let Some(waiters) = self.outstanding.remove(&block) else {
-            return; // response for a block this core wasn't waiting on
+            return false; // response for a block this core wasn't waiting on
         };
-        self.idle_cache = None;
         let mut rob_waiters = 0;
         for e in &mut self.rob {
             if matches!(e.slot, RobSlot::WaitingMem { block: b } if b == block) {
@@ -327,6 +333,54 @@ impl LeanCore {
         let sb = waiters.saturating_sub(rob_waiters);
         self.store_buffer_used = self.store_buffer_used.saturating_sub(sb);
         self.advance_completed_seq();
+        true
+    }
+
+    /// Delivers a batch of same-cycle memory responses as one call:
+    /// exactly equivalent to calling [`LeanCore::memory_response`] for
+    /// each block in order, but with a single ROB pass for the whole
+    /// batch. Returns whether any response was accepted.
+    ///
+    /// Same-cycle responses commute here: each accepted block's waiters
+    /// are claimed by the `outstanding` removal first (so a duplicate
+    /// block in the batch is ignored, exactly like the second of two
+    /// sequential calls), the combined ROB pass marks the union of the
+    /// entries the per-block passes would have marked with the same
+    /// `Ready { at: now }` slot, and `advance_completed_seq` is a
+    /// monotone fixpoint, so running it once at the end reaches the
+    /// same sequence number as running it after every call.
+    pub fn memory_response_many(&mut self, blocks: &[BlockAddr], now: Cycle) -> bool {
+        if let [block] = blocks {
+            return self.memory_response(*block, now);
+        }
+        self.resp_scratch.clear();
+        for &block in blocks {
+            if let Some(waiters) = self.outstanding.remove(&block) {
+                self.resp_scratch.push((block, waiters, 0));
+            }
+        }
+        if self.resp_scratch.is_empty() {
+            return false;
+        }
+        for e in &mut self.rob {
+            let RobSlot::WaitingMem { block: b } = e.slot else {
+                continue;
+            };
+            let Some(hit) = self.resp_scratch.iter_mut().find(|(rb, ..)| *rb == b) else {
+                continue;
+            };
+            hit.2 += 1;
+            e.slot = RobSlot::Ready { at: now };
+            if let Some(seq) = e.load_seq {
+                self.load_done.insert(seq, true);
+            }
+        }
+        for &(_, waiters, rob_waiters) in &self.resp_scratch {
+            let sb = waiters.saturating_sub(rob_waiters);
+            self.store_buffer_used = self.store_buffer_used.saturating_sub(sb);
+        }
+        self.advance_completed_seq();
+        true
     }
 
     fn advance_completed_seq(&mut self) {
@@ -356,7 +410,6 @@ impl LeanCore {
         requests: &mut Vec<PendingAccess>,
         writebacks: &mut Vec<BlockAddr>,
     ) -> u32 {
-        self.idle_cache = None;
         self.stats.cycles += 1;
         let retired = self.retire(now);
         self.issue_ready_dependents(now, l1, requests, writebacks);

@@ -25,4 +25,4 @@
 
 mod core_model;
 
-pub use core_model::{CoreStats, CoreWakeup, LeanCore, PendingAccess};
+pub use core_model::{CoreStats, CoreWakeup, IdleClass, LeanCore, PendingAccess};

@@ -15,72 +15,275 @@ use bump_cache::{AccessAction, L1Cache, Llc, LlcEvent};
 use bump_cpu::{CoreWakeup, LeanCore, PendingAccess};
 use bump_dram::{MemoryController, Transaction};
 use bump_energy::{EnergyModel, SystemActivity};
-use bump_noc::{MessageKind, Noc};
+use bump_noc::{Batcher, DeliveryQueue, MessageKind, Noc, Route};
 use bump_prefetch::{Prefetcher, SmsPrefetcher, StridePrefetcher};
-use bump_types::{AccessKind, BlockAddr, CoreId, Cycle, MemCycle, MemoryRequest, TrafficClass};
+use bump_types::{
+    AccessKind, BlockAddr, CoreId, Cycle, FxHashSet, MemCycle, MemoryRequest, TrafficClass,
+};
 use bump_vwq::VirtualWriteQueue;
 use bump_workloads::WorkloadGen;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug)]
 enum Pending {
     LlcRequest(MemoryRequest),
     L1Writeback(BlockAddr),
-    CoreResponse { core: CoreId, block: BlockAddr },
+    CoreResponse {
+        core: CoreId,
+        block: BlockAddr,
+    },
+    /// Event engine only: one coalesced Full-region retry round for
+    /// the parked batch with this id (see [`StormState`]).
+    StormRetry(usize),
 }
 
-/// The NOC/retry event queue: a two-level structure replacing a flat
-/// `BinaryHeap<(at, seq, Pending)>`. The heap orders only the
-/// *distinct* delivery cycles (a few hundred live at once, even when
-/// the Full-region strawman keeps hundreds of thousands of events in
-/// flight), and each cycle's events live in a FIFO slot vector —
-/// arrival order within a cycle equals push order, which is exactly
-/// the old per-event `seq` order. Slot vectors are pooled so the
-/// steady state allocates nothing. Under the retry storms of §V.B this
-/// is worth ~70ns per event over the flat heap on both engines.
+/// Cached wakeup classification for one core, kept in [`CoreBank`]'s
+/// dense array so the event loop's per-cycle idle scan touches nothing
+/// but this enum (not the 16 cold `LeanCore` structs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WakeSlot {
+    /// Invalidated by a tick or an accepted memory response; the next
+    /// probe recomputes from the core.
+    Stale,
+    Busy,
+    At(Cycle),
+    Blocked,
+}
+
+/// Structure-of-arrays core state: the per-core models plus the dense
+/// side arrays the event loop actually walks every cycle.
+///
+/// `LeanCore` keeps the (cold) architectural state; the (hot) wakeup
+/// metadata lives here in `wake`/`stall`, and idle cycles accrue in
+/// `owed` as plain integer adds — folded back into the core's stats
+/// only when its classification is invalidated (or a report is cut).
+/// Invariant: `owed[i] > 0` only while `wake[i]` is not `Stale`, so the
+/// accrued cycles are always replayed under the classification that
+/// was in force when they were observed.
+#[derive(Debug)]
+struct CoreBank {
+    cores: Vec<LeanCore>,
+    l1s: Vec<L1Cache>,
+    gens: Vec<WorkloadGen>,
+    wake: Vec<WakeSlot>,
+    /// Stall-class bits, valid while `wake` is not `Stale`:
+    /// bit 0 = ROB-head load stall, bit 1 = store-buffer stall.
+    stall: Vec<u8>,
+    /// Idle cycles observed but not yet folded into the core's stats.
+    owed: Vec<u64>,
+}
+
+impl CoreBank {
+    fn new(cores: Vec<LeanCore>, l1s: Vec<L1Cache>, gens: Vec<WorkloadGen>) -> Self {
+        let n = cores.len();
+        CoreBank {
+            cores,
+            l1s,
+            gens,
+            wake: vec![WakeSlot::Stale; n],
+            stall: vec![0; n],
+            owed: vec![0; n],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The cached wakeup classification, recomputed from the core if
+    /// stale. Never returns [`WakeSlot::Stale`].
+    fn wake_of(&mut self, i: usize) -> WakeSlot {
+        if self.wake[i] == WakeSlot::Stale {
+            debug_assert_eq!(self.owed[i], 0);
+            let c = self.cores[i].classify_idle(&self.l1s[i]);
+            self.wake[i] = match c.wakeup {
+                CoreWakeup::Busy => WakeSlot::Busy,
+                CoreWakeup::At(t) => WakeSlot::At(t),
+                CoreWakeup::Blocked => WakeSlot::Blocked,
+            };
+            self.stall[i] = u8::from(c.load_stall) | u8::from(c.store_stall) << 1;
+        }
+        self.wake[i]
+    }
+
+    /// Records `n` idle cycles for core `i` without touching it. Only
+    /// legal while its classification is cached (`wake[i]` not stale).
+    fn accrue_idle(&mut self, i: usize, n: u64) {
+        debug_assert_ne!(self.wake[i], WakeSlot::Stale);
+        self.owed[i] += n;
+    }
+
+    /// Folds accrued idle cycles into core `i`'s stats (under the
+    /// cached stall classification they were observed under).
+    fn flush_idle(&mut self, i: usize) {
+        let owed = std::mem::take(&mut self.owed[i]);
+        if owed > 0 {
+            let s = self.stall[i];
+            self.cores[i].apply_idle(owed, s & 1 != 0, s & 2 != 0);
+        }
+    }
+
+    /// Flushes every core's accrued idle cycles (report/reset cut).
+    fn flush_all(&mut self) {
+        for i in 0..self.cores.len() {
+            self.flush_idle(i);
+        }
+    }
+
+    /// Flushes and marks core `i`'s classification stale — required
+    /// before anything mutates its architectural state.
+    fn invalidate(&mut self, i: usize) {
+        self.flush_idle(i);
+        self.wake[i] = WakeSlot::Stale;
+    }
+
+    /// Ticks core `i` (invalidating its cached classification first).
+    fn tick(
+        &mut self,
+        i: usize,
+        now: Cycle,
+        requests: &mut Vec<PendingAccess>,
+        writebacks: &mut Vec<BlockAddr>,
+    ) -> u32 {
+        self.invalidate(i);
+        self.cores[i].tick(
+            now,
+            &mut self.gens[i],
+            &mut self.l1s[i],
+            requests,
+            writebacks,
+        )
+    }
+
+    /// Delivers one memory response to core `i`.
+    fn respond_one(&mut self, i: usize, block: BlockAddr, now: Cycle) {
+        if self.cores[i].memory_response(block, now) {
+            self.invalidate(i);
+        }
+    }
+
+    /// Delivers a same-cycle batch of memory responses to core `i`.
+    fn respond_many(&mut self, i: usize, blocks: &[BlockAddr], now: Cycle) {
+        if self.cores[i].memory_response_many(blocks, now) {
+            self.invalidate(i);
+        }
+    }
+}
+
+/// One parked Full-region retry batch: requests refused by a full
+/// speculative MSHR pool, awaiting their next retry round.
 #[derive(Debug, Default)]
-struct EventQueue {
-    times: BinaryHeap<Reverse<Cycle>>,
-    slots: bump_types::FxHashMap<Cycle, Vec<Pending>>,
-    pool: Vec<Vec<Pending>>,
+struct StormBatch {
+    /// Members, in their original retry-delivery order. Only
+    /// `requests[start..]` are live: expansion rounds consume from the
+    /// front by advancing `start` (the prefix is what the oracle's
+    /// in-order probing would resolve first), so a round costs
+    /// O(consumed), not O(members).
+    requests: Vec<MemoryRequest>,
+    start: usize,
+    /// How many *live* members map to each LLC bank (for the bulk
+    /// occupancy replay of a wholesale-refused round).
+    bank_counts: Vec<u32>,
+    /// Live-member count per block, for the dirtying probe and for
+    /// detecting tail duplicates of a just-allocated block.
+    blocks: bump_types::FxHashMap<BlockAddr, u32>,
+    /// Set when a member block gained an MSHR or residency could have
+    /// changed since the last round — the next round must re-probe
+    /// each member for real instead of bulk-refusing.
+    dirty: bool,
+    in_use: bool,
 }
 
-impl EventQueue {
-    /// Enqueues `what` for delivery at `at`.
-    fn push(&mut self, at: Cycle, what: Pending) {
-        use std::collections::hash_map::Entry;
-        match self.slots.entry(at) {
-            Entry::Occupied(e) => e.into_mut().push(what),
-            Entry::Vacant(e) => {
-                let mut v = self.pool.pop().unwrap_or_default();
-                v.push(what);
-                e.insert(v);
-                self.times.push(Reverse(at));
-            }
+impl StormBatch {
+    fn live(&self) -> usize {
+        self.requests.len() - self.start
+    }
+
+    fn register(&mut self, req: MemoryRequest, bank: usize) {
+        self.requests.push(req);
+        self.bank_counts[bank] += 1;
+        *self.blocks.entry(req.block).or_insert(0) += 1;
+    }
+
+    /// Removes one member's contribution to the live-member indexes
+    /// (the request itself stays in the consumed prefix).
+    fn unregister(&mut self, block: BlockAddr, bank: usize) {
+        self.bank_counts[bank] -= 1;
+        let c = self.blocks.get_mut(&block).expect("member block indexed");
+        *c -= 1;
+        if *c == 0 {
+            self.blocks.remove(&block);
         }
     }
+}
 
-    /// The earliest pending delivery cycle.
-    fn next_at(&self) -> Option<Cycle> {
-        self.times.peek().map(|Reverse(t)| *t)
+/// The append window for refused retries: while the tail of slot `at`
+/// is still the marker's own appends, a newly refused request can join
+/// batch `id` instead of opening a new one.
+#[derive(Debug)]
+struct OpenBatch {
+    id: usize,
+    at: Cycle,
+    /// `slot_len` of `at` after the batch's last push; if the slot has
+    /// grown past this, something else was scheduled in between and
+    /// appending would reorder deliveries.
+    slot_len: usize,
+}
+
+/// Retry-storm coalescer state (event engine only).
+///
+/// The Full-region strawman floods thousands of speculative reads per
+/// touched region; once the speculative MSHR pool fills, every refused
+/// read retries 16 cycles later, and under §V.B load the oracle
+/// processes >100M such futile probes. The coalescer parks each
+/// same-slot run of refused requests as one [`StormBatch`] with a
+/// single `StormRetry` marker event. A round whose batch is still
+/// clean and whose pool has no headroom is replayed wholesale in
+/// O(banks) ([`Llc::replay_refused_speculative`]); headroom or a dirty
+/// flag expands the batch back into real per-request probes (and the
+/// still-refused tail re-parks in bulk), so total work is
+/// O(completions), not O(retries).
+#[derive(Debug, Default)]
+struct StormState {
+    batches: Vec<StormBatch>,
+    free: Vec<usize>,
+    open: Option<OpenBatch>,
+    /// Batches currently in use (fast-path guard for the dirtying
+    /// probe: zero for every preset but Full-region).
+    live: usize,
+}
+
+impl StormState {
+    /// Allocates a cleared batch slot sized for `banks` banks.
+    fn alloc(&mut self, banks: usize) -> usize {
+        let id = self.free.pop().unwrap_or_else(|| {
+            self.batches.push(StormBatch::default());
+            self.batches.len() - 1
+        });
+        let b = &mut self.batches[id];
+        debug_assert!(!b.in_use && b.requests.is_empty() && b.blocks.is_empty());
+        b.start = 0;
+        b.bank_counts.clear();
+        b.bank_counts.resize(banks, 0);
+        b.dirty = false;
+        b.in_use = true;
+        self.live += 1;
+        id
     }
 
-    /// Removes and returns the slot due at or before `now`, if any.
-    /// The caller drains it in order and hands it back via
-    /// [`EventQueue::recycle`].
-    fn take_due(&mut self, now: Cycle) -> Option<Vec<Pending>> {
-        if self.next_at()? > now {
-            return None;
+    /// Releases batch `id`, keeping its allocations for reuse.
+    fn release(&mut self, id: usize) {
+        let b = &mut self.batches[id];
+        debug_assert!(b.in_use);
+        b.requests.clear();
+        b.blocks.clear();
+        b.start = 0;
+        b.in_use = false;
+        self.free.push(id);
+        self.live -= 1;
+        if self.open.as_ref().is_some_and(|o| o.id == id) {
+            self.open = None;
         }
-        let Reverse(t) = self.times.pop().expect("peeked");
-        self.slots.remove(&t)
-    }
-
-    /// Returns a drained slot vector to the pool.
-    fn recycle(&mut self, v: Vec<Pending>) {
-        debug_assert!(v.is_empty());
-        self.pool.push(v);
     }
 }
 
@@ -88,9 +291,7 @@ impl EventQueue {
 #[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
-    cores: Vec<LeanCore>,
-    l1s: Vec<L1Cache>,
-    gens: Vec<WorkloadGen>,
+    bank: CoreBank,
     llc: Llc,
     noc: Noc,
     mc: MemoryController,
@@ -102,7 +303,16 @@ pub struct System {
     profiler: DensityProfiler,
 
     now: Cycle,
-    events: EventQueue,
+    events: DeliveryQueue<Pending>,
+    /// Per-core grouping of same-cycle fill responses (event engine):
+    /// each destination gets one bulk handoff per delivery slot.
+    resp_batch: Batcher<BlockAddr>,
+    /// Parked Full-region retry batches (event engine).
+    storm: StormState,
+    /// Scratch for the storm expansion's just-allocated block set.
+    storm_allocs: FxHashSet<BlockAddr>,
+    /// Spare request vector for storm expansions (capacity recycling).
+    storm_requests_scratch: Vec<MemoryRequest>,
     pending_dram: VecDeque<Transaction>,
     /// Whether every transaction currently in `pending_dram` has been
     /// offered to its channel and refused (set by the drain, cleared by
@@ -153,9 +363,7 @@ impl System {
         let bump_engine = (cfg.preset == Preset::Bump).then(|| Bump::new(cfg.bump));
         let full = (cfg.preset == Preset::FullRegion).then(|| FullRegion::new(cfg.bump.region));
         System {
-            cores,
-            l1s,
-            gens,
+            bank: CoreBank::new(cores, l1s, gens),
             llc: Llc::new(cfg.llc),
             noc: Noc::new(cfg.noc_latency),
             mc: MemoryController::new(cfg.dram),
@@ -166,7 +374,11 @@ impl System {
             full,
             profiler: DensityProfiler::new(cfg.bump.region),
             now: 0,
-            events: EventQueue::default(),
+            events: DeliveryQueue::default(),
+            resp_batch: Batcher::new(),
+            storm: StormState::default(),
+            storm_allocs: FxHashSet::default(),
+            storm_requests_scratch: Vec::new(),
             pending_dram: VecDeque::new(),
             pending_drained: true,
             columns_at_drain: 0,
@@ -207,7 +419,11 @@ impl System {
     }
 
     fn schedule(&mut self, at: Cycle, what: Pending) {
-        self.events.push(at.max(self.now + 1), what);
+        let route = match &what {
+            Pending::CoreResponse { core, .. } => Route::To(*core as u32),
+            _ => Route::Ordered,
+        };
+        self.events.push(at.max(self.now + 1), route, what);
     }
 
     /// Queues a DRAM transaction, recording the traffic taxonomy.
@@ -233,6 +449,11 @@ impl System {
 
     fn handle_llc_request(&mut self, req: MemoryRequest) {
         let outcome = self.llc.access(req, self.now);
+        if outcome.action == AccessAction::IssueDramRead {
+            // The block just gained an MSHR: parked retry batches
+            // containing it can no longer be bulk-refused.
+            self.note_block_event(req.block);
+        }
         let is_demand = req.class == TrafficClass::Demand;
         if outcome.hit {
             if is_demand {
@@ -284,8 +505,14 @@ impl System {
                 } else if req.class == TrafficClass::FullRegionRead {
                     // The Full-region strawman has no notion of backing
                     // off: its floods retry and keep thrashing (the §V.B
-                    // pathology).
-                    self.schedule(self.now + 16, Pending::LlcRequest(req));
+                    // pathology). The oracle schedules each retry
+                    // individually; the event engine parks the whole
+                    // same-slot run as one coalesced batch.
+                    if self.cfg.engine == Engine::Event {
+                        self.park_storm_retry(req);
+                    } else {
+                        self.schedule(self.now + 16, Pending::LlcRequest(req));
+                    }
                 } else {
                     self.spec_dropped += 1;
                 }
@@ -294,24 +521,189 @@ impl System {
     }
 
     fn handle_l1_writeback(&mut self, block: BlockAddr) {
+        // A writeback can install the block in the LLC, so a parked
+        // retry for it could now hit: dirty any batch containing it.
+        self.note_block_event(block);
         if let Some(victim) = self.llc.writeback_from_l1(block, self.now) {
             let txn = Transaction::write(victim, TrafficClass::DemandWriteback, 0);
             self.queue_dram(txn, None);
         }
     }
 
+    /// Marks every parked batch containing `block` dirty: its next
+    /// retry round can no longer assume the block is still MSHR-less
+    /// and non-resident, so it must re-probe for real.
+    fn note_block_event(&mut self, block: BlockAddr) {
+        if self.storm.live == 0 {
+            return;
+        }
+        for b in &mut self.storm.batches {
+            if b.in_use && !b.dirty && b.blocks.contains_key(&block) {
+                b.dirty = true;
+            }
+        }
+    }
+
+    /// Parks a refused Full-region retry (event engine). Joins the open
+    /// batch when the target slot's tail is still that batch's marker
+    /// run — i.e. delivering the batch at its marker position replays
+    /// the oracle's per-request delivery order exactly — and opens a
+    /// fresh batch (with its own `StormRetry` marker) otherwise.
+    fn park_storm_retry(&mut self, req: MemoryRequest) {
+        let target = self.now + 16;
+        let bank = self.llc.bank_of(req.block);
+        if let Some(open) = &self.storm.open {
+            if open.at == target && self.events.slot_len(target) == open.slot_len {
+                self.storm.batches[open.id].register(req, bank);
+                return;
+            }
+        }
+        let id = self.storm.alloc(self.llc.bank_count());
+        self.storm.batches[id].register(req, bank);
+        self.schedule(target, Pending::StormRetry(id));
+        self.storm.open = Some(OpenBatch {
+            id,
+            at: target,
+            slot_len: self.events.slot_len(target),
+        });
+    }
+
+    /// Runs one retry round for parked batch `id`, due now.
+    ///
+    /// Fast path: the batch is clean (no member block gained an MSHR or
+    /// residency since it parked) and the speculative MSHR pool has no
+    /// headroom — every member provably refuses again, so the round's
+    /// side effects are replayed in bulk and the marker re-arms.
+    /// Otherwise the batch expands: members are re-probed through the
+    /// real request path in order until the headroom is gone again,
+    /// after which the still-clean tail is bulk-refused back into a
+    /// fresh batch (members whose block was just allocated by this very
+    /// expansion still probe for real — they merge, ending their
+    /// retries, exactly as the oracle's would).
+    fn storm_round(&mut self, id: usize) {
+        debug_assert!(self.storm.batches[id].in_use);
+        if self.storm.open.as_ref().is_some_and(|o| o.id == id) {
+            self.storm.open = None;
+        }
+        let dirty = self.storm.batches[id].dirty;
+        if !dirty && self.llc.spec_mshr_headroom() == 0 {
+            // Every member still provably refuses: one bulk replay.
+            let b = &self.storm.batches[id];
+            self.llc
+                .replay_refused_speculative(&b.bank_counts, b.live() as u64, self.now);
+            let target = self.now + 16;
+            self.schedule(target, Pending::StormRetry(id));
+            self.storm.open = Some(OpenBatch {
+                id,
+                at: target,
+                slot_len: self.events.slot_len(target),
+            });
+            return;
+        }
+        if dirty {
+            // Member state is unknown: every request re-probes for real
+            // (hits, merges, allocations, and refusals — which re-park
+            // through the normal path). The vector is swapped against a
+            // scratch rather than left in place because a re-park may
+            // re-allocate this very batch slot mid-loop.
+            let mut requests = std::mem::replace(
+                &mut self.storm.batches[id].requests,
+                std::mem::take(&mut self.storm_requests_scratch),
+            );
+            let start = self.storm.batches[id].start;
+            self.storm.release(id);
+            for req in requests.drain(start..) {
+                self.handle_llc_request(req);
+            }
+            requests.clear();
+            self.storm_requests_scratch = requests;
+            return;
+        }
+        // Clean batch with headroom: the leading members allocate (or
+        // merge into each other's fresh MSHRs) through the real path,
+        // in order, until the pool is full again. The oracle resolves
+        // exactly this prefix: its per-request probes run in the same
+        // slot order and stop granting MSHRs at the same headroom.
+        let mut allocated = std::mem::take(&mut self.storm_allocs);
+        allocated.clear();
+        while self.storm.batches[id].start < self.storm.batches[id].requests.len()
+            && self.llc.spec_mshr_headroom() > 0
+        {
+            let b = &mut self.storm.batches[id];
+            let req = b.requests[b.start];
+            b.start += 1;
+            let bank = self.llc.bank_of(req.block);
+            self.storm.batches[id].unregister(req.block, bank);
+            let before = self.llc.mshrs_in_use();
+            self.handle_llc_request(req);
+            if self.llc.mshrs_in_use() > before {
+                allocated.insert(req.block);
+            }
+        }
+        // A tail member whose block was just allocated by this prefix
+        // would merge, not refuse — find and resolve those now (rare:
+        // only duplicate-block members; the common case touches no
+        // tail element at all).
+        if allocated
+            .iter()
+            .any(|b| self.storm.batches[id].blocks.contains_key(b))
+        {
+            let mut requests = std::mem::replace(
+                &mut self.storm.batches[id].requests,
+                std::mem::take(&mut self.storm_requests_scratch),
+            );
+            let start = self.storm.batches[id].start;
+            let mut w = start;
+            for j in start..requests.len() {
+                let req = requests[j];
+                if allocated.contains(&req.block) {
+                    let bank = self.llc.bank_of(req.block);
+                    self.storm.batches[id].unregister(req.block, bank);
+                    self.handle_llc_request(req); // merges; cannot re-park
+                } else {
+                    requests[w] = req;
+                    w += 1;
+                }
+            }
+            requests.truncate(w);
+            self.storm_requests_scratch =
+                std::mem::replace(&mut self.storm.batches[id].requests, requests);
+        }
+        // Any dirtying observed during this round came from the
+        // prefix's own allocations, whose duplicates were just
+        // resolved: the surviving tail is clean again.
+        self.storm.batches[id].dirty = false;
+        self.storm_allocs = allocated;
+        let b = &self.storm.batches[id];
+        if b.live() == 0 {
+            self.storm.release(id);
+            return;
+        }
+        // The surviving tail refuses wholesale: replay and re-park.
+        self.llc
+            .replay_refused_speculative(&b.bank_counts, b.live() as u64, self.now);
+        let target = self.now + 16;
+        self.schedule(target, Pending::StormRetry(id));
+        self.storm.open = Some(OpenBatch {
+            id,
+            at: target,
+            slot_len: self.events.slot_len(target),
+        });
+    }
+
     fn tick_cores(&mut self) {
         let is_bump = self.bump.is_some();
         let event_engine = self.cfg.engine == Engine::Event;
-        for i in 0..self.cores.len() {
+        for i in 0..self.bank.len() {
             if event_engine {
-                // A provably idle core's tick is pure stall accounting;
-                // replay it in O(1) instead of running the machinery.
-                match self.cores[i].next_wakeup(self.now, &self.l1s[i]) {
-                    CoreWakeup::Busy => {}
-                    CoreWakeup::At(t) if t <= self.now => {}
+                // A provably idle core's tick is pure stall accounting:
+                // accrue it as one dense-array add (folded into the
+                // core's stats when its classification invalidates).
+                match self.bank.wake_of(i) {
+                    WakeSlot::Busy => {}
+                    WakeSlot::At(t) if t <= self.now => {}
                     _ => {
-                        self.cores[i].skip_idle(1, &self.l1s[i]);
+                        self.bank.accrue_idle(i, 1);
                         continue;
                     }
                 }
@@ -320,21 +712,18 @@ impl System {
             let mut writebacks = std::mem::take(&mut self.scratch_writebacks);
             requests.clear();
             writebacks.clear();
-            let retired = self.cores[i].tick(
-                self.now,
-                &mut self.gens[i],
-                &mut self.l1s[i],
-                &mut requests,
-                &mut writebacks,
-            );
+            let retired = self.bank.tick(i, self.now, &mut requests, &mut writebacks);
             self.measured_instructions += u64::from(retired);
-            for r in &requests {
-                let mut arrival = self.noc.send(MessageKind::Request, self.now);
+            if !requests.is_empty() {
+                let n = requests.len() as u64;
+                let mut arrival = self.noc.send_many(MessageKind::Request, n, self.now);
                 if is_bump {
                     // BuMP augments L1→LLC requests with the PC (§V.F).
-                    arrival = arrival.max(self.noc.send(MessageKind::PcOverhead, self.now));
+                    arrival = arrival.max(self.noc.send_many(MessageKind::PcOverhead, n, self.now));
                 }
-                self.schedule(arrival, Pending::LlcRequest(r.request));
+                for r in &requests {
+                    self.schedule(arrival, Pending::LlcRequest(r.request));
+                }
             }
             for wb in &writebacks {
                 self.noc.send(MessageKind::Request, self.now);
@@ -401,15 +790,19 @@ impl System {
                     let txn = Transaction::write(victim, TrafficClass::DemandWriteback, 0);
                     self.queue_dram(txn, None);
                 }
-                for w in fill.waiters {
-                    let arrival = self.noc.send(MessageKind::Data, self.now);
-                    self.schedule(
-                        arrival,
-                        Pending::CoreResponse {
-                            core: w.core,
-                            block: c.txn.block,
-                        },
-                    );
+                if !fill.waiters.is_empty() {
+                    let arrival =
+                        self.noc
+                            .send_many(MessageKind::Data, fill.waiters.len() as u64, self.now);
+                    for w in fill.waiters {
+                        self.schedule(
+                            arrival,
+                            Pending::CoreResponse {
+                                core: w.core,
+                                block: c.txn.block,
+                            },
+                        );
+                    }
                 }
             }
             self.scratch_completions = completions;
@@ -505,11 +898,12 @@ impl System {
                     exclude,
                     pc,
                 } => {
+                    let n = region.blocks(region_cfg).filter(|b| *b != exclude).count() as u64;
+                    self.noc.send_many(MessageKind::BumpCommand, n, self.now);
                     for block in region.blocks(region_cfg) {
                         if block == exclude {
                             continue;
                         }
-                        self.noc.send(MessageKind::BumpCommand, self.now);
                         let req = MemoryRequest::speculative(block, pc, bulk_class, 0);
                         self.schedule(self.now + 1, Pending::LlcRequest(req));
                     }
@@ -543,18 +937,33 @@ impl System {
     /// Advances the system by one CPU cycle.
     pub fn step(&mut self) {
         self.measured_cycles += 1;
-        // 1. Deliver due NOC messages.
+        let event_engine = self.cfg.engine == Engine::Event;
+        // 1. Deliver due NOC messages. The event engine batches each
+        // slot's fill responses per destination core (they only touch
+        // that core's state, so deferring them past the slot's shared-
+        // resource traffic commutes); the oracle delivers one by one.
         while let Some(mut due) = self.events.take_due(self.now) {
-            for what in due.drain(..) {
+            for (_route, what) in due.drain(..) {
                 match what {
                     Pending::LlcRequest(req) => self.handle_llc_request(req),
                     Pending::L1Writeback(b) => self.handle_l1_writeback(b),
                     Pending::CoreResponse { core, block } => {
-                        self.cores[core].memory_response(block, self.now);
+                        if event_engine {
+                            self.resp_batch.add(core as u32, block);
+                        } else {
+                            self.bank.respond_one(core, block, self.now);
+                        }
                     }
+                    Pending::StormRetry(id) => self.storm_round(id),
                 }
             }
             self.events.recycle(due);
+            if !self.resp_batch.is_empty() {
+                let now = self.now;
+                let mut batch = std::mem::take(&mut self.resp_batch);
+                batch.drain(|core, blocks| self.bank.respond_many(core as usize, blocks, now));
+                self.resp_batch = batch;
+            }
         }
         // 2. Cores.
         self.tick_cores();
@@ -669,8 +1078,10 @@ impl System {
             // catches any column that freed queue room.
         }
         if core_idle_cycles > 0 {
-            for i in 0..self.cores.len() {
-                self.cores[i].skip_idle(core_idle_cycles, &self.l1s[i]);
+            // Every classification was cached by core_quiet_bound and
+            // nothing invalidated it inside the span.
+            for i in 0..self.bank.len() {
+                self.bank.accrue_idle(i, core_idle_cycles);
             }
         }
     }
@@ -691,16 +1102,17 @@ impl System {
     /// machinery tracks separately (NOC event heap + DRAM horizon).
     fn core_quiet_bound(&mut self) -> Option<Cycle> {
         let mut bound = Cycle::MAX;
-        for i in 0..self.cores.len() {
-            match self.cores[i].next_wakeup(self.now, &self.l1s[i]) {
-                CoreWakeup::Busy => return None,
-                CoreWakeup::At(t) => {
+        for i in 0..self.bank.len() {
+            match self.bank.wake_of(i) {
+                WakeSlot::Busy => return None,
+                WakeSlot::At(t) => {
                     if t <= self.now {
                         return None;
                     }
                     bound = bound.min(t);
                 }
-                CoreWakeup::Blocked => {}
+                WakeSlot::Blocked => {}
+                WakeSlot::Stale => unreachable!("wake_of never returns Stale"),
             }
         }
         Some(bound)
@@ -772,7 +1184,9 @@ impl System {
     /// while keeping architectural state (caches, predictor tables,
     /// in-flight traffic) intact.
     pub fn reset_stats(&mut self) {
-        for c in &mut self.cores {
+        // Accrued idle cycles belong to the window being closed.
+        self.bank.flush_all();
+        for c in &mut self.bank.cores {
             c.reset_stats();
         }
         self.llc.reset_stats();
@@ -790,6 +1204,7 @@ impl System {
 
     /// Produces the final report (finalizes the density profiler).
     pub fn report(&mut self) -> SimReport {
+        self.bank.flush_all();
         self.profiler.finalize();
         // Chip-side parameters are the paper's; the DRAM side is costed
         // under the platform's own constants (MemSpec::energy — the
@@ -801,7 +1216,7 @@ impl System {
         let dram_energy = self.mc.energy();
         let activity = SystemActivity {
             cycles: self.measured_cycles,
-            cores: self.cores.len() as u32,
+            cores: self.bank.len() as u32,
             instructions: self.measured_instructions,
             llc_reads: self.llc.stats().total_lookups(),
             llc_writes: self.llc.stats().total_updates(),
@@ -809,7 +1224,12 @@ impl System {
             dram_bytes: dram_energy.accesses() * 64,
             dram: dram_energy,
         };
-        let load_stall_cycles = self.cores.iter().map(|c| c.stats().load_stall_cycles).sum();
+        let load_stall_cycles = self
+            .bank
+            .cores
+            .iter()
+            .map(|c| c.stats().load_stall_cycles)
+            .sum();
         SimReport {
             preset: self.cfg.preset,
             workload: self.cfg.workload,

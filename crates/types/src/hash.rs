@@ -80,6 +80,9 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// simulator's hot per-block bookkeeping maps.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,7 +39,7 @@ pub use config::{
 };
 pub use density::{DensityClass, DensityThreshold};
 pub use energy::DramEnergyParams;
-pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use instr::{Instr, InstrSource};
 pub use request::{AccessKind, MemoryRequest, TrafficClass};
 pub use stats::Ratio;

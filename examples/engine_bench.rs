@@ -1,64 +1,192 @@
-//! Times one simulation cell under both engines and reports the
-//! event-engine speedup — the measurement behind the numbers quoted in
-//! the README's "Two simulation engines" section.
+//! Times simulation cells under both engines and reports the
+//! event-engine speedup — the measurement behind the trajectory in
+//! `results/bench_trajectory/` and the docs/PERFORMANCE.md numbers.
 //!
 //! Usage:
-//!   cargo run --release --example engine_bench [-- paper|quick] [preset] [workload]
+//!   cargo run --release --example engine_bench -- \
+//!       [paper|quick] [preset] [workload] [--scenario NAME] [--json]
 //!
-//! Defaults to the quick scale, Base-open, Web Search. `paper` runs the
-//! 16-core, 4MB-LLC configuration of the evaluation (§V.A) — the scale
-//! the `--full` reproduction suite sweeps.
+//! Human mode times one cell (default: quick scale, Base-open, Web
+//! Search) and prints the speedup. `paper` runs the 16-core, 4MB-LLC
+//! configuration of the evaluation (§V.A) — the scale the `--full`
+//! reproduction suite sweeps.
+//!
+//! `--json` emits a machine-readable report on stdout (progress goes to
+//! stderr) for CI's bench job: per-cell wall time under both engines,
+//! cells/sec, and the cross-engine identity check. Without an explicit
+//! preset it runs a pinned cell list — Base-open, Full-region, and BuMP
+//! on the paper platform plus Full-region on the non-default
+//! `ddr4_2400` scenario — so the JSON always covers the retry-storm
+//! worst case and a scenario-axis cell.
 
-use bump_sim::{run_experiment, Engine, Preset, RunOptions};
+use bump_sim::{
+    config_for_scenario, run_experiment_with_config, Engine, Preset, RunOptions, Scenario,
+};
 use bump_workloads::Workload;
 use std::time::Instant;
 
+struct Cell {
+    preset: Preset,
+    workload: Workload,
+    scenario: Scenario,
+}
+
+struct Timing {
+    cycle_wall_s: f64,
+    event_wall_s: f64,
+    cycles: u64,
+    identical: bool,
+}
+
+/// Runs `cell` under both engines and checks the reports are
+/// byte-identical (the same check `tests/engine_equivalence.rs` pins).
+fn time_cell(cell: &Cell, base: RunOptions) -> Timing {
+    let mut wall = [0.0f64; 2];
+    let mut reports = Vec::new();
+    for (i, engine) in [Engine::Cycle, Engine::Event].into_iter().enumerate() {
+        let opts = RunOptions { engine, ..base };
+        let cfg = config_for_scenario(cell.preset, cell.workload, opts, &cell.scenario);
+        let t = Instant::now();
+        reports.push(run_experiment_with_config(cfg, opts));
+        wall[i] = t.elapsed().as_secs_f64();
+    }
+    Timing {
+        cycle_wall_s: wall[0],
+        event_wall_s: wall[1],
+        cycles: reports[0].cycles,
+        identical: format!("{:?}", reports[0]) == format!("{:?}", reports[1]),
+    }
+}
+
+fn scenario_label(s: &Scenario) -> String {
+    if s.is_default() {
+        "default".to_string()
+    } else {
+        s.name()
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "paper");
+    let json = args.iter().any(|a| a == "--json");
     let preset = args
         .iter()
-        .find_map(|a| Preset::all().into_iter().find(|p| p.name() == a))
-        .unwrap_or(Preset::BaseOpen);
+        .find_map(|a| Preset::all().into_iter().find(|p| p.name() == a));
     let workload = args
         .iter()
         .find_map(|a| Workload::all().into_iter().find(|w| w.name() == a))
         .unwrap_or(Workload::WebSearch);
+    let scenario = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(|name| Scenario::from_name(name).expect("valid scenario name"))
+        .unwrap_or_default();
     let base = if paper {
         RunOptions::paper()
     } else {
         RunOptions::quick(8)
     };
-    println!(
-        "cell: {} x {} ({} scale, {} cores)",
-        preset.name(),
-        workload.name(),
-        if paper { "paper" } else { "quick" },
-        base.cores
-    );
-    let mut wall = [0.0f64; 2];
-    let mut reports = Vec::new();
-    for (i, engine) in [Engine::Cycle, Engine::Event].into_iter().enumerate() {
-        let opts = RunOptions { engine, ..base };
-        let t = Instant::now();
-        let r = run_experiment(preset, workload, opts);
-        wall[i] = t.elapsed().as_secs_f64();
-        println!(
-            "  {engine:>5}: {:>7.2}s  cycles={} ipc={:.3} row_hit={:.3}",
-            wall[i],
-            r.cycles,
-            r.ipc(),
-            r.row_hit_ratio().value()
+    let scale = if paper { "paper" } else { "quick" };
+
+    let cells: Vec<Cell> = match preset {
+        // An explicit preset times exactly that cell.
+        Some(p) => vec![Cell {
+            preset: p,
+            workload,
+            scenario,
+        }],
+        // The pinned CI list: the storm-heavy strawman, the two ends of
+        // the baseline/BuMP spectrum, and one non-default scenario.
+        None if json => {
+            let mut cells: Vec<Cell> = [Preset::BaseOpen, Preset::FullRegion, Preset::Bump]
+                .into_iter()
+                .map(|preset| Cell {
+                    preset,
+                    workload,
+                    scenario: Scenario::default(),
+                })
+                .collect();
+            cells.push(Cell {
+                preset: Preset::FullRegion,
+                workload,
+                scenario: Scenario::from_name("ddr4_2400").expect("known scenario"),
+            });
+            cells
+        }
+        None => vec![Cell {
+            preset: Preset::BaseOpen,
+            workload,
+            scenario,
+        }],
+    };
+
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for cell in &cells {
+        let label = format!(
+            "{} x {} @ {} ({scale} scale, {} cores)",
+            cell.preset.name(),
+            cell.workload.name(),
+            scenario_label(&cell.scenario),
+            base.cores,
         );
-        reports.push(r);
+        eprintln!("cell: {label}");
+        let t = time_cell(cell, base);
+        eprintln!(
+            "  cycle: {:>7.2}s  event: {:>7.2}s  speedup: {:.2}x  cycles={}  identical={}",
+            t.cycle_wall_s,
+            t.event_wall_s,
+            t.cycle_wall_s / t.event_wall_s,
+            t.cycles,
+            t.identical,
+        );
+        all_identical &= t.identical;
+        rows.push((cell, t));
     }
-    assert_eq!(
-        format!("{:?}", reports[0]),
-        format!("{:?}", reports[1]),
-        "engines diverged"
-    );
-    println!(
-        "  reports byte-identical; event-engine speedup: {:.2}x",
-        wall[0] / wall[1]
-    );
+
+    if json {
+        // Hand-rolled JSON (the container has no serde): one object per
+        // cell, schema documented in docs/PERFORMANCE.md.
+        println!("{{");
+        println!("  \"schema\": \"engine-bench-v1\",");
+        println!("  \"scale\": \"{scale}\",");
+        println!("  \"cores\": {},", base.cores);
+        println!("  \"cells\": [");
+        for (i, (cell, t)) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            println!(
+                "    {{\"preset\": \"{}\", \"workload\": \"{}\", \"scenario\": \"{}\", \
+                 \"cycle_wall_s\": {:.3}, \"event_wall_s\": {:.3}, \"speedup\": {:.3}, \
+                 \"cycle_cells_per_s\": {:.4}, \"event_cells_per_s\": {:.4}, \
+                 \"cycles\": {}, \"identical\": {}}}{comma}",
+                cell.preset.name(),
+                cell.workload.name(),
+                scenario_label(&cell.scenario),
+                t.cycle_wall_s,
+                t.event_wall_s,
+                t.cycle_wall_s / t.event_wall_s,
+                1.0 / t.cycle_wall_s,
+                1.0 / t.event_wall_s,
+                t.cycles,
+                t.identical,
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        for (_, t) in &rows {
+            println!(
+                "  reports {}; event-engine speedup: {:.2}x",
+                if t.identical {
+                    "byte-identical"
+                } else {
+                    "DIVERGED"
+                },
+                t.cycle_wall_s / t.event_wall_s,
+            );
+        }
+    }
+    assert!(all_identical, "engines diverged");
 }
