@@ -33,6 +33,7 @@
 use crate::experiment::ExperimentSpec;
 use bump_sim::{Preset, SimReport};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -139,6 +140,21 @@ struct Injector {
 struct Shared {
     injector: Mutex<Injector>,
     work_cv: Condvar,
+    /// Cells currently executing on workers (outside the injector
+    /// lock), for [`Scheduler::depth`].
+    running: AtomicUsize,
+}
+
+/// A point-in-time snapshot of scheduler load, for the serving tier's
+/// metrics endpoint ([`Scheduler::depth`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedDepth {
+    /// Jobs with at least one cell still waiting to be dispatched.
+    pub jobs: usize,
+    /// Cells waiting in the injector for a free worker.
+    pub queued_cells: usize,
+    /// Cells executing on workers right now.
+    pub running_cells: usize,
 }
 
 /// A long-lived pool of workers executing cells from any number of
@@ -160,6 +176,7 @@ impl Scheduler {
                 next_job_id: 0,
             }),
             work_cv: Condvar::new(),
+            running: AtomicUsize::new(0),
         });
         let workers = (0..threads.max(1))
             .map(|_| {
@@ -206,6 +223,25 @@ impl Scheduler {
     /// The number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Point-in-time queue depths. `queued_cells` and `running_cells`
+    /// are sampled separately, so a cell mid-dispatch can be counted in
+    /// neither — fine for a metrics gauge, not a synchronization
+    /// primitive.
+    pub fn depth(&self) -> SchedDepth {
+        let (jobs, queued_cells) = {
+            let injector = self.shared.injector.lock().expect("injector poisoned");
+            (
+                injector.jobs.len(),
+                injector.jobs.iter().map(|q| q.pending.len()).sum(),
+            )
+        };
+        SchedDepth {
+            jobs,
+            queued_cells,
+            running_cells: self.shared.running.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -302,10 +338,12 @@ fn worker_loop(shared: &Shared) {
         // catch_unwind: a panic in either must mark the job failed and
         // still decrement `remaining`, or `JobHandle::wait` would hang
         // forever and the worker would be lost to the pool.
+        shared.running.fetch_add(1, Ordering::Relaxed);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let report = spec.run();
             (job.on_cell)(index, spec, &report);
         }));
+        shared.running.fetch_sub(1, Ordering::Relaxed);
         let mut progress = job.progress.lock().expect("job progress poisoned");
         if let Err(panic) = outcome {
             // `&panic` would unsize the Box itself into `dyn Any` and
@@ -404,6 +442,19 @@ mod tests {
         let sched = Scheduler::new(2);
         let handle = sched.submit(Vec::new(), Box::new(|_, _, _| {}));
         handle.wait().expect("empty job must succeed");
+    }
+
+    #[test]
+    fn depth_reports_idle_and_settles_after_a_job() {
+        let sched = Scheduler::new(1);
+        assert_eq!(sched.depth(), SchedDepth::default());
+        let handle = sched.submit(
+            vec![spec(Preset::BaseOpen, Workload::WebSearch)],
+            Box::new(|_, _, _| {}),
+        );
+        handle.wait().expect("job must succeed");
+        // After wait() the queue is drained and nothing is running.
+        assert_eq!(sched.depth(), SchedDepth::default());
     }
 
     #[test]

@@ -5,23 +5,31 @@
 //! ```sh
 //! cargo run --release -p bump-serve --bin bumpd -- \
 //!     [--addr 127.0.0.1:4077] [--threads N] \
-//!     [--journal results/bumpd.journal | --no-journal]
+//!     [--journal results/bumpd.journal | --no-journal] \
+//!     [--max-conns N] [--inflight-cap N] [--idle-timeout SECS]
 //! ```
 //!
 //! Accepts `submit` frames (see `docs/PROTOCOL.md`) from any number of
 //! concurrent `bumpc` clients, runs their cells on one shared
 //! work-stealing scheduler, streams each finished cell back over its
 //! client's connection, and journals every finished cell so identical
-//! re-submissions with `"resume": true` skip simulation.
+//! re-submissions with `"resume": true` skip simulation. Connections
+//! are multiplexed on one event loop, so the thread count stays
+//! bounded no matter how many clients connect; `GET /metrics` on the
+//! same port serves Prometheus-style counters
+//! (`docs/OBSERVABILITY.md`).
 
 use bump_serve::daemon::Daemon;
+use bump_serve::eventloop::ServeConfig;
 use bump_serve::journal::Journal;
 use std::net::TcpListener;
+use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:4077".to_string();
     let mut threads = bump_bench::experiment::default_threads();
     let mut journal_path = Some("results/bumpd.journal".to_string());
+    let mut config = ServeConfig::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -39,6 +47,24 @@ fn main() {
                 journal_path = Some(expect_value(&args, &mut i, "--journal"));
             }
             "--no-journal" => journal_path = None,
+            "--max-conns" => {
+                config.max_conns = expect_value(&args, &mut i, "--max-conns")
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| usage("--max-conns expects a positive integer"));
+            }
+            "--inflight-cap" => {
+                config.inflight_cap = expect_value(&args, &mut i, "--inflight-cap")
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| usage("--inflight-cap expects a positive integer"));
+            }
+            "--idle-timeout" => {
+                config.idle_timeout = expect_value(&args, &mut i, "--idle-timeout")
+                    .parse::<u64>()
+                    .map(Duration::from_secs)
+                    .unwrap_or_else(|_| usage("--idle-timeout expects whole seconds"));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -69,8 +95,8 @@ fn main() {
             None => " , journal disabled".to_string(),
         }
     );
-    if let Err(e) = daemon.serve(listener) {
-        eprintln!("bumpd: accept loop failed: {e}");
+    if let Err(e) = daemon.serve_with(listener, config) {
+        eprintln!("bumpd: event loop failed: {e}");
         std::process::exit(1);
     }
 }
@@ -88,10 +114,14 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: bumpd [--addr HOST:PORT] [--threads N] [--journal PATH | --no-journal]\n\
+         \x20            [--max-conns N] [--inflight-cap N] [--idle-timeout SECS]\n\
          \n\
          Serve BuMP experiment grids to bumpc clients over newline-delimited\n\
-         JSON (see docs/PROTOCOL.md). Defaults: --addr 127.0.0.1:4077,\n\
-         --threads <available parallelism>, --journal results/bumpd.journal."
+         JSON (see docs/PROTOCOL.md). GET /metrics on the same port serves\n\
+         Prometheus-style counters (docs/OBSERVABILITY.md).\n\
+         Defaults: --addr 127.0.0.1:4077, --threads <available parallelism>,\n\
+         --journal results/bumpd.journal, --max-conns 4096, --inflight-cap 256,\n\
+         --idle-timeout 900."
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

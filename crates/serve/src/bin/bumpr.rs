@@ -7,7 +7,8 @@
 //! cargo run --release -p bump-serve --bin bumpr -- \
 //!     [--addr 127.0.0.1:4177] \
 //!     --backends 127.0.0.1:4077,127.0.0.1:4078 \
-//!     [--cache 4096]
+//!     [--cache 4096] \
+//!     [--max-conns N] [--inflight-cap N] [--idle-timeout SECS]
 //! ```
 //!
 //! Speaks the same protocol as `bumpd` (point `bumpc --router` at it):
@@ -16,14 +17,20 @@
 //! in grid order, and cached in a bounded LRU so a repeated identical
 //! submission never touches a backend. Backends can also be added at
 //! runtime with a `register_backend` frame. See `docs/CLUSTER.md`.
+//! Connections ride the same bounded-thread event loop as `bumpd`;
+//! `GET /metrics` on the router port serves Prometheus-style counters
+//! (`docs/OBSERVABILITY.md`).
 
 use bump_serve::cluster::Router;
+use bump_serve::eventloop::ServeConfig;
 use std::net::TcpListener;
+use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:4177".to_string();
     let mut backends: Vec<String> = Vec::new();
     let mut cache = 4096usize;
+    let mut config = ServeConfig::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -41,6 +48,24 @@ fn main() {
                 cache = expect_value(&args, &mut i, "--cache")
                     .parse::<usize>()
                     .unwrap_or_else(|_| usage("--cache expects a row count (0 disables)"));
+            }
+            "--max-conns" => {
+                config.max_conns = expect_value(&args, &mut i, "--max-conns")
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| usage("--max-conns expects a positive integer"));
+            }
+            "--inflight-cap" => {
+                config.inflight_cap = expect_value(&args, &mut i, "--inflight-cap")
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| usage("--inflight-cap expects a positive integer"));
+            }
+            "--idle-timeout" => {
+                config.idle_timeout = expect_value(&args, &mut i, "--idle-timeout")
+                    .parse::<u64>()
+                    .map(Duration::from_secs)
+                    .unwrap_or_else(|_| usage("--idle-timeout expects whole seconds"));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
@@ -75,8 +100,8 @@ fn main() {
         },
         cache
     );
-    if let Err(e) = router.serve(listener) {
-        eprintln!("bumpr: accept loop failed: {e}");
+    if let Err(e) = router.serve_with(listener, config) {
+        eprintln!("bumpr: event loop failed: {e}");
         std::process::exit(1);
     }
 }
@@ -94,13 +119,16 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: bumpr [--addr HOST:PORT] --backends A:P,B:P[,...] [--cache N]\n\
+         \x20            [--max-conns N] [--inflight-cap N] [--idle-timeout SECS]\n\
          \n\
          Route bumpc submissions across a fleet of bumpd backends: per-cell\n\
          sharding (cost-aware, least-loaded-first), merged grid-order result\n\
          streaming, an N-row LRU result cache (default 4096, 0 disables),\n\
          health-checked backends with automatic failover, and runtime\n\
          registration via register_backend frames (docs/CLUSTER.md).\n\
-         Defaults: --addr 127.0.0.1:4177."
+         GET /metrics on the router port serves Prometheus-style counters\n\
+         (docs/OBSERVABILITY.md). Defaults: --addr 127.0.0.1:4177,\n\
+         --max-conns 4096, --inflight-cap 256, --idle-timeout 900."
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -25,16 +25,24 @@
 //! The output of a routed job is byte-identical to `bumpc --local` for
 //! the same spec (`tests/cluster_e2e.rs`, CI cluster smoke).
 //!
+//! Client connections are multiplexed by the same readiness-polling
+//! event loop as `bumpd` ([`crate::eventloop`]): the router's thread
+//! count is bounded no matter how many clients hold connections open,
+//! and backend dispatch threads exist only for the duration of a job.
+//!
 //! [estimated cost]: bump_bench::sched::estimated_cost
 
 use crate::cluster::backend::{dispatch, Backend, DispatchEvent, WorkUnit};
 use crate::cluster::cache::ResultCache;
-use crate::daemon::{send, spawn_writer, Outbox};
+use crate::daemon::{send, Outbox};
+use crate::eventloop::{self, lock_recover, ConnSender, ServeConfig, Service};
 use crate::journal::{cell_identity, cell_key, JournalEntry};
+use crate::metrics::MetricsBuf;
 use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
+use crate::slog::{self, Level};
 use bump_bench::sched::estimated_unit_cost;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
@@ -93,9 +101,7 @@ impl Router {
 
     /// The pool addresses and their last-known liveness.
     pub fn backend_states(&self) -> Vec<(String, bool)> {
-        self.backends
-            .lock()
-            .expect("backend pool poisoned")
+        lock_recover(&self.backends)
             .iter()
             .map(|b| (b.addr.clone(), b.alive))
             .collect()
@@ -106,7 +112,7 @@ impl Router {
     pub fn register(&self, addr: &str) -> Result<u64, String> {
         match crate::cluster::backend::ping(addr, self.ping_timeout) {
             Some(workers) => {
-                let mut pool = self.backends.lock().expect("backend pool poisoned");
+                let mut pool = lock_recover(&self.backends);
                 match pool.iter_mut().find(|b| b.addr == addr) {
                     Some(existing) => {
                         existing.alive = true;
@@ -124,93 +130,65 @@ impl Router {
         }
     }
 
-    /// Accept loop: one handler thread per connection, forever (until
-    /// the listener errors).
+    /// Serves forever on the event loop with default admission knobs
+    /// (returns only if the poller fails).
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
-        loop {
-            let (stream, peer) = listener.accept()?;
-            let router = Arc::clone(self);
-            std::thread::spawn(move || {
-                if let Err(e) = router.handle_conn(stream) {
-                    eprintln!("bumpr: connection {peer}: {e}");
-                }
-            });
-        }
+        self.serve_with(listener, ServeConfig::default())
+    }
+
+    /// [`Router::serve`] with explicit admission/eviction knobs.
+    pub fn serve_with(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        config: ServeConfig,
+    ) -> std::io::Result<()> {
+        eventloop::serve(Arc::clone(self), listener, config)
     }
 
     /// Spawns [`Router::serve`] on a background thread (test harness
     /// convenience).
     pub fn spawn(self: &Arc<Self>, listener: TcpListener) -> std::thread::JoinHandle<()> {
-        let router = Arc::clone(self);
-        std::thread::spawn(move || {
-            if let Err(e) = router.serve(listener) {
-                eprintln!("bumpr: accept loop: {e}");
-            }
-        })
+        self.spawn_with(listener, ServeConfig::default())
     }
 
-    /// Handles one client connection: `submit` frames route jobs,
-    /// `ping` and `register_backend` manage the pool; anything else is
-    /// an `error` frame with the connection kept open.
-    fn handle_conn(self: &Arc<Self>, stream: TcpStream) -> std::io::Result<()> {
-        let reader = std::io::BufReader::new(stream.try_clone()?);
-        let outbox = spawn_writer(stream);
-        for line in std::io::BufRead::lines(reader) {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
+    /// [`Router::spawn`] with explicit admission/eviction knobs.
+    pub fn spawn_with(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        config: ServeConfig,
+    ) -> std::thread::JoinHandle<()> {
+        let router = Arc::clone(self);
+        std::thread::spawn(move || {
+            if let Err(e) = router.serve_with(listener, config) {
+                eprintln!("bumpr: event loop: {e}");
             }
-            match Frame::parse(&line) {
-                Ok(Frame::Submit(batch)) => self.route_job(&batch, &outbox),
-                Ok(Frame::Ping) => {
-                    let workers: u64 = {
-                        let pool = self.backends.lock().expect("backend pool poisoned");
-                        pool.iter()
-                            .filter(|b| b.alive)
-                            .map(|b| b.workers as u64)
-                            .sum()
-                    };
-                    let results = self.cache.lock().expect("cache poisoned").len() as u64;
-                    send(&outbox, &Frame::Pong { workers, results });
-                }
-                Ok(Frame::RegisterBackend { addr }) => match self.register(&addr) {
-                    Ok(backends) => send(&outbox, &Frame::BackendRegistered { addr, backends }),
-                    Err(message) => send(&outbox, &Frame::Error { message }),
-                },
-                Ok(_) => send(
-                    &outbox,
-                    &Frame::Error {
-                        message: "only submit, ping, and register_backend frames are accepted"
-                            .to_string(),
-                    },
-                ),
-                Err(message) => send(&outbox, &Frame::Error { message }),
-            }
-        }
-        Ok(())
+        })
     }
 
     /// Pings every pool backend, writes the outcomes back, and returns
     /// the live `(pool index, worker count)` pairs for this job.
     fn check_backends(&self) -> Vec<(usize, usize)> {
-        let snapshot = self.backends.lock().expect("backend pool poisoned").clone();
+        let snapshot = lock_recover(&self.backends).clone();
         // Pings happen outside the lock and concurrently: serial
         // checks would stall every job by one full timeout per
         // unreachable backend.
         let timeout = self.ping_timeout;
         let snapshot: Vec<Backend> = snapshot
             .into_iter()
-            .map(|mut backend| {
-                std::thread::spawn(move || {
+            .map(|backend| {
+                let addr = backend.addr.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut backend = backend;
                     backend.check(timeout);
                     backend
-                })
+                });
+                (addr, handle)
             })
             .collect::<Vec<_>>()
             .into_iter()
-            .map(|handle| handle.join().expect("ping thread panicked"))
+            .map(|(addr, handle)| join_ping(addr, handle.join()))
             .collect();
-        let mut pool = self.backends.lock().expect("backend pool poisoned");
+        let mut pool = lock_recover(&self.backends);
         for checked in &snapshot {
             if let Some(b) = pool.iter_mut().find(|b| b.addr == checked.addr) {
                 b.alive = checked.alive;
@@ -242,7 +220,7 @@ impl Router {
         let mut hits: Vec<(usize, JournalEntry)> = Vec::new();
         let mut missing: HashSet<usize> = HashSet::new();
         {
-            let mut cache = self.cache.lock().expect("cache poisoned");
+            let mut cache = lock_recover(&self.cache);
             for i in 0..cells.len() {
                 match cache.get(keys[i], &identities[i]) {
                     Some(entry) => hits.push((i, entry)),
@@ -366,9 +344,7 @@ impl Router {
                 // Snapshot indices stay valid pool indices for the
                 // job's lifetime: the pool only grows (registration
                 // appends, failure just flips the alive flag).
-                let addr = router.backends.lock().expect("backend pool poisoned")[backend]
-                    .addr
-                    .clone();
+                let addr = lock_recover(&router.backends)[backend].addr.clone();
                 let work: Vec<WorkUnit> = unit_ids.iter().map(|&u| units[u].clone()).collect();
                 let id = *next_dispatch;
                 *next_dispatch += 1;
@@ -425,7 +401,7 @@ impl Router {
                         continue;
                     }
                     remaining -= 1;
-                    self.cache.lock().expect("cache poisoned").insert(
+                    lock_recover(&self.cache).insert(
                         keys[global],
                         JournalEntry {
                             identity: identities[global].clone(),
@@ -511,12 +487,142 @@ impl Router {
     /// Marks a pool backend dead and logs why.
     fn fail_backend(&self, backend: usize, error: &str) {
         self.counters.failovers.fetch_add(1, Ordering::Relaxed);
-        let mut pool = self.backends.lock().expect("backend pool poisoned");
+        let mut pool = lock_recover(&self.backends);
         if let Some(b) = pool.get_mut(backend) {
             b.alive = false;
-            eprintln!("bumpr: backend {} failed: {error}", b.addr);
+            slog::log(
+                Level::Warn,
+                "bumpr",
+                "backend_failed",
+                &[("addr", b.addr.clone()), ("error", error.to_string())],
+            );
         }
     }
+}
+
+impl Service for Router {
+    fn name(&self) -> &'static str {
+        "bumpr"
+    }
+
+    /// Handles one client frame: `submit` routes a job (blocking this
+    /// runner until it completes), `ping` and `register_backend` manage
+    /// the pool; anything else is an `error` frame with the connection
+    /// kept open.
+    fn handle(self: Arc<Self>, frame: Result<Frame, String>, outbox: &ConnSender) {
+        match frame {
+            Ok(Frame::Submit(batch)) => self.route_job(&batch, outbox),
+            Ok(Frame::Ping) => {
+                let workers: u64 = lock_recover(&self.backends)
+                    .iter()
+                    .filter(|b| b.alive)
+                    .map(|b| b.workers as u64)
+                    .sum();
+                let results = lock_recover(&self.cache).len() as u64;
+                send(outbox, &Frame::Pong { workers, results });
+            }
+            Ok(Frame::RegisterBackend { addr }) => match self.register(&addr) {
+                Ok(backends) => send(outbox, &Frame::BackendRegistered { addr, backends }),
+                Err(message) => send(outbox, &Frame::Error { message }),
+            },
+            Ok(_) => send(
+                outbox,
+                &Frame::Error {
+                    message: "only submit, ping, and register_backend frames are accepted"
+                        .to_string(),
+                },
+            ),
+            Err(message) => send(outbox, &Frame::Error { message }),
+        }
+    }
+
+    /// `bumpr_*` families: the backend pool (with per-backend series
+    /// keyed by `addr`), the result cache, and the routing counters.
+    fn metrics(&self, buf: &mut MetricsBuf) {
+        let pool = lock_recover(&self.backends).clone();
+        buf.gauge(
+            "bumpr_backends",
+            "Backends in the pool (alive or not).",
+            pool.len() as u64,
+        );
+        buf.gauge(
+            "bumpr_backends_alive",
+            "Backends that passed their last health check.",
+            pool.iter().filter(|b| b.alive).count() as u64,
+        );
+        let alive_series: Vec<(Vec<(&str, &str)>, u64)> = pool
+            .iter()
+            .map(|b| (vec![("addr", b.addr.as_str())], u64::from(b.alive)))
+            .collect();
+        buf.gauge_series(
+            "bumpr_backend_alive",
+            "Liveness by backend address.",
+            &alive_series,
+        );
+        let worker_series: Vec<(Vec<(&str, &str)>, u64)> = pool
+            .iter()
+            .map(|b| (vec![("addr", b.addr.as_str())], b.workers as u64))
+            .collect();
+        buf.gauge_series(
+            "bumpr_backend_workers",
+            "Worker threads reported by each backend's last pong.",
+            &worker_series,
+        );
+        let (cache_len, cache_cap, cache_hits, cache_misses) = {
+            let cache = lock_recover(&self.cache);
+            let (hits, misses) = cache.hit_stats();
+            (cache.len(), cache.capacity(), hits, misses)
+        };
+        buf.gauge(
+            "bumpr_cache_entries",
+            "Rows currently held by the result cache.",
+            cache_len as u64,
+        );
+        buf.gauge(
+            "bumpr_cache_capacity",
+            "Result cache capacity (0 disables caching).",
+            cache_cap as u64,
+        );
+        buf.counter("bumpr_cache_hits_total", "Result cache hits.", cache_hits);
+        buf.counter(
+            "bumpr_cache_misses_total",
+            "Result cache misses.",
+            cache_misses,
+        );
+        let stats = self.stats();
+        buf.counter(
+            "bumpr_dispatched_cells_total",
+            "Cells handed to backends (counting re-dispatches).",
+            stats.dispatched_cells,
+        );
+        buf.counter(
+            "bumpr_cache_hit_cells_total",
+            "Cells served from the result cache.",
+            stats.cache_hit_cells,
+        );
+        buf.counter(
+            "bumpr_failovers_total",
+            "Backend failures that triggered a re-dispatch.",
+            stats.failovers,
+        );
+    }
+}
+
+/// Settles one health-sweep ping thread. A panicked ping must read as
+/// "backend unhealthy", never kill the sweep: one bad address would
+/// otherwise take the whole router down mid-job.
+fn join_ping(addr: String, result: std::thread::Result<Backend>) -> Backend {
+    result.unwrap_or_else(|_| {
+        slog::log(
+            Level::Warn,
+            "bumpr",
+            "ping_panicked",
+            &[("addr", addr.clone())],
+        );
+        let mut backend = Backend::new(addr);
+        backend.alive = false;
+        backend
+    })
 }
 
 /// The terminal error when a job cannot make progress.
@@ -743,8 +849,8 @@ mod tests {
 
     #[test]
     fn ordered_emitter_releases_in_grid_order() {
-        let (tx, rx) = mpsc::channel::<String>();
-        let mut emitter = OrderedEmitter::new(&tx);
+        let outbox = ConnSender::detached();
+        let mut emitter = OrderedEmitter::new(&outbox);
         let cell = |i: u64| CellResult {
             job: 0,
             index: i,
@@ -755,14 +861,37 @@ mod tests {
         };
         emitter.insert(2, cell(2));
         emitter.insert(1, cell(1));
-        assert!(rx.try_recv().is_err(), "nothing released before index 0");
+        assert!(
+            outbox.take_queued().is_empty(),
+            "nothing released before index 0"
+        );
         emitter.insert(0, cell(0));
-        let order: Vec<String> = rx.try_iter().collect();
+        let order: Vec<String> = outbox.take_queued();
         assert_eq!(order.len(), 3);
         for (i, line) in order.iter().enumerate() {
             assert!(line.contains(&format!("\"index\":{i}")), "{line}");
         }
         emitter.insert(3, cell(3));
         assert!(emitter.is_drained(4));
+    }
+
+    /// Satellite regression: a panicked ping thread reads as "backend
+    /// unhealthy" and the sweep carries on, instead of taking the
+    /// router down via `join().expect(...)`.
+    #[test]
+    fn a_panicked_ping_thread_marks_the_backend_dead_not_the_router() {
+        let ok = std::thread::spawn(|| {
+            let mut b = Backend::new("127.0.0.1:1");
+            b.alive = true;
+            b.workers = 3;
+            b
+        });
+        let checked = join_ping("127.0.0.1:1".to_string(), ok.join());
+        assert!(checked.alive);
+        assert_eq!(checked.workers, 3);
+        let boom = std::thread::spawn(|| -> Backend { panic!("ping thread blew up") });
+        let checked = join_ping("127.0.0.1:2".to_string(), boom.join());
+        assert!(!checked.alive, "a panicked ping means unhealthy");
+        assert_eq!(checked.addr, "127.0.0.1:2");
     }
 }

@@ -1,31 +1,35 @@
 //! The `bumpd` daemon: a long-lived experiment server.
 //!
 //! One [`Daemon`] owns one work-stealing
-//! [`bump_bench::sched::Scheduler`] and one resume [`Journal`]; every
-//! accepted TCP connection gets a handler thread that parses
-//! newline-delimited [`Frame`]s. Because all connections submit into
-//! the *same* scheduler, cells from concurrent jobs interleave by job
-//! age (a small job is serviced every other steal instead of queueing
-//! behind a `--full` sweep) and expensive cells spread across workers
-//! by estimated cost — the daemon is exactly the shared backend the
-//! synchronous `run_grid` wraps, so streamed rows are byte-identical
-//! to an in-process run of the same grid (`tests/daemon_e2e.rs`).
+//! [`bump_bench::sched::Scheduler`] and one resume [`Journal`]; client
+//! connections are multiplexed by the shared readiness-polling event
+//! loop ([`crate::eventloop`]), which parses newline-delimited
+//! [`Frame`]s and hands them to a bounded runner pool — the daemon's
+//! thread count is fixed regardless of how many clients are connected.
+//! Because all connections submit into the *same* scheduler, cells
+//! from concurrent jobs interleave by job age (a small job is serviced
+//! every other steal instead of queueing behind a `--full` sweep) and
+//! expensive cells spread across workers by estimated cost — the
+//! daemon is exactly the shared backend the synchronous `run_grid`
+//! wraps, so streamed rows are byte-identical to an in-process run of
+//! the same grid (`tests/daemon_e2e.rs`).
 //!
-//! Scheduler workers never touch a socket: every outbound frame goes
-//! through a per-connection writer thread fed by a channel, so a slow
-//! or non-reading client stalls only its own connection's TCP stream —
-//! its cells still execute, land in the journal, and the pool stays
-//! available to every other client.
+//! Scheduler workers never touch a socket: every outbound frame is
+//! queued on the connection's [`Outbox`] and written by the event
+//! loop, so a slow or non-reading client stalls only its own
+//! connection's TCP stream — its cells still execute, land in the
+//! journal, and the pool stays available to every other client.
 
+use crate::eventloop::{self, lock_recover, ConnSender, ServeConfig, Service};
 use crate::journal::{cell_identity, cell_key, Journal, JournalEntry};
 use crate::json::Json;
+use crate::metrics::MetricsBuf;
 use crate::proto::{CellResult, Frame, SubmitBatch};
 use bump_bench::experiment::MetricRow;
 use bump_bench::sched::Scheduler;
-use std::io::{BufRead as _, Write as _};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 
 /// The serving daemon: a scheduler, a journal, and a job-id counter
 /// shared by every client connection.
@@ -33,13 +37,14 @@ pub struct Daemon {
     sched: Scheduler,
     journal: Mutex<Journal>,
     next_job: AtomicU64,
+    journal_hits: AtomicU64,
+    cells_executed: AtomicU64,
 }
 
 /// The sending half of a connection's outbox: frames queued here are
-/// written to the socket, in order, by that connection's writer thread.
-/// Shared with the `bumpr` router, whose connections use the same
-/// writer-thread discipline.
-pub(crate) type Outbox = mpsc::Sender<String>;
+/// written to the socket, in order, by the event loop. Shared with the
+/// `bumpr` router, whose connections use the same discipline.
+pub(crate) type Outbox = ConnSender;
 
 impl Daemon {
     /// A daemon executing cells on `threads` workers, journaling into
@@ -49,6 +54,8 @@ impl Daemon {
             sched: Scheduler::new(threads),
             journal: Mutex::new(journal),
             next_job: AtomicU64::new(0),
+            journal_hits: AtomicU64::new(0),
+            cells_executed: AtomicU64::new(0),
         })
     }
 
@@ -57,66 +64,39 @@ impl Daemon {
         self.sched.threads()
     }
 
-    /// Accept loop: one handler thread per connection, forever (until
-    /// the listener errors).
+    /// Serves forever on the event loop with default admission knobs
+    /// (returns only if the poller fails).
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
-        loop {
-            let (stream, peer) = listener.accept()?;
-            let daemon = Arc::clone(self);
-            std::thread::spawn(move || {
-                if let Err(e) = daemon.handle_conn(stream) {
-                    eprintln!("bumpd: connection {peer}: {e}");
-                }
-            });
-        }
+        self.serve_with(listener, ServeConfig::default())
+    }
+
+    /// [`Daemon::serve`] with explicit admission/eviction knobs.
+    pub fn serve_with(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        config: ServeConfig,
+    ) -> std::io::Result<()> {
+        eventloop::serve(Arc::clone(self), listener, config)
     }
 
     /// Spawns [`Daemon::serve`] on a background thread (test harness
     /// convenience). The daemon keeps serving until the process exits.
     pub fn spawn(self: &Arc<Self>, listener: TcpListener) -> std::thread::JoinHandle<()> {
-        let daemon = Arc::clone(self);
-        std::thread::spawn(move || {
-            if let Err(e) = daemon.serve(listener) {
-                eprintln!("bumpd: accept loop: {e}");
-            }
-        })
+        self.spawn_with(listener, ServeConfig::default())
     }
 
-    /// Handles one client connection: a sequence of `submit` frames,
-    /// each answered by `job_accepted`, streamed `cell_result`s, and a
-    /// terminal `job_done` (or `error`). Malformed lines get an
-    /// `error` frame; the connection stays open for the next line.
-    fn handle_conn(self: &Arc<Self>, stream: TcpStream) -> std::io::Result<()> {
-        let reader = std::io::BufReader::new(stream.try_clone()?);
-        let outbox = spawn_writer(stream);
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
+    /// [`Daemon::spawn`] with explicit admission/eviction knobs.
+    pub fn spawn_with(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        config: ServeConfig,
+    ) -> std::thread::JoinHandle<()> {
+        let daemon = Arc::clone(self);
+        std::thread::spawn(move || {
+            if let Err(e) = daemon.serve_with(listener, config) {
+                eprintln!("bumpd: event loop: {e}");
             }
-            match Frame::parse(&line) {
-                Ok(Frame::Submit(batch)) => self.run_job(&batch, &outbox),
-                Ok(Frame::Ping) => {
-                    let results = self.journal.lock().expect("journal poisoned").len() as u64;
-                    send(
-                        &outbox,
-                        &Frame::Pong {
-                            workers: self.threads() as u64,
-                            results,
-                        },
-                    );
-                }
-                Ok(_) => send(
-                    &outbox,
-                    &Frame::Error {
-                        message: "only submit and ping frames are accepted from clients"
-                            .to_string(),
-                    },
-                ),
-                Err(message) => send(&outbox, &Frame::Error { message }),
-            }
-        }
-        Ok(())
+        })
     }
 
     /// Runs one submission batch as one job: journal hits stream
@@ -141,7 +121,7 @@ impl Daemon {
         let mut cached: Vec<(usize, JournalEntry)> = Vec::new();
         let mut pending: Vec<usize> = Vec::new();
         {
-            let journal = self.journal.lock().expect("journal poisoned");
+            let journal = lock_recover(&self.journal);
             for (i, key) in keys.iter().enumerate() {
                 let hit = resume[i]
                     .then(|| journal.get(*key))
@@ -153,6 +133,8 @@ impl Daemon {
                 }
             }
         }
+        self.journal_hits
+            .fetch_add(cached.len() as u64, Ordering::Relaxed);
         let job = self.next_job.fetch_add(1, Ordering::Relaxed);
         send(
             outbox,
@@ -191,7 +173,8 @@ impl Daemon {
                     let csv = row.to_csv();
                     let row_json =
                         Json::parse(&row.to_json()).expect("MetricRow::to_json is valid JSON");
-                    daemon.journal.lock().expect("journal poisoned").record(
+                    daemon.cells_executed.fetch_add(1, Ordering::Relaxed);
+                    lock_recover(&daemon.journal).record(
                         pending_keys[j],
                         JournalEntry {
                             identity: cell_identity(spec),
@@ -228,36 +211,119 @@ impl Daemon {
     }
 }
 
-/// Spawns the connection's writer thread: it drains the outbox to the
-/// socket in queue order, and after the first write failure (client
-/// gone) keeps draining and discarding so queued senders never block.
-/// The queue is unbounded but its depth is capped in practice by the
-/// cells of the jobs in flight on this connection (a frame per cell).
-/// The thread exits when every `Outbox` clone has been dropped.
-pub(crate) fn spawn_writer(stream: TcpStream) -> Outbox {
-    let (tx, rx) = mpsc::channel::<String>();
-    std::thread::spawn(move || {
-        let mut stream = stream;
-        let mut dead = false;
-        for line in rx {
-            if dead {
-                continue;
+impl Service for Daemon {
+    fn name(&self) -> &'static str {
+        "bumpd"
+    }
+
+    /// Handles one parsed frame from a client: `submit` runs a job
+    /// (blocking this runner until it completes), `ping` answers with
+    /// pool stats, anything else is a protocol error. The connection
+    /// stays open for the next frame either way.
+    fn handle(self: Arc<Self>, frame: Result<Frame, String>, outbox: &ConnSender) {
+        match frame {
+            Ok(Frame::Submit(batch)) => self.run_job(&batch, outbox),
+            Ok(Frame::Ping) => {
+                let results = lock_recover(&self.journal).len() as u64;
+                send(
+                    outbox,
+                    &Frame::Pong {
+                        workers: self.threads() as u64,
+                        results,
+                    },
+                );
             }
-            let ok = stream
-                .write_all(line.as_bytes())
-                .and_then(|()| stream.write_all(b"\n"))
-                .and_then(|()| stream.flush());
-            if ok.is_err() {
-                dead = true;
-            }
+            Ok(_) => send(
+                outbox,
+                &Frame::Error {
+                    message: "only submit and ping frames are accepted from clients".to_string(),
+                },
+            ),
+            Err(message) => send(outbox, &Frame::Error { message }),
         }
-    });
-    tx
+    }
+
+    /// `bumpd_*` families: scheduler depths, journal size, and the
+    /// hit/executed counters behind the resume rate.
+    fn metrics(&self, buf: &mut MetricsBuf) {
+        let depth = self.sched.depth();
+        buf.gauge(
+            "bumpd_sched_workers",
+            "Scheduler worker threads.",
+            self.threads() as u64,
+        );
+        buf.gauge(
+            "bumpd_sched_jobs",
+            "Jobs currently queued on the scheduler.",
+            depth.jobs as u64,
+        );
+        buf.gauge(
+            "bumpd_sched_queued_cells",
+            "Cells waiting for a scheduler worker.",
+            depth.queued_cells as u64,
+        );
+        buf.gauge(
+            "bumpd_sched_running_cells",
+            "Cells executing on scheduler workers right now.",
+            depth.running_cells as u64,
+        );
+        buf.gauge(
+            "bumpd_journal_entries",
+            "Finished cells in the resume journal.",
+            lock_recover(&self.journal).len() as u64,
+        );
+        let hits = self.journal_hits.load(Ordering::Relaxed);
+        let executed = self.cells_executed.load(Ordering::Relaxed);
+        buf.counter(
+            "bumpd_journal_hits_total",
+            "Cells served from the journal instead of re-simulating.",
+            hits,
+        );
+        buf.counter(
+            "bumpd_cells_executed_total",
+            "Cells actually simulated by this daemon.",
+            executed,
+        );
+        buf.gauge_f64(
+            "bumpd_journal_resume_rate",
+            "Fraction of requested cells served from the journal.",
+            if hits + executed == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + executed) as f64
+            },
+        );
+    }
 }
 
-/// Queues one frame on the connection's outbox. A send error means the
-/// writer thread is gone (connection torn down); the frame is dropped —
-/// jobs still complete and stay journaled.
+/// Queues one frame on the connection's outbox. After the connection
+/// closes the frame is dropped — jobs still complete and stay
+/// journaled.
 pub(crate) fn send(outbox: &Outbox, frame: &Frame) {
-    let _ = outbox.send(frame.encode());
+    outbox.send_line(frame.encode());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: a panic while holding the journal lock
+    /// must not cascade — later requests recover the poisoned lock and
+    /// keep serving.
+    #[test]
+    fn poisoned_journal_lock_does_not_kill_later_requests() {
+        let daemon = Daemon::new(1, Journal::in_memory());
+        let poisoner = Arc::clone(&daemon);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.journal.lock().unwrap();
+            panic!("simulated handler panic while journaling");
+        })
+        .join();
+        assert!(daemon.journal.lock().is_err(), "journal lock is poisoned");
+        let outbox = ConnSender::detached();
+        Arc::clone(&daemon).handle(Ok(Frame::Ping), &outbox);
+        let lines = outbox.take_queued();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"pong\""), "{}", lines[0]);
+    }
 }

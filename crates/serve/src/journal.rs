@@ -113,10 +113,20 @@ impl Journal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
-        let file = std::fs::OpenOptions::new()
+        let mut file = std::fs::OpenOptions::new()
             .create(true)
+            .read(true)
             .append(true)
             .open(path)?;
+        // A crash mid-append leaves a torn tail with no trailing
+        // newline. Blind appends would then merge the next record into
+        // the torn line, losing *both* at the next load (the merged
+        // line parses as neither record). Terminate the tail first so
+        // only the torn cell is ever lost.
+        if !ends_with_newline(&mut file)? {
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
         Ok(Journal {
             path: path.to_path_buf(),
             entries,
@@ -173,6 +183,20 @@ impl Journal {
         }
         self.entries.insert(key, entry);
     }
+}
+
+/// Whether the file is empty or its last byte is `\n`. Seeking for the
+/// read is safe on the append handle: `O_APPEND` repositions writes to
+/// the end on their own, independent of the read offset.
+fn ends_with_newline(file: &mut std::fs::File) -> std::io::Result<bool> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    if file.metadata()?.len() == 0 {
+        return Ok(true);
+    }
+    file.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    file.read_exact(&mut last)?;
+    Ok(last[0] == b'\n')
 }
 
 fn parse_line(line: &str) -> Option<(u64, JournalEntry)> {
@@ -281,6 +305,44 @@ mod tests {
         assert_eq!(j.len(), 1);
         assert!(j.get(1).is_some());
         assert!(j.get(2).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite regression: resuming *and appending* after a torn
+    /// final line must keep every completed cell intact and lose
+    /// exactly the torn cell. Before the newline-termination fix in
+    /// `Journal::open`, the first post-crash append merged into the
+    /// torn tail, producing one unparseable line that lost the torn
+    /// cell AND the freshly recorded one on the next load.
+    #[test]
+    fn append_after_torn_tail_loses_only_the_torn_cell() {
+        let path = temp_path("torn-append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record(1, entry("whole"));
+        }
+        // Crash mid-append: a partial record with no trailing newline.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"key\":\"0000000000000002\",\"label\":\"to").unwrap();
+        }
+        // The daemon restarts and re-runs the torn cell (new key 3
+        // stands in for the re-simulated cell).
+        {
+            let mut j = Journal::open(&path).unwrap();
+            assert_eq!(j.len(), 1, "only the whole cell survives the crash");
+            j.record(3, entry("rerun"));
+        }
+        // Every completed cell — pre-crash and post-crash — reloads.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get(1).unwrap().label, "whole");
+        assert_eq!(j.get(3).unwrap().label, "rerun");
+        assert!(j.get(2).is_none(), "exactly the torn cell is re-run");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -20,10 +20,14 @@
 //! * [`json`] — JSON value + strict parser + deterministic serializer.
 //! * [`proto`] — the frame types and their encode/parse.
 //! * [`journal`] — the append-only on-disk resume journal.
-//! * [`daemon`] — the `bumpd` accept loop / job execution.
+//! * [`eventloop`] — the shared readiness-polling serving core
+//!   (connection multiplexing, admission control, `GET /metrics`).
+//! * [`daemon`] — `bumpd` job execution on the event loop.
 //! * [`client`] — the `bumpc` submit-and-stream helper.
 //! * [`cluster`] — the `bumpr` sharding router + LRU result cache in
 //!   front of a fleet of daemons (`docs/CLUSTER.md`).
+//! * [`metrics`] — Prometheus-style text exposition formatter.
+//! * [`slog`] — structured `key=value` log lines on stderr.
 //!
 //! Binaries: `bumpd` (daemon), `bumpc` (client / `--local` runner),
 //! and `bumpr` (cluster router); the wire format reference lives in
@@ -34,6 +38,9 @@
 pub mod client;
 pub mod cluster;
 pub mod daemon;
+pub mod eventloop;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 pub mod proto;
+pub mod slog;

@@ -1,0 +1,154 @@
+//! Prometheus-style text exposition for the serving tier.
+//!
+//! `bumpd` and `bumpr` answer `GET /metrics` on their protocol port
+//! (the event loop sniffs the first bytes of a connection — see
+//! [`crate::eventloop`]) with the classic text format, version
+//! `0.0.4`: `# HELP`/`# TYPE` comment pairs followed by
+//! `name{labels} value` samples, one family per metric. This module is
+//! only the *formatter*; the families themselves are contributed by
+//! the event loop (connection/admission counters) and by each
+//! service's `Service::metrics` (scheduler depths, journal, backend
+//! pool, cache). The full catalogue with semantics lives in
+//! `docs/OBSERVABILITY.md`.
+
+/// An in-progress metrics exposition: families are appended in call
+/// order and rendered with `# HELP`/`# TYPE` headers.
+#[derive(Debug, Default)]
+pub struct MetricsBuf {
+    out: String,
+}
+
+impl MetricsBuf {
+    /// An empty exposition.
+    pub fn new() -> MetricsBuf {
+        MetricsBuf::default()
+    }
+
+    /// Appends a single-sample counter family (monotonically
+    /// non-decreasing).
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], &value.to_string());
+    }
+
+    /// Appends a single-sample gauge family (free to go up and down).
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], &value.to_string());
+    }
+
+    /// Appends a single-sample floating-point gauge family.
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], &format_f64(value));
+    }
+
+    /// Appends a gauge family with one sample per `(labels, value)`
+    /// series, e.g. per-backend load keyed by `addr`.
+    pub fn gauge_series(&mut self, name: &str, help: &str, series: &[(Vec<(&str, &str)>, u64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in series {
+            self.sample(name, labels, &value.to_string());
+        }
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (key, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(key);
+                self.out.push_str("=\"");
+                for c in val.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+}
+
+/// Prometheus renders floats plainly; avoid `1.0000000000000002`-style
+/// noise for the common exact cases.
+fn format_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        let s = format!("{value:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_render_with_help_type_and_samples() {
+        let mut buf = MetricsBuf::new();
+        buf.counter("bump_jobs_total", "Jobs admitted.", 7);
+        buf.gauge("bump_conns_open", "Open connections.", 3);
+        let text = buf.finish();
+        assert!(text.contains("# HELP bump_jobs_total Jobs admitted.\n"));
+        assert!(text.contains("# TYPE bump_jobs_total counter\n"));
+        assert!(text.contains("\nbump_jobs_total 7\n"));
+        assert!(text.contains("# TYPE bump_conns_open gauge\n"));
+        assert!(text.ends_with("bump_conns_open 3\n"));
+    }
+
+    #[test]
+    fn labeled_series_escape_values() {
+        let mut buf = MetricsBuf::new();
+        buf.gauge_series(
+            "bumpr_backend_alive",
+            "Liveness by backend.",
+            &[
+                (vec![("addr", "127.0.0.1:4181")], 1),
+                (vec![("addr", "weird\"addr\\")], 0),
+            ],
+        );
+        let text = buf.finish();
+        assert!(text.contains("bumpr_backend_alive{addr=\"127.0.0.1:4181\"} 1\n"));
+        assert!(text.contains("bumpr_backend_alive{addr=\"weird\\\"addr\\\\\"} 0\n"));
+    }
+
+    #[test]
+    fn float_gauges_render_cleanly() {
+        assert_eq!(format_f64(0.0), "0");
+        assert_eq!(format_f64(1.0), "1");
+        assert_eq!(format_f64(0.5), "0.5");
+        assert_eq!(format_f64(1.0 / 3.0), "0.333333");
+        assert_eq!(format_f64(f64::NAN), "NaN");
+    }
+}

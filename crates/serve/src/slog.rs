@@ -1,0 +1,176 @@
+//! Structured log lines for the serving tier.
+//!
+//! Every operational event `bumpd`/`bumpr` emit goes through
+//! [`log`] as one `key=value` line on stderr:
+//!
+//! ```text
+//! time=2026-08-08T12:00:00Z level=info service=bumpd event=conn_accept peer=127.0.0.1:51324 conns=3
+//! ```
+//!
+//! The fixed prefix (`time`, `level`, `service`, `event`) makes the
+//! stream machine-splittable with nothing but `key=value` parsing;
+//! values containing spaces, quotes, or `=` are double-quoted with
+//! `\"`/`\\` escapes. Set `BUMP_LOG=debug` to also emit
+//! [`Level::Debug`] lines (per-connection read/write chatter); the
+//! default threshold is `info`. The field catalogue is documented in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! The timestamp is UTC with second precision, computed from
+//! `SystemTime` by hand (civil-from-days) — the offline build rule
+//! (`shims/README.md`) leaves no `chrono` to lean on, and serving logs
+//! don't need sub-second resolution.
+
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Log severity. `Debug` is suppressed unless `BUMP_LOG=debug`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume per-connection detail, off by default.
+    Debug,
+    /// Normal operational events (accepts, jobs, evictions).
+    Info,
+    /// Degraded-but-serving conditions (rejections, dead backends).
+    Warn,
+    /// Failures that lose work or a connection.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+fn threshold() -> Level {
+    static THRESHOLD: OnceLock<Level> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        match std::env::var("BUMP_LOG").as_deref() {
+            Ok("debug") => Level::Debug,
+            Ok("warn") => Level::Warn,
+            Ok("error") => Level::Error,
+            // Unset or unrecognized: the default threshold.
+            _ => Level::Info,
+        }
+    })
+}
+
+/// Emits one structured line: `time=… level=… service=… event=…`
+/// followed by `fields` in the given order. Below-threshold levels are
+/// dropped. Never panics — a logging failure must not take down a
+/// connection handler.
+pub fn log(level: Level, service: &str, event: &str, fields: &[(&str, String)]) {
+    if level < threshold() {
+        return;
+    }
+    let mut line = String::with_capacity(96);
+    line.push_str("time=");
+    line.push_str(&utc_now());
+    line.push_str(" level=");
+    line.push_str(level.as_str());
+    line.push_str(" service=");
+    line.push_str(service);
+    line.push_str(" event=");
+    line.push_str(event);
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        push_value(&mut line, value);
+    }
+    line.push('\n');
+    // One write_all per line keeps concurrent handlers' lines whole
+    // (stderr is line-buffered per write, not per byte).
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Appends `value`, double-quoting it when it contains anything that
+/// would break naive `key=value` splitting.
+fn push_value(line: &mut String, value: &str) {
+    let needs_quoting = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || c == '=' || c == '"' || c == '\\');
+    if !needs_quoting {
+        line.push_str(value);
+        return;
+    }
+    line.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => line.push_str("\\\""),
+            '\\' => line.push_str("\\\\"),
+            '\n' => line.push_str("\\n"),
+            c => line.push(c),
+        }
+    }
+    line.push('"');
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SSZ`.
+fn utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format_utc(secs)
+}
+
+/// Formats seconds-since-epoch as `YYYY-MM-DDTHH:MM:SSZ` using the
+/// days-to-civil algorithm (Howard Hinnant's `civil_from_days`).
+fn format_utc(secs: u64) -> String {
+    let days = secs / 86_400;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    // Shift the epoch from 1970-01-01 to 0000-03-01 so leap days land
+    // at the end of the (March-started) year.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_match_known_instants() {
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) 12:34:56 UTC.
+        assert_eq!(format_utc(951_827_696), "2000-02-29T12:34:56Z");
+        // 2026-08-08 00:00:00 UTC.
+        assert_eq!(format_utc(1_786_147_200), "2026-08-08T00:00:00Z");
+        // Year boundary.
+        assert_eq!(format_utc(1_767_225_599), "2025-12-31T23:59:59Z");
+        assert_eq!(format_utc(1_767_225_600), "2026-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn values_are_quoted_only_when_needed() {
+        let rendered = |v: &str| {
+            let mut s = String::new();
+            push_value(&mut s, v);
+            s
+        };
+        assert_eq!(rendered("127.0.0.1:4077"), "127.0.0.1:4077");
+        assert_eq!(rendered("plain"), "plain");
+        assert_eq!(rendered(""), "\"\"");
+        assert_eq!(rendered("two words"), "\"two words\"");
+        assert_eq!(rendered("k=v"), "\"k=v\"");
+        assert_eq!(rendered("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(rendered("a\nb"), "\"a\\nb\"");
+    }
+}

@@ -1,0 +1,133 @@
+//! The serving-core acceptance drill: one `bumpd` holding **1000+
+//! concurrent idle connections** on a bounded thread count while real
+//! jobs keep flowing.
+//!
+//! ```sh
+//! cargo run --release --example idle_flood [-- CONNS]
+//! ```
+//!
+//! The old thread-per-connection daemon would spawn two threads per
+//! socket (reader + writer), so a thousand idle clients meant two
+//! thousand parked threads and an easy slowloris: connect, send
+//! nothing, pin a thread forever. The readiness-polling event loop
+//! (`crates/serve/src/eventloop.rs`) multiplexes every connection on
+//! one thread, so this drill:
+//!
+//! 1. starts an in-process daemon,
+//! 2. opens N (default 1200) connections that never send a byte,
+//! 3. submits a real experiment job *through the flood* and
+//!    byte-compares its CSV against an in-process `run_grid`,
+//! 4. scrapes `GET /metrics` off the same port mid-flood, and
+//! 5. reports the process thread count, which must stay bounded (the
+//!    event loop + its runner pool + the scheduler), not scale with N.
+
+use bump_bench::experiment::run_grid;
+use bump_serve::client;
+use bump_serve::daemon::Daemon;
+use bump_serve::journal::Journal;
+use bump_serve::proto::SubmitSpec;
+use bump_sim::{Engine, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let conns: usize = std::env::args()
+        .nth(1)
+        .map(|n| n.parse().expect("CONNS must be an integer"))
+        .unwrap_or(1200);
+
+    let daemon = Daemon::new(2, Journal::in_memory());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    daemon.spawn(listener);
+    println!("daemon listening on {addr}");
+
+    let before = process_threads();
+    let start = Instant::now();
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => idle.push(stream),
+            Err(e) => {
+                eprintln!("connect {i} failed: {e} (raise `ulimit -n`?)");
+                std::process::exit(1);
+            }
+        }
+    }
+    let after = process_threads();
+    println!(
+        "opened {} idle connections in {:.2?}: {} -> {} process threads",
+        idle.len(),
+        start.elapsed(),
+        before,
+        after
+    );
+    assert!(
+        idle.len() >= 1000,
+        "acceptance floor: at least 1000 concurrent idle connections"
+    );
+    assert!(
+        after < before + conns / 10,
+        "thread count must not scale with connections ({before} -> {after} for {conns})"
+    );
+
+    // A real job through the flood, byte-compared against run_grid.
+    let spec = SubmitSpec::new(
+        vec![Preset::BaseOpen, Preset::Bump],
+        vec![Workload::WebSearch],
+        RunOptions {
+            cores: 2,
+            warmup_instructions: 30_000,
+            measure_instructions: 30_000,
+            max_cycles: 3_000_000,
+            seed: 42,
+            small_llc: true,
+            engine: Engine::Event,
+        },
+    );
+    let direct = run_grid(&spec.to_grid(), 2).to_csv();
+    let job_start = Instant::now();
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("active client connects");
+    let outcome = client::submit(&mut stream, &spec).expect("job through the flood");
+    assert_eq!(
+        outcome.to_csv(),
+        direct,
+        "CSV through the flood must be byte-identical to run_grid"
+    );
+    println!(
+        "active job: {} cells in {:.2?}, byte-identical to run_grid",
+        outcome.cells.len(),
+        job_start.elapsed()
+    );
+
+    // The metrics endpoint answers on the same port, mid-flood.
+    let mut http = TcpStream::connect(&addr).expect("scrape connect");
+    http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    http.read_to_string(&mut response).expect("read scrape");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    let open = response
+        .lines()
+        .find(|l| l.starts_with("bump_conns_open "))
+        .expect("bump_conns_open family");
+    println!("metrics mid-flood: {open}");
+
+    drop(idle);
+    println!("idle flood drill passed ({conns} connections)");
+}

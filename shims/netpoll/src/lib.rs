@@ -1,0 +1,568 @@
+//! Offline readiness-polling shim: one [`Poller`] API over the OS
+//! readiness queue — **epoll** on Linux/Android, **kqueue** on the
+//! BSDs and macOS — plus a cross-thread [`Waker`].
+//!
+//! This workspace builds with no registry access (`shims/README.md`),
+//! so the usual `mio` dependency is replaced by this hand-rolled
+//! equivalent: the handful of syscalls are declared `extern "C"`
+//! against the libc every Rust binary already links, and the sockets
+//! themselves stay ordinary `std::net` types put into non-blocking
+//! mode — the shim only multiplexes *readiness*, it never owns I/O.
+//!
+//! Semantics are deliberately the simple ones:
+//!
+//! * **Level-triggered.** A socket that is still readable/writable is
+//!   reported again on the next [`Poller::wait`]; users don't have to
+//!   drain to `WouldBlock` on every event (though the serve tier
+//!   does).
+//! * **One token per fd.** The `u64` token passed at registration
+//!   comes back verbatim in each [`Event`]; the caller maps tokens to
+//!   connections.
+//! * **Interest is absolute.** [`Poller::modify`] replaces the
+//!   registered interest set; there is no incremental arm/disarm.
+//!
+//! The [`Waker`] is a non-blocking socketpair whose read end is
+//! registered like any connection: any thread can [`Waker::wake`] the
+//! poll loop, and the loop [`Waker::drain`]s coalesced wakeups.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io::{Read as _, Write as _};
+use std::os::unix::io::{AsRawFd as _, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Which readiness classes a registration listens for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Readable-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both classes.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    /// Whether read readiness is requested.
+    pub fn is_readable(self) -> bool {
+        self.readable
+    }
+
+    /// Whether write readiness is requested.
+    pub fn is_writable(self) -> bool {
+        self.writable
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd is readable (or has a pending EOF/error to read).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; a subsequent read/write
+    /// surfaces the exact `io::Error` (or EOF).
+    pub hangup: bool,
+}
+
+/// The OS readiness queue: epoll or kqueue behind one API.
+#[derive(Debug)]
+pub struct Poller {
+    queue: RawFd,
+}
+
+// The queue fd is only ever *used* by the poll loop thread, but the
+// Poller travels into the serving thread at spawn time and `Waker`
+// handles are shared freely.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.queue);
+        }
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller::wait`] loop: a non-blocking
+/// socketpair whose read end is registered under a caller-chosen
+/// token. Multiple [`wake`](Waker::wake)s coalesce into one readable
+/// event; the loop calls [`drain`](Waker::drain) when it sees the
+/// token.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Builds the socketpair and registers its read end with `poller`
+    /// under `token`.
+    pub fn new(poller: &Poller, token: u64) -> std::io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        poller.add(rx.as_raw_fd(), token, Interest::READABLE)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Makes the poll loop's next (or current) `wait` return. Callable
+    /// from any thread; a full pipe means a wakeup is already pending,
+    /// which is exactly the desired state.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// Consumes every pending wakeup byte (poll-loop side).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod sys {
+    //! Raw epoll bindings. `epoll_event` is packed on x86-64 (a Linux
+    //! ABI quirk kept for 32/64-bit compatibility) and naturally
+    //! aligned elsewhere.
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct RawEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut RawEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+impl Poller {
+    /// A fresh, empty readiness queue.
+    pub fn new() -> std::io::Result<Poller> {
+        let queue = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if queue < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Poller { queue })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> std::io::Result<()> {
+        let mut events = sys::EPOLLRDHUP;
+        if interest.is_readable() {
+            events |= sys::EPOLLIN;
+        }
+        if interest.is_writable() {
+            events |= sys::EPOLLOUT;
+        }
+        let mut ev = sys::RawEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.queue, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> std::io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Replaces the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> std::io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Removes a registration (idempotent enough for teardown: an
+    /// already-closed fd reports an error that callers may ignore).
+    pub fn delete(&self, fd: RawFd) -> std::io::Result<()> {
+        let mut ev = sys::RawEvent { events: 0, data: 0 };
+        let rc = unsafe { sys::epoll_ctl(self.queue, sys::EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Blocks until at least one registered fd is ready (or `timeout`
+    /// elapses — `None` waits forever), appending reports to `events`
+    /// after clearing it. Returns the number of reports.
+    pub fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let mut raw = [sys::RawEvent { events: 0, data: 0 }; 256];
+        let n = loop {
+            let rc = unsafe {
+                sys::epoll_wait(self.queue, raw.as_mut_ptr(), raw.len() as i32, timeout_ms)
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &raw[..n] {
+            // Copy out of the (possibly packed) struct before use.
+            let bits = ev.events;
+            let token = ev.data;
+            events.push(Event {
+                token,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                // RDHUP (peer shut down only its write half) is NOT a
+                // hangup: the peer may still be reading, so it surfaces
+                // as a readable EOF and the connection keeps streaming.
+                hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+mod sys {
+    //! Raw kqueue bindings (the classic BSD layout shared by macOS and
+    //! the BSDs on 64-bit targets).
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct RawEvent {
+        pub ident: usize,
+        pub filter: i16,
+        pub flags: u16,
+        pub fflags: u32,
+        pub data: isize,
+        pub udata: *mut std::ffi::c_void,
+    }
+
+    #[repr(C)]
+    pub struct Timespec {
+        pub tv_sec: i64,
+        pub tv_nsec: i64,
+    }
+
+    pub const EVFILT_READ: i16 = -1;
+    pub const EVFILT_WRITE: i16 = -2;
+    pub const EV_ADD: u16 = 0x0001;
+    pub const EV_DELETE: u16 = 0x0002;
+    pub const EV_EOF: u16 = 0x8000;
+    pub const EV_ERROR: u16 = 0x4000;
+    pub const ENOENT: i32 = 2;
+
+    extern "C" {
+        pub fn kqueue() -> i32;
+        pub fn kevent(
+            kq: i32,
+            changelist: *const RawEvent,
+            nchanges: i32,
+            eventlist: *mut RawEvent,
+            nevents: i32,
+            timeout: *const Timespec,
+        ) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+impl Poller {
+    /// A fresh, empty readiness queue.
+    pub fn new() -> std::io::Result<Poller> {
+        let queue = unsafe { sys::kqueue() };
+        if queue < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Poller { queue })
+    }
+
+    /// Arms or disarms one kqueue filter; a disarm of a filter that
+    /// was never armed (ENOENT) is the desired end state, not an
+    /// error.
+    fn filter(&self, fd: RawFd, token: u64, filter: i16, arm: bool) -> std::io::Result<()> {
+        let change = sys::RawEvent {
+            ident: fd as usize,
+            filter,
+            flags: if arm { sys::EV_ADD } else { sys::EV_DELETE },
+            fflags: 0,
+            data: 0,
+            udata: token as *mut std::ffi::c_void,
+        };
+        let rc = unsafe {
+            sys::kevent(
+                self.queue,
+                &change,
+                1,
+                std::ptr::null_mut(),
+                0,
+                std::ptr::null(),
+            )
+        };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            if !(!arm && err.raw_os_error() == Some(sys::ENOENT)) {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> std::io::Result<()> {
+        self.modify(fd, token, interest)
+    }
+
+    /// Replaces the interest set of a registered fd (kqueue interest
+    /// is per-filter, so this arms/disarms each filter absolutely).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> std::io::Result<()> {
+        self.filter(fd, token, sys::EVFILT_READ, interest.is_readable())?;
+        self.filter(fd, token, sys::EVFILT_WRITE, interest.is_writable())
+    }
+
+    /// Removes a registration.
+    pub fn delete(&self, fd: RawFd) -> std::io::Result<()> {
+        self.filter(fd, 0, sys::EVFILT_READ, false)?;
+        self.filter(fd, 0, sys::EVFILT_WRITE, false)
+    }
+
+    /// Blocks until at least one registered fd is ready (or `timeout`
+    /// elapses — `None` waits forever), appending reports to `events`
+    /// after clearing it. Returns the number of reports.
+    pub fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<usize> {
+        events.clear();
+        let ts = timeout.map(|t| sys::Timespec {
+            tv_sec: t.as_secs().min(i64::MAX as u64) as i64,
+            tv_nsec: i64::from(t.subsec_nanos()),
+        });
+        let ts_ptr = ts
+            .as_ref()
+            .map_or(std::ptr::null(), |t| t as *const sys::Timespec);
+        let mut raw = [sys::RawEvent {
+            ident: 0,
+            filter: 0,
+            flags: 0,
+            fflags: 0,
+            data: 0,
+            udata: std::ptr::null_mut(),
+        }; 256];
+        let n = loop {
+            let rc = unsafe {
+                sys::kevent(
+                    self.queue,
+                    std::ptr::null(),
+                    0,
+                    raw.as_mut_ptr(),
+                    raw.len() as i32,
+                    ts_ptr,
+                )
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &raw[..n] {
+            if ev.flags & sys::EV_ERROR != 0 {
+                continue;
+            }
+            events.push(Event {
+                token: ev.udata as u64,
+                readable: ev.filter == sys::EVFILT_READ,
+                writable: ev.filter == sys::EVFILT_WRITE,
+                // EV_EOF on the read filter is a half-close (peer may
+                // still be reading) — only a write-side EOF means the
+                // connection is truly gone.
+                hangup: ev.filter == sys::EVFILT_WRITE && ev.flags & sys::EV_EOF != 0,
+            });
+        }
+        Ok(events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        client.set_nonblocking(true).expect("nonblocking");
+        server.set_nonblocking(true).expect("nonblocking");
+        (client, server)
+    }
+
+    /// Waits until an event for `token` arrives (events for other
+    /// registrations may interleave), failing after ~2s.
+    fn wait_for(poller: &Poller, token: u64) -> Event {
+        let mut events = Vec::new();
+        for _ in 0..40 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .expect("wait");
+            if let Some(ev) = events.iter().find(|e| e.token == token) {
+                return *ev;
+            }
+        }
+        panic!("no event for token {token} within 2s");
+    }
+
+    #[test]
+    fn fresh_connection_reports_writable_not_readable() {
+        let poller = Poller::new().expect("poller");
+        let (client, _server) = pair();
+        poller
+            .add(client.as_raw_fd(), 7, Interest::BOTH)
+            .expect("add");
+        let ev = wait_for(&poller, 7);
+        assert!(ev.writable, "an empty socket buffer is writable");
+        assert!(!ev.readable, "nothing has been sent yet");
+    }
+
+    #[test]
+    fn peer_write_makes_the_socket_readable_level_triggered() {
+        let poller = Poller::new().expect("poller");
+        let (client, mut server) = pair();
+        poller
+            .add(client.as_raw_fd(), 3, Interest::READABLE)
+            .expect("add");
+        server.write_all(b"hello\n").expect("peer write");
+        let ev = wait_for(&poller, 3);
+        assert!(ev.readable);
+        // Level-triggered: not having read the bytes, the next wait
+        // reports the same readiness again.
+        let again = wait_for(&poller, 3);
+        assert!(again.readable);
+    }
+
+    #[test]
+    fn modify_replaces_interest_and_delete_silences() {
+        let poller = Poller::new().expect("poller");
+        let (client, mut server) = pair();
+        poller
+            .add(client.as_raw_fd(), 5, Interest::WRITABLE)
+            .expect("add");
+        server.write_all(b"x").expect("peer write");
+        let ev = wait_for(&poller, 5);
+        assert!(ev.writable);
+        // Down to read-only interest: writable stops being reported.
+        poller
+            .modify(client.as_raw_fd(), 5, Interest::READABLE)
+            .expect("modify");
+        let ev = wait_for(&poller, 5);
+        assert!(ev.readable && !ev.writable);
+        poller.delete(client.as_raw_fd()).expect("delete");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .expect("wait");
+        assert!(
+            events.iter().all(|e| e.token != 5),
+            "deleted fds report nothing"
+        );
+    }
+
+    #[test]
+    fn peer_close_reports_hangup_or_readable_eof() {
+        let poller = Poller::new().expect("poller");
+        let (client, server) = pair();
+        poller
+            .add(client.as_raw_fd(), 9, Interest::READABLE)
+            .expect("add");
+        drop(server);
+        let ev = wait_for(&poller, 9);
+        assert!(
+            ev.readable || ev.hangup,
+            "a closed peer must surface as readable EOF or hangup: {ev:?}"
+        );
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_drains() {
+        let poller = Poller::new().expect("poller");
+        let waker = std::sync::Arc::new(Waker::new(&poller, 42).expect("waker"));
+        let from_thread = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            from_thread.wake();
+            from_thread.wake(); // coalesces
+        });
+        let ev = wait_for(&poller, 42);
+        assert!(ev.readable);
+        waker.drain();
+        handle.join().expect("waker thread");
+        // Drained: no further wake pending.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .expect("wait");
+        assert!(events.iter().all(|e| e.token != 42), "drain consumed it");
+    }
+}

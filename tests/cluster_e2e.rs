@@ -320,3 +320,74 @@ fn backends_register_at_runtime_over_the_wire() {
     let outcome = client::submit(&mut stream, &spec).expect("routed job after registration");
     assert_eq!(outcome.to_csv(), client::local_csv(&spec, 1));
 }
+
+/// `GET /metrics` on the router port: shared `bump_*` families plus the
+/// per-backend pool series, cache counters, and routing totals.
+#[test]
+fn metrics_endpoint_serves_router_families_with_backend_series() {
+    use std::io::Read as _;
+    let backend = start_daemon(Journal::in_memory());
+    let (_router, addr) = start_router(vec![backend.clone()], 64);
+    // One routed job first so the counters have moved.
+    let spec = SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts());
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    client::submit(&mut stream, &spec).expect("warm-up routed job");
+    let mut http = std::net::TcpStream::connect(&addr).expect("scrape connect");
+    http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    http.read_to_string(&mut response).expect("read scrape");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    for family in [
+        "bump_conns_open",
+        "bump_jobs_total 1",
+        "bumpr_backends 1",
+        "bumpr_backends_alive 1",
+        "bumpr_cache_entries 1",
+        "bumpr_dispatched_cells_total 1",
+        "bumpr_failovers_total 0",
+    ] {
+        assert!(response.contains(family), "missing {family}:\n{response}");
+    }
+    // The per-backend series carries the backend address as a label.
+    assert!(
+        response.contains(&format!("bumpr_backend_alive{{addr=\"{backend}\"}} 1")),
+        "{response}"
+    );
+    assert!(
+        response.contains(&format!("bumpr_backend_workers{{addr=\"{backend}\"}}")),
+        "{response}"
+    );
+}
+
+/// The health sweep survives a backend that is plain unreachable (the
+/// close cousin of a panicked ping thread, unit-tested in the router):
+/// a job still routes to the survivor and the dead address is reported
+/// unhealthy rather than taking the sweep down.
+#[test]
+fn health_sweep_survives_unreachable_backends_and_routes_to_the_survivor() {
+    let survivor = start_daemon(Journal::in_memory());
+    let (router, addr) = start_router(vec!["127.0.0.1:1".to_string(), survivor.clone()], 64);
+    let spec = SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::WebSearch], opts());
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let outcome = client::submit(&mut stream, &spec).expect("job routes around the dead address");
+    assert_eq!(outcome.to_csv(), client::local_csv(&spec, 1));
+    let states = router.backend_states();
+    assert_eq!(
+        states
+            .iter()
+            .find(|(a, _)| a == "127.0.0.1:1")
+            .map(|(_, ok)| *ok),
+        Some(false),
+        "the unreachable backend must be marked dead, not crash the sweep"
+    );
+    assert_eq!(
+        states
+            .iter()
+            .find(|(a, _)| *a == survivor)
+            .map(|(_, ok)| *ok),
+        Some(true)
+    );
+}
