@@ -10,7 +10,7 @@
 //! independent cells run `--threads`-wide (default: all cores).
 
 use bump_bench::experiment::{
-    run_grid_with, ExperimentGrid, GridArgs, IncrementalCsv, MetricRow, SeedSummary,
+    run_grid_profiled_with, ExperimentGrid, GridArgs, IncrementalCsv, MetricRow, SeedSummary,
 };
 use bump_bench::figures;
 use std::time::Instant;
@@ -37,10 +37,18 @@ fn main() {
     // Stream rows to results/repro_all.csv as cells land, so an
     // interrupted --full sweep leaves every finished cell on disk.
     let stream = IncrementalCsv::new("repro_all");
-    let all = run_grid_with(&expanded, args.threads, move |_, spec, report| {
-        stream.append(&MetricRow::of(spec, report));
-    });
+    let all = run_grid_profiled_with(
+        &expanded,
+        args.threads,
+        args.profile,
+        move |_, spec, report| {
+            stream.append(&MetricRow::of(spec, report));
+        },
+    );
     let simulated = start.elapsed();
+    if args.profile {
+        figures::write_profile("repro_all", &all);
+    }
     // Figures render from the replica-0 (calibrated-seed) results;
     // borrow directly in the common single-seed case.
     let selected;

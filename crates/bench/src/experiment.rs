@@ -22,7 +22,7 @@
 
 use crate::Scale;
 use bump_sim::{
-    config_for_scenario, run_experiment, run_experiment_with_config, Preset, RunOptions, Scenario,
+    config_for_scenario, run_experiment_with_config_profiled, Preset, RunOptions, Scenario,
     SimReport, SystemConfig,
 };
 use bump_workloads::Workload;
@@ -107,16 +107,19 @@ impl ExperimentSpec {
 
     /// Executes this cell (synchronously).
     pub fn run(&self) -> SimReport {
-        match &self.config {
-            Some(cfg) => run_experiment_with_config(cfg.clone(), self.options),
-            None if self.scenario.is_default() => {
-                run_experiment(self.preset, self.workload, self.options)
-            }
-            None => run_experiment_with_config(
-                config_for_scenario(self.preset, self.workload, self.options, &self.scenario),
-                self.options,
-            ),
-        }
+        self.run_profiled(false)
+    }
+
+    /// [`ExperimentSpec::run`] with the engine phase profiler on or
+    /// off. Profiling does not change the simulated results or the
+    /// cell's journal identity; with `profile` set, the report carries
+    /// `phase: Some(...)`.
+    pub fn run_profiled(&self, profile: bool) -> SimReport {
+        let cfg = match &self.config {
+            Some(cfg) => cfg.clone(),
+            None => config_for_scenario(self.preset, self.workload, self.options, &self.scenario),
+        };
+        run_experiment_with_config_profiled(cfg, self.options, profile)
     }
 }
 
@@ -356,6 +359,22 @@ pub fn run_grid_with<F>(grid: &ExperimentGrid, threads: usize, on_cell: F) -> Gr
 where
     F: Fn(usize, &ExperimentSpec, &SimReport) + Send + Sync + 'static,
 {
+    run_grid_profiled_with(grid, threads, false, on_cell)
+}
+
+/// [`run_grid_with`] with the engine phase profiler on or off. With
+/// `profile` set, every report carries `phase: Some(...)` (read it in
+/// `on_cell` or from the returned rows); simulated results — and thus
+/// every figure, golden CSV, and journal identity — are unchanged.
+pub fn run_grid_profiled_with<F>(
+    grid: &ExperimentGrid,
+    threads: usize,
+    profile: bool,
+    on_cell: F,
+) -> GridResults
+where
+    F: Fn(usize, &ExperimentSpec, &SimReport) + Send + Sync + 'static,
+{
     let cells = grid.cells();
     if cells.is_empty() {
         return GridResults { rows: Vec::new() };
@@ -364,11 +383,12 @@ where
     let sched = crate::sched::Scheduler::new(threads);
     let slots: Arc<Vec<Mutex<Option<SimReport>>>> =
         Arc::new(cells.iter().map(|_| Mutex::new(None)).collect());
-    let handle = sched.submit(
+    let handle = sched.submit_profiled(
         cells.to_vec(),
+        profile,
         Box::new({
             let slots = Arc::clone(&slots);
-            move |i, spec, report| {
+            move |i, spec, report, _timing| {
                 on_cell(i, spec, report);
                 *slots[i].lock().expect("result slot poisoned") = Some(report.clone());
             }
@@ -912,6 +932,9 @@ pub struct GridArgs {
     pub seeds: usize,
     /// Simulation engine every cell runs under.
     pub engine: bump_sim::Engine,
+    /// Run cells with the engine phase profiler on and write the
+    /// per-phase wall-clock breakdown as `results/profile_<name>.json`.
+    pub profile: bool,
 }
 
 impl GridArgs {
@@ -959,6 +982,7 @@ impl GridArgs {
             threads,
             seeds,
             engine,
+            profile: args.iter().any(|a| a == "--profile"),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! figures from the shared results.
 
 use crate::experiment::{
-    run_grid_with, ExperimentGrid, ExperimentSpec, GridArgs, GridResults, IncrementalCsv,
+    run_grid_profiled_with, ExperimentGrid, ExperimentSpec, GridArgs, GridResults, IncrementalCsv,
     SeedSummary,
 };
 use crate::{emit, paper, pct, Scale, TextTable};
@@ -199,9 +199,17 @@ pub fn run_figure(figure: &Figure, args: GridArgs) {
     let grid = (figure.grid)(args.scale);
     let expanded = grid.replicate_seeds(args.seeds);
     let stream = IncrementalCsv::new(figure.name);
-    let all = run_grid_with(&expanded, args.threads, move |_, spec, report| {
-        stream.append(&crate::experiment::MetricRow::of(spec, report));
-    });
+    let all = run_grid_profiled_with(
+        &expanded,
+        args.threads,
+        args.profile,
+        move |_, spec, report| {
+            stream.append(&crate::experiment::MetricRow::of(spec, report));
+        },
+    );
+    if args.profile {
+        write_profile(figure.name, &all);
+    }
     // Render from the replica-0 (calibrated-seed) subset when seeds
     // were replicated; borrow the results directly otherwise.
     let selected;
@@ -221,6 +229,70 @@ pub fn run_figure(figure: &Figure, args: GridArgs) {
     emit(figure.name, &out);
     if !all.is_empty() {
         all.write_files(figure.name);
+    }
+}
+
+/// Writes `results/profile_<name>.json`: the per-cell and aggregate
+/// engine-phase wall-clock breakdown of a `--profile` run (schema
+/// `engine-phase-profile-v1`; phase catalogue in
+/// `docs/OBSERVABILITY.md`). Hand-rolled JSON like every other results
+/// file.
+pub fn write_profile(name: &str, results: &GridResults) {
+    use bump_sim::PHASE_NAMES;
+    use std::fmt::Write as _;
+    let mut total_nanos = [0u64; PHASE_NAMES.len()];
+    let mut total_calls = [0u64; PHASE_NAMES.len()];
+    let mut cells = String::new();
+    let mut first = true;
+    for (spec, report) in results.iter() {
+        let Some(profile) = &report.phase else {
+            continue;
+        };
+        if !first {
+            cells.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            cells,
+            "    {{\"label\":{:?},\"total_nanos\":{},\"phases\":{{",
+            spec.label,
+            profile.total_nanos()
+        );
+        for (i, sample) in profile.phases.iter().enumerate() {
+            total_nanos[i] += sample.nanos;
+            total_calls[i] += sample.calls;
+            let _ = write!(
+                cells,
+                "{}\"{}\":{{\"nanos\":{},\"calls\":{}}}",
+                if i == 0 { "" } else { "," },
+                sample.name,
+                sample.nanos,
+                sample.calls
+            );
+        }
+        cells.push_str("}}");
+    }
+    let mut totals = String::new();
+    for (i, phase) in PHASE_NAMES.iter().enumerate() {
+        let _ = write!(
+            totals,
+            "{}\"{phase}\":{{\"nanos\":{},\"calls\":{}}}",
+            if i == 0 { "" } else { "," },
+            total_nanos[i],
+            total_calls[i]
+        );
+    }
+    let body = format!(
+        "{{\n  \"schema\":\"engine-phase-profile-v1\",\n  \"figure\":{name:?},\n  \
+         \"total_nanos\":{},\n  \"totals\":{{{totals}}},\n  \"cells\":[\n{cells}\n  ]\n}}\n",
+        total_nanos.iter().sum::<u64>()
+    );
+    let path = format!("results/profile_{name}.json");
+    let _ = std::fs::create_dir_all("results");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
     }
 }
 

@@ -36,6 +36,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Relative execution weight of a preset, calibrated from the observed
 /// per-cell event-engine wall-clock of `repro_all --full` after the
@@ -96,9 +97,21 @@ pub fn estimated_unit_cost(cells: &[ExperimentSpec]) -> u64 {
         .fold(0, u64::saturating_add)
 }
 
+/// Where one cell's wall-clock went, as measured by the worker that
+/// ran it: how long the cell sat in the injector before a worker
+/// picked it up, and how long the simulation itself took. Feeds the
+/// serving tier's queue-wait/execution spans and histograms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellTiming {
+    /// Submission to dispatch (scheduler queue time).
+    pub queue_wait: Duration,
+    /// Dispatch to completion (simulation time).
+    pub execution: Duration,
+}
+
 /// Callback invoked (from a worker thread) as each cell of a job
-/// finishes: `(cell index within the job, spec, report)`.
-pub type CellCallback = Box<dyn Fn(usize, &ExperimentSpec, &SimReport) + Send + Sync>;
+/// finishes: `(cell index within the job, spec, report, timing)`.
+pub type CellCallback = Box<dyn Fn(usize, &ExperimentSpec, &SimReport, CellTiming) + Send + Sync>;
 
 /// Per-job state shared between the scheduler, its workers, and the
 /// submitting thread's [`JobHandle`].
@@ -106,6 +119,11 @@ struct JobShared {
     id: u64,
     cells: Vec<ExperimentSpec>,
     on_cell: CellCallback,
+    /// Run cells with the engine phase profiler on (reports carry
+    /// `phase: Some(...)`); simulated results are unaffected.
+    profile: bool,
+    /// When the job entered the injector (queue-wait baseline).
+    submitted: Instant,
     progress: Mutex<JobProgress>,
     done_cv: Condvar,
 }
@@ -191,6 +209,20 @@ impl Scheduler {
     /// order, `on_cell` fires for each as it lands. Returns immediately
     /// with a handle to wait on.
     pub fn submit(&self, cells: Vec<ExperimentSpec>, on_cell: CellCallback) -> JobHandle {
+        self.submit_profiled(cells, false, on_cell)
+    }
+
+    /// [`Scheduler::submit`] with the engine phase profiler switched on
+    /// for every cell of the job: each report's `phase` is `Some`,
+    /// everything else is byte-identical to an unprofiled run. The flag
+    /// rides the job, not [`bump_sim::RunOptions`], because the
+    /// options' Debug rendering is the serving tier's journal identity.
+    pub fn submit_profiled(
+        &self,
+        cells: Vec<ExperimentSpec>,
+        profile: bool,
+        on_cell: CellCallback,
+    ) -> JobHandle {
         let mut injector = self.shared.injector.lock().expect("injector poisoned");
         assert!(!injector.shutdown, "submit on a shut-down scheduler");
         let id = injector.next_job_id;
@@ -203,6 +235,8 @@ impl Scheduler {
             id,
             cells,
             on_cell,
+            profile,
+            submitted: Instant::now(),
             progress: Mutex::new(JobProgress {
                 remaining,
                 failed: None,
@@ -339,9 +373,15 @@ fn worker_loop(shared: &Shared) {
         // still decrement `remaining`, or `JobHandle::wait` would hang
         // forever and the worker would be lost to the pool.
         shared.running.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let queue_wait = started.duration_since(job.submitted);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let report = spec.run();
-            (job.on_cell)(index, spec, &report);
+            let report = spec.run_profiled(job.profile);
+            let timing = CellTiming {
+                queue_wait,
+                execution: started.elapsed(),
+            };
+            (job.on_cell)(index, spec, &report, timing);
         }));
         shared.running.fetch_sub(1, Ordering::Relaxed);
         let mut progress = job.progress.lock().expect("job progress poisoned");
@@ -440,7 +480,7 @@ mod tests {
     #[test]
     fn empty_job_completes_immediately() {
         let sched = Scheduler::new(2);
-        let handle = sched.submit(Vec::new(), Box::new(|_, _, _| {}));
+        let handle = sched.submit(Vec::new(), Box::new(|_, _, _, _| {}));
         handle.wait().expect("empty job must succeed");
     }
 
@@ -450,7 +490,7 @@ mod tests {
         assert_eq!(sched.depth(), SchedDepth::default());
         let handle = sched.submit(
             vec![spec(Preset::BaseOpen, Workload::WebSearch)],
-            Box::new(|_, _, _| {}),
+            Box::new(|_, _, _, _| {}),
         );
         handle.wait().expect("job must succeed");
         // After wait() the queue is drained and nothing is running.
@@ -462,14 +502,14 @@ mod tests {
         let sched = Scheduler::new(1);
         let handle = sched.submit(
             vec![spec(Preset::BaseOpen, Workload::WebSearch)],
-            Box::new(|_, _, _| panic!("callback boom")),
+            Box::new(|_, _, _, _| panic!("callback boom")),
         );
         let err = handle.wait().expect_err("callback panic must fail the job");
         assert!(err.contains("callback boom"), "{err}");
         // The worker survived: a subsequent job still completes.
         let ok = sched.submit(
             vec![spec(Preset::BaseOpen, Workload::WebSearch)],
-            Box::new(|_, _, _| {}),
+            Box::new(|_, _, _, _| {}),
         );
         ok.wait().expect("pool must survive a callback panic");
     }
@@ -483,7 +523,9 @@ mod tests {
             Arc::new(JobShared {
                 id,
                 cells,
-                on_cell: Box::new(|_, _, _| {}),
+                on_cell: Box::new(|_, _, _, _| {}),
+                profile: false,
+                submitted: Instant::now(),
                 progress: Mutex::new(JobProgress {
                     remaining,
                     failed: None,

@@ -35,7 +35,7 @@ fn small_job_interleaves_with_large_sweep() {
         large_cells,
         Box::new({
             let log = Arc::clone(&log);
-            move |_, spec, _| log.lock().unwrap().push((0, spec.label.clone()))
+            move |_, spec, _, _| log.lock().unwrap().push((0, spec.label.clone()))
         }),
     );
     // Submitted while the sweep is pending/in flight — like a second
@@ -48,7 +48,7 @@ fn small_job_interleaves_with_large_sweep() {
         )],
         Box::new({
             let log = Arc::clone(&log);
-            move |_, spec, _| log.lock().unwrap().push((1, spec.label.clone()))
+            move |_, spec, _, _| log.lock().unwrap().push((1, spec.label.clone()))
         }),
     );
 
@@ -104,7 +104,7 @@ fn cost_model_matches_post_coalescing_measurements() {
 #[test]
 fn job_ids_are_assigned_in_submission_order() {
     let sched = Scheduler::new(2);
-    let a = sched.submit(Vec::new(), Box::new(|_, _, _| {}));
-    let b = sched.submit(Vec::new(), Box::new(|_, _, _| {}));
+    let a = sched.submit(Vec::new(), Box::new(|_, _, _, _| {}));
+    let b = sched.submit(Vec::new(), Box::new(|_, _, _, _| {}));
     assert!(a.id() < b.id());
 }

@@ -20,7 +20,8 @@
 //! the router's result cache.
 
 use bump_serve::client;
-use bump_serve::proto::{Frame, SubmitSpec};
+use bump_serve::proto::{Frame, SubmitBatch, SubmitSpec};
+use bump_serve::trace::{export_chrome, export_ndjson, ActiveSpan, TraceContext, TraceId};
 use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
 use std::time::Duration;
@@ -35,6 +36,7 @@ fn main() {
     let mut resume = false;
     let mut engine = Engine::default();
     let mut local = false;
+    let mut trace = false;
     let mut threads = bump_bench::experiment::default_threads();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -79,6 +81,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--engine expects 'cycle' or 'event'"));
             }
             "--local" => local = true,
+            "--trace" => trace = true,
             "--threads" => {
                 threads = expect_value(&args, &mut i, "--threads")
                     .parse::<usize>()
@@ -110,17 +113,41 @@ fn main() {
     };
     let cells = spec.to_grid().len();
     if local {
+        if trace {
+            usage("--trace needs a server to trace; drop --local");
+        }
         eprintln!("bumpc: running {cells} cells locally on {threads} threads");
         print!("{}", client::local_csv(&spec, threads));
         return;
     }
+    // With --trace, bumpc opens the trace's root span and sends the
+    // context on the submit frame; the server side's spans come back
+    // on a trace_spans frame and are merged with the client's own
+    // connect/stream spans into one Perfetto-loadable file.
+    let trace_id = trace.then(TraceId::generate);
+    let mut root = trace_id.map(|t| ActiveSpan::begin(t, None, "submit", "bumpc"));
+    let root_id = root.as_ref().map(ActiveSpan::id);
+    let mut client_spans = Vec::new();
+    let mut connect_span = trace_id.map(|t| ActiveSpan::begin(t, root_id, "connect", "bumpc"));
     let mut stream = client::connect_retry(&addr, Duration::from_secs(10)).unwrap_or_else(|e| {
         eprintln!("bumpc: cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
+    if let Some(mut s) = connect_span.take() {
+        s.attr("addr", &addr);
+        client_spans.push(s.finish());
+    }
     eprintln!("bumpc: submitting {cells} cells to {addr}");
+    if let Some(t) = trace_id {
+        eprintln!("bumpc: trace id {}", t.to_hex());
+    }
+    let mut batch: SubmitBatch = spec.into();
+    batch.trace = trace_id
+        .zip(root_id)
+        .map(|(t, parent)| TraceContext { trace: t, parent });
+    let stream_span = trace_id.map(|t| ActiveSpan::begin(t, root_id, "stream", "bumpc"));
     let mut streamed = 0u64;
-    let outcome = client::submit_with(&mut stream, &spec, &mut |frame| match frame {
+    let outcome = client::submit_batch_with(&mut stream, &batch, &mut |frame| match frame {
         Frame::JobAccepted { job, cells, cached } => {
             eprintln!("bumpc: job {job} accepted: {cells} cells ({cached} cached)");
         }
@@ -138,12 +165,36 @@ fn main() {
         eprintln!("bumpc: {e}");
         std::process::exit(1);
     });
+    if let Some(mut s) = stream_span {
+        s.attr("cells", outcome.cells.len());
+        client_spans.push(s.finish());
+    }
     eprintln!(
         "bumpc: job {} done: {} cells ({} cached)",
         outcome.job,
         outcome.cells.len(),
         outcome.cached()
     );
+    if let (Some(t), Some(mut r)) = (trace_id, root.take()) {
+        r.attr("job", outcome.job);
+        r.attr("cells", outcome.cells.len());
+        client_spans.push(r.finish());
+        let mut spans = client_spans;
+        spans.extend(outcome.spans.iter().cloned());
+        let hex = t.to_hex();
+        let _ = std::fs::create_dir_all("results");
+        let chrome_path = format!("results/trace_{hex}.json");
+        let ndjson_path = format!("results/trace_{hex}.ndjson");
+        match std::fs::write(&chrome_path, export_chrome(&spans))
+            .and_then(|()| std::fs::write(&ndjson_path, export_ndjson(&spans)))
+        {
+            Ok(()) => eprintln!(
+                "bumpc: trace {hex}: {} spans -> {chrome_path} (Perfetto) + {ndjson_path}",
+                spans.len()
+            ),
+            Err(e) => eprintln!("bumpc: cannot write trace files: {e}"),
+        }
+    }
     print!("{}", outcome.to_csv());
 }
 
@@ -171,12 +222,16 @@ fn usage(error: &str) -> ! {
         "usage: bumpc [--addr HOST:PORT | --router HOST:PORT] [--presets A,B]\n\
          \x20            [--workloads X,Y] [--scenario NAME] [--full|--quick]\n\
          \x20            [--seeds N] [--resume] [--engine cycle|event] [--local]\n\
-         \x20            [--threads N]\n\
+         \x20            [--threads N] [--trace]\n\
          \n\
          Submit a preset x workload grid to a bumpd daemon (--addr) or a\n\
          bumpr cluster router (--router) and print the streamed results as\n\
          CSV (stdout). --local runs the same grid in-process instead\n\
-         (byte-identical output). --scenario selects a platform variation\n\
+         (byte-identical output). --trace follows the job end to end:\n\
+         spans from bumpc, the router, and every backend come back under\n\
+         one trace id and land in results/trace_<id>.json (Perfetto) and\n\
+         .ndjson (see docs/OBSERVABILITY.md). --scenario selects a\n\
+         platform variation\n\
          (see docs/SCENARIOS.md), e.g. ddr4_2400, lpddr4_3200+llc512k, or\n\
          \"mix(websearch:dataserving)\". Defaults: all presets, all\n\
          workloads, default scenario, --quick, single seed,\n\

@@ -1,6 +1,7 @@
 //! The `bumpc` client side: submit a spec, stream the results back.
 
 use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
+use crate::trace::Span;
 use bump_bench::experiment::{run_grid, MetricRow};
 use std::io::{BufRead as _, Write as _};
 use std::net::TcpStream;
@@ -13,6 +14,9 @@ pub struct JobOutcome {
     pub job: u64,
     /// Every streamed cell, in arrival (completion) order.
     pub cells: Vec<CellResult>,
+    /// The server side's spans, when the submission carried a trace
+    /// context (a `trace_spans` frame arrives just before `job_done`).
+    pub spans: Vec<Span>,
 }
 
 impl JobOutcome {
@@ -98,6 +102,7 @@ pub fn submit_batch_with(
     let mut job: Option<u64> = None;
     let mut expected: u64 = 0;
     let mut cells: Vec<CellResult> = Vec::new();
+    let mut spans: Vec<Span> = Vec::new();
     for line in reader.lines() {
         let line = line.map_err(|e| format!("connection lost: {e}"))?;
         let frame = Frame::parse(&line).map_err(|e| format!("bad frame from daemon: {e}"))?;
@@ -124,7 +129,16 @@ pub fn submit_batch_with(
                         cells.len()
                     ));
                 }
-                return Ok(JobOutcome { job: id, cells });
+                return Ok(JobOutcome {
+                    job: id,
+                    cells,
+                    spans,
+                });
+            }
+            Frame::TraceSpans { job: id, spans: s } => {
+                if Some(id) == job {
+                    spans.extend(s);
+                }
             }
             Frame::Error { message } => return Err(format!("daemon error: {message}")),
             Frame::Submit(_) => return Err("daemon echoed a submit frame".to_string()),

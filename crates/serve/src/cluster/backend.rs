@@ -13,6 +13,7 @@
 //! the router can re-dispatch the backend's unfinished cells.
 
 use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec, MAX_BATCH_JOBS};
+use crate::trace::{Span, TraceContext};
 use std::io::{BufRead as _, Write as _};
 use std::net::{TcpStream, ToSocketAddrs as _};
 use std::sync::mpsc::Sender;
@@ -127,6 +128,14 @@ pub enum DispatchEvent {
         /// Human-readable reason (logged by the router).
         error: String,
     },
+    /// The backend returned its finished spans for a traced dispatch
+    /// (a `trace_spans` frame; arrives before the stream's `Done`).
+    Spans {
+        /// Router-assigned id of the reporting dispatch stream.
+        dispatch: usize,
+        /// The backend's spans, already under the job's trace id.
+        spans: Vec<Span>,
+    },
 }
 
 /// Streams `units` to the backend at `addr` as batched `submit`s
@@ -141,6 +150,7 @@ pub fn dispatch(
     dispatch: usize,
     addr: String,
     units: Vec<WorkUnit>,
+    trace: Option<TraceContext>,
     events: Sender<DispatchEvent>,
 ) {
     let fail = |error: String| {
@@ -176,7 +186,15 @@ pub fn dispatch(
     };
     let mut lines = reader.lines();
     for chunk in units.chunks(MAX_BATCH_JOBS) {
-        if let Err(error) = stream_chunk(dispatch, &addr, &mut stream, &mut lines, chunk, &events) {
+        if let Err(error) = stream_chunk(
+            dispatch,
+            &addr,
+            &mut stream,
+            &mut lines,
+            chunk,
+            trace,
+            &events,
+        ) {
             return fail(error);
         }
     }
@@ -191,6 +209,7 @@ fn stream_chunk(
     stream: &mut TcpStream,
     lines: &mut std::io::Lines<std::io::BufReader<TcpStream>>,
     units: &[WorkUnit],
+    trace: Option<TraceContext>,
     events: &Sender<DispatchEvent>,
 ) -> Result<(), String> {
     // Batch-local index layout: unit u's cells occupy
@@ -203,6 +222,7 @@ fn stream_chunk(
     }
     let batch = SubmitBatch {
         jobs: units.iter().map(|u| u.spec.clone()).collect(),
+        trace,
     };
     stream
         .write_all(format!("{}\n", Frame::Submit(batch).encode()).as_bytes())
@@ -233,6 +253,9 @@ fn stream_chunk(
                     global,
                     cell,
                 });
+            }
+            Ok(Frame::TraceSpans { spans, .. }) => {
+                let _ = events.send(DispatchEvent::Spans { dispatch, spans });
             }
             Ok(Frame::JobDone { .. }) => return Ok(()),
             Ok(Frame::Error { message }) => {
@@ -274,7 +297,7 @@ mod tests {
             cost: 1,
         };
         let (tx, rx) = std::sync::mpsc::channel();
-        dispatch(3, "127.0.0.1:1".to_string(), vec![unit], tx);
+        dispatch(3, "127.0.0.1:1".to_string(), vec![unit], None, tx);
         match rx.recv().expect("one terminal event") {
             DispatchEvent::Failed { dispatch: 3, error } => {
                 assert!(error.contains("connect"), "{error}");

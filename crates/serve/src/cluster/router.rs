@@ -37,15 +37,16 @@ use crate::cluster::cache::ResultCache;
 use crate::daemon::{send, Outbox};
 use crate::eventloop::{self, lock_recover, ConnSender, ServeConfig, Service};
 use crate::journal::{cell_identity, cell_key, JournalEntry};
-use crate::metrics::MetricsBuf;
+use crate::metrics::{Histogram, MetricsBuf};
 use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
 use crate::slog::{self, Level};
+use crate::trace::{ActiveSpan, Registry, Span, TraceContext};
 use bump_bench::sched::estimated_unit_cost;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Counters the router exposes (and the e2e tests pin the cache
 /// short-circuit with).
@@ -75,6 +76,11 @@ pub struct Router {
     next_job: AtomicU64,
     counters: RouterCounters,
     ping_timeout: Duration,
+    /// Routed-job wall time by completion (`bumpr_job_duration_seconds`).
+    job_hist: Histogram,
+    /// Latency from job start to each remotely-served cell's arrival
+    /// (`bumpr_cell_latency_seconds`).
+    cell_hist: Histogram,
 }
 
 impl Router {
@@ -87,6 +93,8 @@ impl Router {
             next_job: AtomicU64::new(0),
             counters: RouterCounters::default(),
             ping_timeout: Duration::from_secs(2),
+            job_hist: Histogram::latency(),
+            cell_hist: Histogram::latency(),
         })
     }
 
@@ -203,8 +211,20 @@ impl Router {
             .collect()
     }
 
-    /// Routes one job (see the module docs for the four phases).
+    /// Routes one job (see the module docs for the four phases). When
+    /// the submission carries a trace context, the router records its
+    /// own spans (cache lookup, one per dispatch stream, the reorder
+    /// merge) under it, adopts every backend's `trace_spans`, and
+    /// forwards the combined set to the client right before `job_done`
+    /// — which is what makes `GET /trace/<id>` on the router show the
+    /// whole fleet's timeline.
     fn route_job(self: &Arc<Self>, batch: &SubmitBatch, outbox: &Outbox) {
+        let job_start = Instant::now();
+        let ctx = batch.trace;
+        let mut root =
+            ctx.map(|c| ActiveSpan::begin(c.trace, Some(c.parent), "route_job", "bumpr"));
+        let root_id = root.as_ref().map(ActiveSpan::id);
+        let mut spans: Vec<Span> = Vec::new();
         let (grid, _resume) = match batch.expand() {
             Ok(expanded) => expanded,
             Err(message) => {
@@ -217,6 +237,8 @@ impl Router {
         let identities: Vec<String> = cells.iter().map(cell_identity).collect();
 
         // Phase 1: the cache pass.
+        let mut cache_span =
+            ctx.map(|c| ActiveSpan::begin(c.trace, root_id, "cache_lookup", "bumpr"));
         let mut hits: Vec<(usize, JournalEntry)> = Vec::new();
         let mut missing: HashSet<usize> = HashSet::new();
         {
@@ -230,10 +252,19 @@ impl Router {
                 }
             }
         }
+        if let Some(mut s) = cache_span.take() {
+            s.attr("hits", hits.len());
+            s.attr("misses", missing.len());
+            spans.push(s.finish());
+        }
         self.counters
             .cache_hit_cells
             .fetch_add(hits.len() as u64, Ordering::Relaxed);
         let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = root.as_mut() {
+            s.attr("job", job);
+            s.attr("cells", cells.len());
+        }
         send(
             outbox,
             &Frame::JobAccepted {
@@ -257,6 +288,8 @@ impl Router {
             );
         }
         if missing.is_empty() {
+            finish_trace(ctx, root.take(), std::mem::take(&mut spans), job, outbox);
+            self.job_hist.observe(job_start.elapsed().as_secs_f64());
             send(
                 outbox,
                 &Frame::JobDone {
@@ -316,6 +349,9 @@ impl Router {
         // from an early stream would misread the backend's newer
         // assignments as skipped cells.
         let mut streams: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
+        // Open dispatch spans by dispatch id, for traced jobs: begun at
+        // launch, finished when the stream's Done/Failed settles it.
+        let mut dispatch_spans: HashMap<usize, ActiveSpan> = HashMap::new();
         let mut next_dispatch = 0usize;
         let mut waves = 0usize;
         let wave_cap = 2 * alive.len() + 4;
@@ -323,6 +359,7 @@ impl Router {
                       unit_ids: &[usize],
                       excluded: &HashSet<usize>,
                       streams: &mut HashMap<usize, (usize, Vec<usize>)>,
+                      dispatch_spans: &mut HashMap<usize, ActiveSpan>,
                       next_dispatch: &mut usize|
          -> usize {
             let targets: Vec<(usize, usize)> = alive
@@ -349,13 +386,34 @@ impl Router {
                 let id = *next_dispatch;
                 *next_dispatch += 1;
                 streams.insert(id, (backend, unit_ids));
+                // The dispatch span parents the backend's own spans:
+                // its id travels in the chunk's trace context, so the
+                // daemon's `handle_submit` hangs underneath it.
+                let child_ctx = ctx.map(|c| {
+                    let mut s = ActiveSpan::begin(c.trace, root_id, "dispatch", "bumpr");
+                    s.attr("addr", &addr);
+                    s.attr("cells", cell_count);
+                    let forwarded = TraceContext {
+                        trace: c.trace,
+                        parent: s.id(),
+                    };
+                    dispatch_spans.insert(id, s);
+                    forwarded
+                });
                 let tx = events_tx.clone();
-                std::thread::spawn(move || dispatch(id, addr, work, tx));
+                std::thread::spawn(move || dispatch(id, addr, work, child_ctx, tx));
                 spawned += 1;
             }
             spawned
         };
-        let mut active = launch(self, &pending, &excluded, &mut streams, &mut next_dispatch);
+        let mut active = launch(
+            self,
+            &pending,
+            &excluded,
+            &mut streams,
+            &mut dispatch_spans,
+            &mut next_dispatch,
+        );
 
         // Phases 3 and 4: merge streams in grid order; fail over.
         // Every live dispatch stream must produce *something* within
@@ -367,6 +425,11 @@ impl Router {
         let event_timeout =
             crate::cluster::backend::DISPATCH_READ_TIMEOUT + Duration::from_secs(60);
         let mut remaining = missing.len();
+        let mut merge_span = ctx.map(|c| {
+            let mut s = ActiveSpan::begin(c.trace, root_id, "reorder_merge", "bumpr");
+            s.attr("cells", remaining);
+            s
+        });
         while remaining > 0 {
             let event = match events_rx.recv_timeout(event_timeout) {
                 Ok(event) => event,
@@ -401,6 +464,7 @@ impl Router {
                         continue;
                     }
                     remaining -= 1;
+                    self.cell_hist.observe(job_start.elapsed().as_secs_f64());
                     lock_recover(&self.cache).insert(
                         keys[global],
                         JournalEntry {
@@ -422,8 +486,18 @@ impl Router {
                         },
                     );
                 }
+                DispatchEvent::Spans {
+                    spans: backend_spans,
+                    dispatch: _,
+                } => {
+                    spans.extend(backend_spans);
+                }
                 DispatchEvent::Done { dispatch } => {
                     active -= 1;
+                    if let Some(mut s) = dispatch_spans.remove(&dispatch) {
+                        s.attr("outcome", "done");
+                        spans.push(s.finish());
+                    }
                     let (backend, stream_units) = streams
                         .remove(&dispatch)
                         .unwrap_or((usize::MAX, Vec::new()));
@@ -437,6 +511,11 @@ impl Router {
                 }
                 DispatchEvent::Failed { dispatch, error } => {
                     active -= 1;
+                    if let Some(mut s) = dispatch_spans.remove(&dispatch) {
+                        s.attr("outcome", "failed");
+                        s.attr("error", &error);
+                        spans.push(s.finish());
+                    }
                     let (backend, stream_units) = streams
                         .remove(&dispatch)
                         .unwrap_or((usize::MAX, Vec::new()));
@@ -464,6 +543,7 @@ impl Router {
                         &to_relaunch,
                         &excluded,
                         &mut streams,
+                        &mut dispatch_spans,
                         &mut next_dispatch,
                     )
                 };
@@ -475,6 +555,38 @@ impl Router {
             }
         }
         debug_assert!(emitter.is_drained(cells.len()));
+        // The merge loop exits on the final *cell*, but the stream that
+        // delivered it still owes its trace_spans and job_done frames —
+        // without this settle pass a traced job would lose that
+        // backend's spans and leave its dispatch span unfinished. Only
+        // traced jobs pay the wait, and a backend that dies between its
+        // last cell and its job_done just times the settle out.
+        if ctx.is_some() {
+            let settle_deadline = Instant::now() + Duration::from_secs(10);
+            while !streams.is_empty() && Instant::now() < settle_deadline {
+                match events_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(DispatchEvent::Spans {
+                        spans: backend_spans,
+                        ..
+                    }) => spans.extend(backend_spans),
+                    Ok(DispatchEvent::Done { dispatch })
+                    | Ok(DispatchEvent::Failed { dispatch, .. }) => {
+                        streams.remove(&dispatch);
+                        if let Some(mut s) = dispatch_spans.remove(&dispatch) {
+                            s.attr("outcome", "done");
+                            spans.push(s.finish());
+                        }
+                    }
+                    Ok(DispatchEvent::Cell { .. }) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        if let Some(s) = merge_span.take() {
+            spans.push(s.finish());
+        }
+        finish_trace(ctx, root.take(), spans, job, outbox);
+        self.job_hist.observe(job_start.elapsed().as_secs_f64());
         send(
             outbox,
             &Frame::JobDone {
@@ -589,6 +701,16 @@ impl Service for Router {
             "Result cache misses.",
             cache_misses,
         );
+        buf.histogram(
+            "bumpr_job_duration_seconds",
+            "Routed job wall time, submission to job_done.",
+            &self.job_hist.snapshot(),
+        );
+        buf.histogram(
+            "bumpr_cell_latency_seconds",
+            "Latency from job start to each remotely-served cell's arrival.",
+            &self.cell_hist.snapshot(),
+        );
         let stats = self.stats();
         buf.counter(
             "bumpr_dispatched_cells_total",
@@ -606,6 +728,29 @@ impl Service for Router {
             stats.failovers,
         );
     }
+}
+
+/// Completes a traced job's observability tail: closes the root span,
+/// records everything (the router's own spans plus the backends'
+/// adopted ones) into the global registry under the job id, and ships
+/// the combined set to the client as one `trace_spans` frame — called
+/// immediately before `job_done` so a client that stops reading at
+/// `job_done` still saw its spans. A no-op for untraced jobs.
+fn finish_trace(
+    ctx: Option<TraceContext>,
+    root: Option<ActiveSpan>,
+    mut spans: Vec<Span>,
+    job: u64,
+    outbox: &Outbox,
+) {
+    let Some(ctx) = ctx else { return };
+    if let Some(s) = root {
+        spans.push(s.finish());
+    }
+    let registry = Registry::global();
+    registry.record(spans.iter().cloned());
+    registry.bind_job(job, ctx.trace);
+    send(outbox, &Frame::TraceSpans { job, spans });
 }
 
 /// Settles one health-sweep ping thread. A panicked ping must read as
@@ -768,7 +913,10 @@ mod tests {
                 RunOptions::quick(1),
             )
         };
-        let batch = SubmitBatch { jobs: vec![a, b] };
+        let batch = SubmitBatch {
+            jobs: vec![a, b],
+            trace: None,
+        };
         let (grid, _) = batch.expand().unwrap();
         let units = plan_units(&batch);
         assert_eq!(units.len(), 3, "two base cells + one scenario cell");
@@ -803,7 +951,10 @@ mod tests {
                 RunOptions::quick(1),
             )
         };
-        let batch = SubmitBatch { jobs: vec![job] };
+        let batch = SubmitBatch {
+            jobs: vec![job],
+            trace: None,
+        };
         let (grid, _) = batch.expand().unwrap();
         assert_eq!(grid.len(), 4, "2 unique base cells × 2 replicas");
         let units = plan_units(&batch);

@@ -23,13 +23,15 @@
 use crate::eventloop::{self, lock_recover, ConnSender, ServeConfig, Service};
 use crate::journal::{cell_identity, cell_key, Journal, JournalEntry};
 use crate::json::Json;
-use crate::metrics::MetricsBuf;
+use crate::metrics::{Histogram, MetricsBuf};
 use crate::proto::{CellResult, Frame, SubmitBatch};
+use crate::trace::{now_us, ActiveSpan, Registry, Span, SpanId};
 use bump_bench::experiment::MetricRow;
 use bump_bench::sched::Scheduler;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The serving daemon: a scheduler, a journal, and a job-id counter
 /// shared by every client connection.
@@ -39,6 +41,9 @@ pub struct Daemon {
     next_job: AtomicU64,
     journal_hits: AtomicU64,
     cells_executed: AtomicU64,
+    job_hist: Histogram,
+    cell_hist: Histogram,
+    queue_hist: Histogram,
 }
 
 /// The sending half of a connection's outbox: frames queued here are
@@ -56,6 +61,9 @@ impl Daemon {
             next_job: AtomicU64::new(0),
             journal_hits: AtomicU64::new(0),
             cells_executed: AtomicU64::new(0),
+            job_hist: Histogram::latency(),
+            cell_hist: Histogram::latency(),
+            queue_hist: Histogram::latency(),
         })
     }
 
@@ -102,7 +110,20 @@ impl Daemon {
     /// Runs one submission batch as one job: journal hits stream
     /// immediately, the rest go through the shared scheduler and
     /// stream as they land.
+    ///
+    /// When the batch carries a trace context, the whole job is traced:
+    /// a `run_job` root span (parented under the submitter's span),
+    /// a `journal_lookup` span, and per-cell `queue_wait` /
+    /// `cell_execute` / `journal_append` spans stamped from the
+    /// scheduler's [`bump_bench::sched::CellTiming`]. Traced cells run
+    /// with the engine phase profiler on, so each `cell_execute` span
+    /// carries `phase.*` attributes (per-phase engine nanoseconds).
+    /// The finished spans land in the process [`Registry`] and ride
+    /// back on a `trace_spans` frame just before `job_done`. Error
+    /// paths deliberately skip span emission — the `error` frame is
+    /// the whole story there.
     fn run_job(self: &Arc<Self>, batch: &SubmitBatch, outbox: &Outbox) {
+        let job_start = Instant::now();
         // A conflicting batch (jobs overlapping on a cell label) is a
         // protocol error, not a panic.
         let (grid, resume) = match batch.expand() {
@@ -112,12 +133,18 @@ impl Daemon {
                 return;
             }
         };
+        let ctx = batch.trace;
+        let mut root = ctx.map(|c| ActiveSpan::begin(c.trace, Some(c.parent), "run_job", "bumpd"));
+        let root_id = root.as_ref().map(ActiveSpan::id);
+        let mut spans: Vec<Span> = Vec::new();
         let cells = grid.cells();
         let keys: Vec<u64> = cells.iter().map(cell_key).collect();
         // Partition into journal hits and cells to simulate. A key
         // match alone is not trusted: the entry's stored identity must
         // match the cell's, so a 64-bit hash collision degrades to a
         // re-simulation instead of serving the wrong experiment's row.
+        let mut lookup =
+            ctx.map(|c| ActiveSpan::begin(c.trace, root_id, "journal_lookup", "bumpd"));
         let mut cached: Vec<(usize, JournalEntry)> = Vec::new();
         let mut pending: Vec<usize> = Vec::new();
         {
@@ -133,15 +160,21 @@ impl Daemon {
                 }
             }
         }
+        if let Some(mut s) = lookup.take() {
+            s.attr("hits", cached.len());
+            s.attr("pending", pending.len());
+            spans.push(s.finish());
+        }
+        let cached_count = cached.len();
         self.journal_hits
-            .fetch_add(cached.len() as u64, Ordering::Relaxed);
+            .fetch_add(cached_count as u64, Ordering::Relaxed);
         let job = self.next_job.fetch_add(1, Ordering::Relaxed);
         send(
             outbox,
             &Frame::JobAccepted {
                 job,
                 cells: cells.len() as u64,
-                cached: cached.len() as u64,
+                cached: cached_count as u64,
             },
         );
         for (index, entry) in cached {
@@ -157,23 +190,33 @@ impl Daemon {
                 }),
             );
         }
+        // Per-cell spans are built on scheduler workers; this is the
+        // meeting point with the connection handler.
+        let collected: Arc<Mutex<Vec<Span>>> = Arc::new(Mutex::new(Vec::new()));
         if !pending.is_empty() {
             let pending_specs = pending.iter().map(|&i| cells[i].clone()).collect();
             let pending_keys: Vec<u64> = pending.iter().map(|&i| keys[i]).collect();
             let grid_index: Vec<usize> = pending;
             let cell_outbox = outbox.clone();
+            let cell_spans = Arc::clone(&collected);
             // The callback runs on scheduler workers, so it owns an
             // Arc of the daemon for journal access rather than
             // borrowing this connection handler's stack.
             let daemon = Arc::clone(self);
-            let handle = self.sched.submit(
+            let handle = self.sched.submit_profiled(
                 pending_specs,
-                Box::new(move |j, spec, report| {
+                ctx.is_some(),
+                Box::new(move |j, spec, report, timing| {
+                    // The worker invokes the callback right after the
+                    // simulation returns, so "now" is the execution
+                    // end; the timing durations walk it backwards.
+                    let exec_end = now_us();
                     let row = MetricRow::of(spec, report);
                     let csv = row.to_csv();
                     let row_json =
                         Json::parse(&row.to_json()).expect("MetricRow::to_json is valid JSON");
                     daemon.cells_executed.fetch_add(1, Ordering::Relaxed);
+                    let append_start = now_us();
                     lock_recover(&daemon.journal).record(
                         pending_keys[j],
                         JournalEntry {
@@ -183,6 +226,60 @@ impl Daemon {
                             row: row_json.clone(),
                         },
                     );
+                    let append_end = now_us();
+                    daemon.cell_hist.observe_duration(timing.execution);
+                    daemon.queue_hist.observe_duration(timing.queue_wait);
+                    if let Some(c) = ctx {
+                        let cell = grid_index[j].to_string();
+                        let exec_start =
+                            exec_end.saturating_sub(timing.execution.as_micros() as u64);
+                        let wait_start =
+                            exec_start.saturating_sub(timing.queue_wait.as_micros() as u64);
+                        let mut exec_span = Span {
+                            trace: c.trace,
+                            id: SpanId::generate(),
+                            parent: root_id,
+                            name: "cell_execute".to_string(),
+                            service: "bumpd".to_string(),
+                            start_us: exec_start,
+                            end_us: exec_end,
+                            attrs: vec![
+                                ("cell".to_string(), cell.clone()),
+                                ("label".to_string(), spec.label.clone()),
+                            ],
+                        };
+                        if let Some(profile) = &report.phase {
+                            for sample in &profile.phases {
+                                if sample.calls > 0 {
+                                    exec_span.attrs.push((
+                                        format!("phase.{}", sample.name),
+                                        sample.nanos.to_string(),
+                                    ));
+                                }
+                            }
+                        }
+                        let queue_span = Span {
+                            trace: c.trace,
+                            id: SpanId::generate(),
+                            parent: root_id,
+                            name: "queue_wait".to_string(),
+                            service: "bumpd".to_string(),
+                            start_us: wait_start,
+                            end_us: exec_start,
+                            attrs: vec![("cell".to_string(), cell.clone())],
+                        };
+                        let append_span = Span {
+                            trace: c.trace,
+                            id: SpanId::generate(),
+                            parent: Some(exec_span.id),
+                            name: "journal_append".to_string(),
+                            service: "bumpd".to_string(),
+                            start_us: append_start,
+                            end_us: append_end,
+                            attrs: vec![("cell".to_string(), cell)],
+                        };
+                        lock_recover(&cell_spans).extend([queue_span, exec_span, append_span]);
+                    }
                     send(
                         &cell_outbox,
                         &Frame::CellResult(CellResult {
@@ -200,6 +297,19 @@ impl Daemon {
                 send(outbox, &Frame::Error { message });
                 return;
             }
+        }
+        self.job_hist.observe_duration(job_start.elapsed());
+        if let Some(c) = ctx {
+            spans.append(&mut lock_recover(&collected));
+            if let Some(mut r) = root.take() {
+                r.attr("job", job);
+                r.attr("cells", cells.len());
+                r.attr("cached", cached_count);
+                spans.push(r.finish());
+            }
+            Registry::global().record(spans.iter().cloned());
+            Registry::global().bind_job(job, c.trace);
+            send(outbox, &Frame::TraceSpans { job, spans });
         }
         send(
             outbox,
@@ -292,6 +402,21 @@ impl Service for Daemon {
             } else {
                 hits as f64 / (hits + executed) as f64
             },
+        );
+        buf.histogram(
+            "bumpd_job_duration_seconds",
+            "End-to-end submit-to-done latency of one job.",
+            &self.job_hist.snapshot(),
+        );
+        buf.histogram(
+            "bumpd_cell_duration_seconds",
+            "Simulation wall-clock of one executed cell.",
+            &self.cell_hist.snapshot(),
+        );
+        buf.histogram(
+            "bumpd_cell_queue_wait_seconds",
+            "Time an executed cell waited for a scheduler worker.",
+            &self.queue_hist.snapshot(),
         );
     }
 }

@@ -682,7 +682,9 @@ impl<S: Service> LoopCore<S> {
     }
 
     /// Answers one HTTP request (`GET /metrics` → the exposition,
-    /// anything else → 404) and closes.
+    /// `GET /trace/<trace-id|job-id>` → Chrome trace-event JSON,
+    /// `GET /trace/<key>.ndjson` → the NDJSON span journal, anything
+    /// else → 404) and closes.
     fn process_http(&mut self, token: u64) {
         let request = {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -713,8 +715,13 @@ impl<S: Service> LoopCore<S> {
                 &[("peer", self.conns[&token].peer.clone())],
             );
             http_response("200 OK", &self.render_metrics())
+        } else if method == "GET" && path.starts_with("/trace/") {
+            trace_response(&path["/trace/".len()..])
         } else {
-            http_response("404 Not Found", "not found; try GET /metrics\n")
+            http_response(
+                "404 Not Found",
+                "not found; try GET /metrics or GET /trace/<id>\n",
+            )
         };
         if let Some(conn) = self.conns.get_mut(&token) {
             conn.wbuf.extend_from_slice(&response);
@@ -1101,6 +1108,35 @@ impl<S: Service> LoopCore<S> {
         );
         self.service.metrics(&mut buf);
         buf.finish()
+    }
+}
+
+/// Answers `GET /trace/<key>`: `key` is a 32-hex trace id or a decimal
+/// job id, optionally suffixed `.ndjson` for the span journal instead
+/// of Chrome trace-event JSON. Unknown keys are 404 (the registry is
+/// bounded, so old traces age out).
+fn trace_response(key: &str) -> Vec<u8> {
+    let (key, ndjson) = match key.strip_suffix(".ndjson") {
+        Some(stripped) => (stripped, true),
+        None => (key, false),
+    };
+    let registry = crate::trace::Registry::global();
+    let spans = registry.resolve(key).and_then(|t| registry.spans(t));
+    match spans {
+        Some(spans) if ndjson => http_response("200 OK", &crate::trace::export_ndjson(&spans)),
+        Some(spans) => {
+            let body = crate::trace::export_chrome(&spans);
+            format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        }
+        None => http_response(
+            "404 Not Found",
+            "unknown trace; keys age out after 64 traces\n",
+        ),
     }
 }
 

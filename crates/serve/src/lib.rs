@@ -28,6 +28,9 @@
 //!   front of a fleet of daemons (`docs/CLUSTER.md`).
 //! * [`metrics`] — Prometheus-style text exposition formatter.
 //! * [`slog`] — structured `key=value` log lines on stderr.
+//! * [`trace`] — distributed trace spans, the bounded in-process span
+//!   registry behind `GET /trace/<id>`, and the NDJSON/Chrome-trace
+//!   exporters (`docs/OBSERVABILITY.md`).
 //!
 //! Binaries: `bumpd` (daemon), `bumpc` (client / `--local` runner),
 //! and `bumpr` (cluster router); the wire format reference lives in
@@ -44,3 +47,4 @@ pub mod json;
 pub mod metrics;
 pub mod proto;
 pub mod slog;
+pub mod trace;

@@ -52,6 +52,27 @@ impl MetricsBuf {
         }
     }
 
+    /// Appends a histogram family rendered from a [`HistogramSnapshot`]:
+    /// cumulative `name_bucket{le="…"}` samples (always ending with the
+    /// `+Inf` bucket), then `name_sum` and `name_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, "histogram");
+        let bucket = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (le, count) in snap.buckets.iter() {
+            cumulative += count;
+            self.sample(
+                &bucket,
+                &[("le", &format_f64(*le))],
+                &cumulative.to_string(),
+            );
+        }
+        cumulative += snap.overflow;
+        self.sample(&bucket, &[("le", "+Inf")], &cumulative.to_string());
+        self.sample(&format!("{name}_sum"), &[], &format_f64(snap.sum));
+        self.sample(&format!("{name}_count"), &[], &cumulative.to_string());
+    }
+
     /// The rendered exposition.
     pub fn finish(self) -> String {
         self.out
@@ -61,7 +82,17 @@ impl MetricsBuf {
         self.out.push_str("# HELP ");
         self.out.push_str(name);
         self.out.push(' ');
-        self.out.push_str(help);
+        // Per the text-format spec, HELP text escapes backslash and
+        // newline (label-value escaping is separate; see `sample`). A
+        // raw newline here would split the comment mid-line and corrupt
+        // every family after it.
+        for c in help.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
         self.out.push_str("\n# TYPE ");
         self.out.push_str(name);
         self.out.push(' ');
@@ -95,6 +126,101 @@ impl MetricsBuf {
         self.out.push_str(value);
         self.out.push('\n');
     }
+}
+
+/// A fixed-bucket histogram accumulator, safe to observe from any
+/// number of handler threads (atomics only, no locks). A scrape takes
+/// a [`HistogramSnapshot`] and renders it via [`MetricsBuf::histogram`].
+///
+/// The sum is accumulated in integer microseconds so it can live in an
+/// atomic; at serving-tier latency scales (milliseconds to minutes)
+/// the rounding is far below scrape noise.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<std::sync::atomic::AtomicU64>,
+    overflow: std::sync::atomic::AtomicU64,
+    sum_micros: std::sync::atomic::AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds (`le` values).
+    /// Observations above the last bound land in the implicit `+Inf`
+    /// bucket.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: bounds
+                .iter()
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+            overflow: std::sync::atomic::AtomicU64::new(0),
+            sum_micros: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The default latency bucket ladder (seconds): sub-millisecond
+    /// cache hits through paper-scale multi-minute sweeps.
+    pub fn latency() -> Histogram {
+        Histogram::new(&[
+            0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+            120.0, 300.0, 600.0,
+        ])
+    }
+
+    /// Records one observation (seconds). Negative or NaN observations
+    /// are clamped to zero — a clock hiccup must not poison the family.
+    pub fn observe(&self, value: f64) {
+        use std::sync::atomic::Ordering;
+        let value = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        match self.bounds.iter().position(|b| value <= *b) {
+            Some(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_micros
+            .fetch_add((value * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] observation.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// A point-in-time copy for rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        use std::sync::atomic::Ordering;
+        HistogramSnapshot {
+            buckets: self
+                .bounds
+                .iter()
+                .zip(self.counts.iter())
+                .map(|(b, c)| (*b, c.load(Ordering::Relaxed)))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            sum: self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// A consistent copy of a [`Histogram`]'s state: per-bucket
+/// (non-cumulative) counts keyed by upper bound, the `+Inf` overflow
+/// count, and the observation sum.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// `(upper bound, observations in (prev bound, upper bound])`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Observations above the last bound (the `+Inf` remainder).
+    pub overflow: u64,
+    /// Sum of all observations.
+    pub sum: f64,
 }
 
 /// Prometheus renders floats plainly; avoid `1.0000000000000002`-style
@@ -141,6 +267,77 @@ mod tests {
         let text = buf.finish();
         assert!(text.contains("bumpr_backend_alive{addr=\"127.0.0.1:4181\"} 1\n"));
         assert!(text.contains("bumpr_backend_alive{addr=\"weird\\\"addr\\\\\"} 0\n"));
+    }
+
+    /// Satellite regression: HELP text is a `#` comment line — an
+    /// unescaped newline in it would terminate the comment early and
+    /// corrupt every family rendered after it.
+    #[test]
+    fn help_text_escapes_newlines_and_backslashes() {
+        let mut buf = MetricsBuf::new();
+        buf.counter("bump_x_total", "line one\nline two \\ backslash", 1);
+        buf.gauge("bump_after", "Next family must survive.", 2);
+        let text = buf.finish();
+        assert!(text.contains("# HELP bump_x_total line one\\nline two \\\\ backslash\n"));
+        // The exposition stays line-structured: every line is a sample
+        // or a comment, never a bare continuation.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("bump_"),
+                "corrupt exposition line: {line:?}"
+            );
+        }
+        assert!(text.contains("\nbump_after 2\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_inf_sum_and_count() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.7, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let mut buf = MetricsBuf::new();
+        buf.histogram(
+            "bumpd_job_duration_seconds",
+            "Job wall time.",
+            &h.snapshot(),
+        );
+        let text = buf.finish();
+        assert!(text.contains("# TYPE bumpd_job_duration_seconds histogram\n"));
+        // Cumulative counts in ascending `le` order, ending at +Inf.
+        let bucket_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("bumpd_job_duration_seconds_bucket"))
+            .collect();
+        assert_eq!(
+            bucket_lines,
+            vec![
+                "bumpd_job_duration_seconds_bucket{le=\"0.1\"} 1",
+                "bumpd_job_duration_seconds_bucket{le=\"1\"} 3",
+                "bumpd_job_duration_seconds_bucket{le=\"10\"} 4",
+                "bumpd_job_duration_seconds_bucket{le=\"+Inf\"} 5",
+            ]
+        );
+        // _count equals the +Inf bucket; _sum is the observation total.
+        assert!(text.contains("\nbumpd_job_duration_seconds_count 5\n"));
+        assert!(text.contains("\nbumpd_job_duration_seconds_sum 56.25\n"));
+    }
+
+    #[test]
+    fn histogram_edge_observations_stay_consistent() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(1.0); // on-boundary lands in le="1" (le is inclusive)
+        h.observe(f64::NAN); // clamped to 0, still counted
+        h.observe(-3.0); // clamped to 0
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(1.0, 3)]);
+        assert_eq!(snap.overflow, 0);
+        assert!((snap.sum - 1.0).abs() < 1e-9);
+        let mut buf = MetricsBuf::new();
+        buf.histogram("h", "edge cases", &snap);
+        let text = buf.finish();
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("\nh_count 3\n"));
     }
 
     #[test]

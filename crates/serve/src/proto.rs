@@ -17,6 +17,7 @@
 //! round-trip suite in `tests/proto_roundtrip.rs`.
 
 use crate::json::Json;
+use crate::trace::{Span, TraceContext};
 use bump_bench::experiment::ExperimentGrid;
 use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
@@ -90,11 +91,22 @@ pub const MAX_BATCH_JOBS: usize = 1024;
 pub struct SubmitBatch {
     /// The submissions, in grid-concatenation order (non-empty).
     pub jobs: Vec<SubmitSpec>,
+    /// Distributed-tracing context (the optional `"trace"` wire field:
+    /// `<trace-hex>:<parent-span-hex>`). Absent for untraced
+    /// submissions — and absent means *absent on the wire*, so the
+    /// encoding of an untraced submission is byte-identical to the
+    /// pre-trace protocol. When present, the receiver parents its spans
+    /// under the given span and returns them on a `trace_spans` frame
+    /// before `job_done`.
+    pub trace: Option<TraceContext>,
 }
 
 impl From<SubmitSpec> for SubmitBatch {
     fn from(spec: SubmitSpec) -> Self {
-        SubmitBatch { jobs: vec![spec] }
+        SubmitBatch {
+            jobs: vec![spec],
+            trace: None,
+        }
     }
 }
 
@@ -175,6 +187,16 @@ pub enum Frame {
         /// Total cells streamed (equals `JobAccepted.cells`).
         cells: u64,
     },
+    /// Daemon/router → client: the finished spans this process (and,
+    /// from a router, its backends) recorded for a traced job. Sent at
+    /// most once, right before `job_done`, and only when the submission
+    /// carried a `trace` context — untraced jobs never see this frame.
+    TraceSpans {
+        /// Job id.
+        job: u64,
+        /// Finished spans, in recording order.
+        spans: Vec<Span>,
+    },
     /// Daemon → client: the last line could not be acted on.
     Error {
         /// Human-readable reason.
@@ -219,12 +241,18 @@ impl Frame {
                 // A batch of one keeps the original flat form, so
                 // single-spec submissions are byte-identical to the
                 // pre-batch protocol (and old clients keep working).
+                // The trace context, like the scenario, is emitted
+                // only when present: untraced submissions stay
+                // byte-identical to the pre-trace protocol.
                 if let [spec] = batch.jobs.as_slice() {
                     let mut fields = vec![("type", Json::from("submit"))];
                     fields.extend(submit_fields(spec));
+                    if let Some(ctx) = &batch.trace {
+                        fields.push(("trace", Json::from(ctx.encode())));
+                    }
                     Json::obj(fields)
                 } else {
-                    Json::obj(vec![
+                    let mut fields = vec![
                         ("type", Json::from("submit")),
                         (
                             "jobs",
@@ -236,7 +264,11 @@ impl Frame {
                                     .collect(),
                             ),
                         ),
-                    ])
+                    ];
+                    if let Some(ctx) = &batch.trace {
+                        fields.push(("trace", Json::from(ctx.encode())));
+                    }
+                    Json::obj(fields)
                 }
             }
             Frame::JobAccepted { job, cells, cached } => Json::obj(vec![
@@ -258,6 +290,14 @@ impl Frame {
                 ("type", Json::from("job_done")),
                 ("job", Json::from(*job)),
                 ("cells", Json::from(*cells)),
+            ]),
+            Frame::TraceSpans { job, spans } => Json::obj(vec![
+                ("type", Json::from("trace_spans")),
+                ("job", Json::from(*job)),
+                (
+                    "spans",
+                    Json::Arr(spans.iter().map(Span::to_json).collect()),
+                ),
             ]),
             Frame::Error { message } => Json::obj(vec![
                 ("type", Json::from("error")),
@@ -295,9 +335,17 @@ impl Frame {
             .ok_or("frame has no \"type\" field")?;
         match kind {
             "submit" => {
+                let trace = match value.get("trace") {
+                    None => None,
+                    Some(v) => {
+                        let s = v.as_str().ok_or("field \"trace\" is not a string")?;
+                        Some(TraceContext::decode(s).map_err(|e| format!("bad trace: {e}"))?)
+                    }
+                };
                 if value.get("jobs").is_some() {
-                    // Batched form: the frame carries only the job list.
-                    reject_unknown_keys(&value, &["type", "jobs"])?;
+                    // Batched form: the frame carries only the job list
+                    // (plus the optional frame-level trace context).
+                    reject_unknown_keys(&value, &["type", "jobs", "trace"])?;
                     let jobs_json = value
                         .get("jobs")
                         .and_then(Json::as_arr)
@@ -330,7 +378,7 @@ impl Frame {
                             parse_submit(job)
                         })
                         .collect::<Result<Vec<_>, String>>()?;
-                    Ok(Frame::Submit(SubmitBatch { jobs }))
+                    Ok(Frame::Submit(SubmitBatch { jobs, trace }))
                 } else {
                     reject_unknown_keys(
                         &value,
@@ -342,9 +390,13 @@ impl Frame {
                             "scenario",
                             "seeds",
                             "resume",
+                            "trace",
                         ],
                     )?;
-                    Ok(Frame::Submit(parse_submit(&value)?.into()))
+                    Ok(Frame::Submit(SubmitBatch {
+                        jobs: vec![parse_submit(&value)?],
+                        trace,
+                    }))
                 }
             }
             "job_accepted" => {
@@ -374,6 +426,20 @@ impl Frame {
                 Ok(Frame::JobDone {
                     job: field_u64(&value, "job")?,
                     cells: field_u64(&value, "cells")?,
+                })
+            }
+            "trace_spans" => {
+                reject_unknown_keys(&value, &["type", "job", "spans"])?;
+                let spans = value
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing array field \"spans\"")?
+                    .iter()
+                    .map(Span::from_json)
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Frame::TraceSpans {
+                    job: field_u64(&value, "job")?,
+                    spans,
                 })
             }
             "error" => {
@@ -617,6 +683,7 @@ mod tests {
         };
         let batch = SubmitBatch {
             jobs: vec![a.clone(), b.clone()],
+            trace: None,
         };
         let line = Frame::Submit(batch.clone()).encode();
         assert!(line.contains("\"jobs\""), "{line}");
@@ -632,11 +699,15 @@ mod tests {
         // positions would be ambiguous between peers).
         let overlap = SubmitBatch {
             jobs: vec![a.clone(), a],
+            trace: None,
         };
         let err = overlap.expand().expect_err("overlap must fail");
         assert!(err.contains("overlap"), "{err}");
         // A single-job batch encodes in the flat pre-batch form.
-        let single = Frame::Submit(SubmitBatch { jobs: vec![b] });
+        let single = Frame::Submit(SubmitBatch {
+            jobs: vec![b],
+            trace: None,
+        });
         assert!(!single.encode().contains("\"jobs\""));
         assert_eq!(Frame::parse(&single.encode()), Ok(single));
     }
@@ -707,6 +778,74 @@ mod tests {
         let bad = good.replacen("{", "{\"scenario\":\"warp9\",", 1);
         let err = Frame::parse(&bad).expect_err("unknown scenario must fail");
         assert!(err.contains("bad scenario"), "{err}");
+    }
+
+    #[test]
+    fn traced_submissions_round_trip_and_absence_stays_off_the_wire() {
+        use crate::trace::{SpanId, TraceContext, TraceId};
+        let ctx = TraceContext {
+            trace: TraceId(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef),
+            parent: SpanId(0xfeed_face_cafe_beef),
+        };
+        // Flat form.
+        let spec = SubmitSpec::new(vec![Preset::Bump], vec![Workload::WebSearch], opts());
+        let mut traced: SubmitBatch = spec.clone().into();
+        traced.trace = Some(ctx);
+        let line = Frame::Submit(traced.clone()).encode();
+        assert!(
+            line.contains("\"trace\":\"0123456789abcdef0123456789abcdef:feedfacecafebeef\""),
+            "{line}"
+        );
+        assert_eq!(Frame::parse(&line), Ok(Frame::Submit(traced)));
+        // Absent context = absent field: byte-identical to the
+        // pre-trace protocol (back-compat with old peers and journals).
+        let untraced = Frame::Submit(spec.clone().into()).encode();
+        assert!(!untraced.contains("trace"), "{untraced}");
+        assert_eq!(
+            Frame::parse(&untraced),
+            Ok(Frame::Submit(spec.clone().into()))
+        );
+        // Batched form carries the context at frame level.
+        let batch = SubmitBatch {
+            jobs: vec![
+                spec,
+                SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::DataServing], opts()),
+            ],
+            trace: Some(ctx),
+        };
+        let line = Frame::Submit(batch.clone()).encode();
+        assert!(
+            line.contains("\"jobs\"") && line.contains("\"trace\""),
+            "{line}"
+        );
+        assert_eq!(Frame::parse(&line), Ok(Frame::Submit(batch)));
+        // Malformed contexts are named errors, not silent drops.
+        let bad = untraced.replacen('{', "{\"trace\":\"zzz\",", 1);
+        let err = Frame::parse(&bad).expect_err("bad trace must fail");
+        assert!(err.contains("bad trace"), "{err}");
+    }
+
+    #[test]
+    fn trace_spans_frames_round_trip() {
+        use crate::trace::{ActiveSpan, TraceId};
+        let trace = TraceId::generate();
+        let root = ActiveSpan::begin(trace, None, "job", "bumpd");
+        let root_id = root.id();
+        let mut child = ActiveSpan::begin(trace, Some(root_id), "cell_execute", "bumpd");
+        child.attr("cell", 0u64);
+        child.attr("label", "BuMP/Web Search");
+        let frame = Frame::TraceSpans {
+            job: 9,
+            spans: vec![child.finish(), root.finish()],
+        };
+        let line = frame.encode();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Frame::parse(&line), Ok(frame));
+        // Strictness holds inside the span array too.
+        assert!(Frame::parse("{\"type\":\"trace_spans\",\"job\":1}").is_err());
+        assert!(
+            Frame::parse("{\"type\":\"trace_spans\",\"job\":1,\"spans\":[{\"x\":1}]}").is_err()
+        );
     }
 
     #[test]

@@ -49,15 +49,37 @@ impl Level {
 
 fn threshold() -> Level {
     static THRESHOLD: OnceLock<Level> = OnceLock::new();
-    *THRESHOLD.get_or_init(|| {
-        match std::env::var("BUMP_LOG").as_deref() {
-            Ok("debug") => Level::Debug,
-            Ok("warn") => Level::Warn,
-            Ok("error") => Level::Error,
-            // Unset or unrecognized: the default threshold.
-            _ => Level::Info,
-        }
+    *THRESHOLD.get_or_init(|| match std::env::var("BUMP_LOG") {
+        Ok(value) => parse_level(&value).unwrap_or_else(|| {
+            // One-time (OnceLock) warning instead of a silent default:
+            // an operator who typo'd `BUMP_LOG=Debugg` should learn why
+            // the chatter they asked for never appears. Emitted at the
+            // default threshold, so it is never itself suppressed.
+            emit_line(
+                Level::Warn,
+                "bump",
+                "bad_log_level",
+                &[
+                    ("value", value),
+                    ("accepted", "debug|info|warn|error".to_string()),
+                ],
+            );
+            Level::Info
+        }),
+        // Unset: the default threshold.
+        Err(_) => Level::Info,
     })
+}
+
+/// Parses a `BUMP_LOG` value case-insensitively.
+fn parse_level(value: &str) -> Option<Level> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "debug" => Some(Level::Debug),
+        "info" => Some(Level::Info),
+        "warn" => Some(Level::Warn),
+        "error" => Some(Level::Error),
+        _ => None,
+    }
 }
 
 /// Emits one structured line: `time=… level=… service=… event=…`
@@ -68,6 +90,13 @@ pub fn log(level: Level, service: &str, event: &str, fields: &[(&str, String)]) 
     if level < threshold() {
         return;
     }
+    emit_line(level, service, event, fields);
+}
+
+/// Formats and writes one line unconditionally. Split from [`log`] so
+/// the `bad_log_level` warning can be emitted from *inside* the
+/// threshold initializer without re-entering the `OnceLock`.
+fn emit_line(level: Level, service: &str, event: &str, fields: &[(&str, String)]) {
     let mut line = String::with_capacity(96);
     line.push_str("time=");
     line.push_str(&utc_now());
@@ -156,6 +185,21 @@ mod tests {
         // Year boundary.
         assert_eq!(format_utc(1_767_225_599), "2025-12-31T23:59:59Z");
         assert_eq!(format_utc(1_767_225_600), "2026-01-01T00:00:00Z");
+    }
+
+    /// Satellite regression: `BUMP_LOG` values are accepted
+    /// case-insensitively (with surrounding whitespace tolerated), and
+    /// anything else is recognizably invalid (the threshold initializer
+    /// then warns once instead of silently defaulting).
+    #[test]
+    fn log_levels_parse_case_insensitively() {
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level("DEBUG"), Some(Level::Debug));
+        assert_eq!(parse_level("Info"), Some(Level::Info));
+        assert_eq!(parse_level(" WaRn "), Some(Level::Warn));
+        assert_eq!(parse_level("ERROR"), Some(Level::Error));
+        assert_eq!(parse_level("verbose"), None);
+        assert_eq!(parse_level(""), None);
     }
 
     #[test]

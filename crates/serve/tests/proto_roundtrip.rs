@@ -4,6 +4,7 @@
 
 use bump_serve::json::Json;
 use bump_serve::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
+use bump_serve::trace::{Span, SpanId, TraceContext, TraceId};
 use bump_sim::{Engine, Preset, RunOptions, Scenario};
 use bump_workloads::Workload;
 use proptest::prelude::*;
@@ -117,7 +118,10 @@ proptest! {
     fn batched_submit_frames_round_trip(
         specs in prop::collection::vec(arb_submit(), 1..5),
     ) {
-        let frame = Frame::Submit(SubmitBatch { jobs: specs.clone() });
+        let frame = Frame::Submit(SubmitBatch {
+            jobs: specs.clone(),
+            trace: None,
+        });
         let line = frame.encode();
         prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
         prop_assert_eq!(line.contains("\"jobs\""), specs.len() > 1,
@@ -228,4 +232,92 @@ fn malformed_frames_are_rejected_with_reasons() {
             "error for {line:?} should mention {needle:?}, got {err:?}"
         );
     }
+}
+
+fn arb_trace() -> impl proptest::strategy::Strategy<Value = TraceContext> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(hi, lo, parent)| TraceContext {
+        trace: TraceId(((hi as u128) << 64) | lo as u128),
+        parent: SpanId(parent),
+    })
+}
+
+fn arb_span() -> impl proptest::strategy::Strategy<Value = Span> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+        (arb_string(), arb_string()),
+        (any::<u64>(), any::<u64>()),
+        prop::collection::vec((arb_string(), arb_string()), 0..4),
+    )
+        .prop_map(
+            |((trace, id, parent, has_parent), (name, service), (start, dur), attrs)| Span {
+                trace: TraceId(trace as u128),
+                id: SpanId(id),
+                parent: has_parent.then_some(SpanId(parent)),
+                name,
+                service,
+                start_us: start,
+                end_us: start.saturating_add(dur),
+                attrs,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The trace context is optional wire state: a traced submission
+    /// must round-trip exactly, and an untraced one must encode
+    /// without the key at all (old daemons reject unknown keys, so
+    /// absence — not null — is the compatibility contract).
+    #[test]
+    fn traced_submissions_round_trip_and_untraced_stay_byte_identical(
+        specs in prop::collection::vec(arb_submit(), 1..3),
+        trace in arb_trace(),
+    ) {
+        let traced = Frame::Submit(SubmitBatch { jobs: specs.clone(), trace: Some(trace) });
+        let line = traced.encode();
+        prop_assert!(line.contains("\"trace\""), "traced form carries the context: {line}");
+        prop_assert_eq!(Frame::parse(&line), Ok(traced));
+
+        let untraced = Frame::Submit(SubmitBatch { jobs: specs, trace: None });
+        let line = untraced.encode();
+        prop_assert!(!line.contains("\"trace\""), "untraced form omits the key: {line}");
+        prop_assert_eq!(Frame::parse(&line), Ok(untraced));
+    }
+
+    #[test]
+    fn trace_spans_frames_round_trip(
+        job in any::<u64>(),
+        spans in prop::collection::vec(arb_span(), 0..5),
+    ) {
+        let frame = Frame::TraceSpans { job, spans };
+        let line = frame.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        prop_assert_eq!(Frame::parse(&line), Ok(frame));
+    }
+}
+
+/// The exact submit line a pre-tracing client sends must still parse
+/// (absent-field back-compat), and a malformed trace context must be
+/// rejected with a reason, not misread as untraced.
+#[test]
+fn pre_tracing_submit_lines_still_parse_and_bad_contexts_are_rejected() {
+    let legacy = "{\"type\":\"submit\",\"presets\":[\"Base-open\"],\"workloads\":[\"Web Search\"],\
+         \"options\":{\"cores\":1,\"warmup_instructions\":1,\"measure_instructions\":1,\
+         \"max_cycles\":1,\"seed\":1,\"small_llc\":true,\"engine\":\"event\"}}";
+    let parsed = Frame::parse(legacy).expect("legacy submit parses");
+    match &parsed {
+        Frame::Submit(batch) => assert_eq!(batch.trace, None),
+        other => panic!("parsed as {other:?}"),
+    }
+    // Round-trip stays in the legacy shape: no trace key appears.
+    assert!(!parsed.encode().contains("\"trace\""));
+
+    let traced = legacy.replacen(
+        "\"type\":\"submit\"",
+        "\"type\":\"submit\",\"trace\":\"not-a-context\"",
+        1,
+    );
+    let err = Frame::parse(&traced).expect_err("bad trace context must be rejected");
+    assert!(err.contains("trace"), "{err}");
 }

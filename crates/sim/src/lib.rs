@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod phase;
 mod profiler;
 mod report;
 mod runner;
@@ -37,10 +38,12 @@ mod scenario;
 mod system;
 
 pub use config::{Engine, Preset, SystemConfig};
+pub use phase::{Phase, PhaseProfile, PhaseSample, PHASE_NAMES};
 pub use profiler::{DensityProfile, DensityProfiler};
 pub use report::{SimReport, TrafficBreakdown};
 pub use runner::{
-    config_for, config_for_scenario, run_experiment, run_experiment_with_config, RunOptions,
+    config_for, config_for_scenario, run_experiment, run_experiment_with_config,
+    run_experiment_with_config_profiled, RunOptions,
 };
 pub use scenario::Scenario;
 pub use system::System;

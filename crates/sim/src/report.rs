@@ -111,6 +111,12 @@ pub struct SimReport {
     pub spec_dropped: u64,
     /// DRAM timing-audit violations (0 unless auditing enabled).
     pub audit_errors: usize,
+    /// Wall-clock self-time per engine phase, `Some` only when
+    /// profiling was enabled for the run ([`crate::System::
+    /// enable_phase_profiling`]). `None` renders identically in both
+    /// engines' Debug output, which `tests/engine_equivalence.rs`
+    /// depends on.
+    pub phase: Option<crate::phase::PhaseProfile>,
 }
 
 impl SimReport {

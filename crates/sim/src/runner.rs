@@ -101,9 +101,27 @@ pub fn run_experiment(preset: Preset, workload: Workload, opts: RunOptions) -> S
 /// engine choice always comes from `opts`, so one CLI flag switches
 /// every cell of a sweep — including custom-config cells.
 pub fn run_experiment_with_config(cfg: SystemConfig, opts: RunOptions) -> SimReport {
+    run_experiment_with_config_profiled(cfg, opts, false)
+}
+
+/// [`run_experiment_with_config`] with an engine-phase-profiling
+/// switch. Profiling travels out-of-band rather than in [`RunOptions`]
+/// deliberately: the options' Debug rendering is the serving tier's
+/// journal/cache identity, and a profiled run produces the same
+/// simulated results as an unprofiled one, so the two must share an
+/// identity. With `profile` set, the report's `phase` is `Some` and
+/// covers the measurement window only.
+pub fn run_experiment_with_config_profiled(
+    cfg: SystemConfig,
+    opts: RunOptions,
+    profile: bool,
+) -> SimReport {
     let mut cfg = cfg;
     cfg.engine = opts.engine;
     let mut sys = System::new(cfg);
+    if profile {
+        sys.enable_phase_profiling();
+    }
     sys.run(opts.warmup_instructions, opts.max_cycles);
     sys.reset_stats();
     sys.run(opts.measure_instructions, opts.max_cycles);

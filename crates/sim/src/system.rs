@@ -8,6 +8,7 @@
 //! VWQ, BuMP, or the Full-region strawman).
 
 use crate::config::{Engine, Preset, SystemConfig};
+use crate::phase::{Phase, PhaseProfiler};
 use crate::profiler::DensityProfiler;
 use crate::report::{SimReport, TrafficBreakdown};
 use bump::{BulkAction, Bump, FullRegion};
@@ -301,6 +302,9 @@ pub struct System {
     bump: Option<Bump>,
     full: Option<FullRegion>,
     profiler: DensityProfiler,
+    /// Wall-clock self-time per engine phase; inert (one branch per
+    /// lap) until [`System::enable_phase_profiling`].
+    phase: PhaseProfiler,
 
     now: Cycle,
     events: DeliveryQueue<Pending>,
@@ -373,6 +377,7 @@ impl System {
             bump: bump_engine,
             full,
             profiler: DensityProfiler::new(cfg.bump.region),
+            phase: PhaseProfiler::default(),
             now: 0,
             events: DeliveryQueue::default(),
             resp_batch: Batcher::new(),
@@ -416,6 +421,19 @@ impl System {
     /// The density profiler.
     pub fn profiler(&self) -> &DensityProfiler {
         &self.profiler
+    }
+
+    /// Switches the engine phase profiler on for this system: the
+    /// final report's `phase` field becomes `Some`. Profiling reads
+    /// only the host clock, so every simulated outcome stays
+    /// byte-identical with it on or off.
+    pub fn enable_phase_profiling(&mut self) {
+        self.phase.enable();
+    }
+
+    /// Whether the engine phase profiler is on.
+    pub fn phase_profiling_enabled(&self) -> bool {
+        self.phase.is_enabled()
     }
 
     fn schedule(&mut self, at: Cycle, what: Pending) {
@@ -769,6 +787,11 @@ impl System {
     }
 
     fn tick_dram(&mut self) {
+        // Deliberately not lapped here: [`System::step`] wraps the
+        // call in `DramTick`, while the fast-forward path's
+        // [`System::step_dram_only`] ticks accrue to `FastForward` —
+        // a per-fast-forwarded-tick lap would cost more than the work
+        // it measures (see `benches/profiler_guard.rs`).
         let ratio = self.cfg.dram.freq_ratio_milli;
         let engine = self.cfg.engine;
         self.mem_clock_acc += 1000;
@@ -810,6 +833,9 @@ impl System {
     }
 
     fn process_llc_events(&mut self) {
+        // Like [`System::tick_dram`], lapped at [`System::step`]'s
+        // call site (`LlcPump`), not here; fast-forwarded pumps accrue
+        // to `FastForward` minus any nested `Bookkeeping` laps below.
         if !self.llc.has_events() {
             return;
         }
@@ -822,7 +848,9 @@ impl System {
         for ev in events.drain(..) {
             match ev {
                 LlcEvent::Access { req, hit } => {
+                    self.phase.enter(Phase::Bookkeeping);
                     self.profiler.on_access(&req, hit);
+                    self.phase.exit();
                     if req.class != TrafficClass::Demand {
                         continue;
                     }
@@ -848,14 +876,18 @@ impl System {
                     }
                 }
                 LlcEvent::WritebackIn { block } => {
+                    self.phase.enter(Phase::Bookkeeping);
                     self.profiler.on_writeback_in(block);
+                    self.phase.exit();
                     if let Some(b) = self.bump.as_mut() {
                         self.noc.send(MessageKind::BumpMonitor, self.now);
                         b.on_l1_writeback(block);
                     }
                 }
                 LlcEvent::Evict { block, dirty } => {
+                    self.phase.enter(Phase::Bookkeeping);
                     self.profiler.on_eviction(block);
+                    self.phase.exit();
                     if let Some(p) = self.sms.as_mut() {
                         p.on_eviction(block);
                     }
@@ -942,6 +974,7 @@ impl System {
         // slot's fill responses per destination core (they only touch
         // that core's state, so deferring them past the slot's shared-
         // resource traffic commutes); the oracle delivers one by one.
+        self.phase.enter(Phase::NocDelivery);
         while let Some(mut due) = self.events.take_due(self.now) {
             for (_route, what) in due.drain(..) {
                 match what {
@@ -954,7 +987,11 @@ impl System {
                             self.bank.respond_one(core, block, self.now);
                         }
                     }
-                    Pending::StormRetry(id) => self.storm_round(id),
+                    Pending::StormRetry(id) => {
+                        self.phase.enter(Phase::StormReplay);
+                        self.storm_round(id);
+                        self.phase.exit();
+                    }
                 }
             }
             self.events.recycle(due);
@@ -965,14 +1002,23 @@ impl System {
                 self.resp_batch = batch;
             }
         }
+        self.phase.exit();
         // 2. Cores.
+        self.phase.enter(Phase::CoreTick);
         self.tick_cores();
+        self.phase.exit();
         // 3. LLC-miss queue → DRAM (backpressure applies).
+        self.phase.enter(Phase::DramDrain);
         self.drain_dram_queue();
+        self.phase.exit();
         // 4. DRAM clock domain.
+        self.phase.enter(Phase::DramTick);
         self.tick_dram();
+        self.phase.exit();
         // 5. Mechanisms consume this cycle's LLC events.
+        self.phase.enter(Phase::LlcPump);
         self.process_llc_events();
+        self.phase.exit();
         self.now += 1;
     }
 
@@ -1016,7 +1062,9 @@ impl System {
             if self.measured_instructions - start_instr >= instructions {
                 break;
             }
+            self.phase.enter(Phase::FastForward);
             self.fast_forward(start_cycles, max_cycles);
+            self.phase.exit();
         }
         (
             self.measured_instructions - start_instr,
@@ -1200,6 +1248,7 @@ impl System {
         self.measured_instructions = 0;
         self.measured_cycles = 0;
         self.spec_dropped = 0;
+        self.phase.reset();
     }
 
     /// Produces the final report (finalizes the density profiler).
@@ -1248,6 +1297,7 @@ impl System {
             energy_params: self.cfg.dram.energy,
             spec_dropped: self.spec_dropped,
             audit_errors: self.mc.audit_errors(),
+            phase: self.phase.profile(),
         }
     }
 }

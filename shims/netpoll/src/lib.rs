@@ -556,8 +556,12 @@ mod tests {
         });
         let ev = wait_for(&poller, 42);
         assert!(ev.readable);
-        waker.drain();
+        // Join before draining: the second wake() must have landed by
+        // now, so the drain below provably consumes both (draining
+        // first would race the in-flight second wake and leave it
+        // pending).
         handle.join().expect("waker thread");
+        waker.drain();
         // Drained: no further wake pending.
         let mut events = Vec::new();
         poller

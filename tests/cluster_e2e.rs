@@ -189,6 +189,7 @@ fn batched_submissions_run_as_one_job_on_daemon_and_router() {
                 ..SubmitSpec::new(vec![Preset::Bump], vec![Workload::DataServing], opts())
             },
         ],
+        trace: None,
     };
     let direct = client::local_batch_csv(&batch, 2).expect("batch expands");
 
@@ -209,6 +210,7 @@ fn batched_submissions_run_as_one_job_on_daemon_and_router() {
     // Overlapping jobs are rejected with an error frame on both paths.
     let overlap = SubmitBatch {
         jobs: vec![batch.jobs[0].clone(), batch.jobs[0].clone()],
+        trace: None,
     };
     let err = client::submit_batch(&mut stream, &overlap).expect_err("overlap must fail");
     assert!(err.contains("overlap"), "{err}");
@@ -389,5 +391,112 @@ fn health_sweep_survives_unreachable_backends_and_routes_to_the_survivor() {
             .find(|(a, _)| *a == survivor)
             .map(|(_, ok)| *ok),
         Some(true)
+    );
+}
+
+/// The tracing acceptance path: a traced batched job through a router
+/// over two live backends must come back with one coherent trace —
+/// spans from the router and both backends under the submitter's trace
+/// id, per-cell queue-wait/execution spans, engine phase attributes,
+/// and a parent chain that hangs every backend span under a router
+/// dispatch span. The router's in-process registry must serve the same
+/// trace by job id (what `GET /trace/<job>` renders for the CI smoke).
+#[test]
+fn traced_job_collects_spans_from_router_and_both_backends_under_one_trace() {
+    use bump_serve::trace::{ActiveSpan, Registry, TraceContext, TraceId};
+
+    let b1 = start_daemon(Journal::in_memory());
+    let b2 = start_daemon(Journal::in_memory());
+    let (_router, addr) = start_router(vec![b1, b2], 64);
+
+    let trace = TraceId::generate();
+    let root = ActiveSpan::begin(trace, None, "submit", "bumpc");
+    // Two equal-cost units over two backends: the load balancer puts
+    // one on each, so the trace must cover both.
+    let batch = SubmitBatch {
+        jobs: vec![SubmitSpec::new(
+            vec![Preset::BaseOpen, Preset::Bump],
+            vec![Workload::WebSearch],
+            opts(),
+        )],
+        trace: Some(TraceContext {
+            trace,
+            parent: root.id(),
+        }),
+    };
+    let mut stream =
+        client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
+    let outcome = client::submit_batch(&mut stream, &batch).expect("traced job");
+    assert_eq!(outcome.cells.len(), 2);
+    let spans = &outcome.spans;
+    assert!(!spans.is_empty(), "traced job must return spans");
+    assert!(
+        spans.iter().all(|s| s.trace == trace),
+        "every span shares the submitter's trace id"
+    );
+    for service in ["bumpr", "bumpd"] {
+        assert!(
+            spans.iter().any(|s| s.service == service),
+            "no spans from {service}"
+        );
+    }
+    for name in [
+        "route_job",
+        "cache_lookup",
+        "dispatch",
+        "run_job",
+        "journal_lookup",
+        "queue_wait",
+        "cell_execute",
+        "journal_append",
+    ] {
+        assert!(spans.iter().any(|s| s.name == name), "no {name:?} span");
+    }
+
+    // Both backends contributed: two dispatch spans to distinct
+    // addresses, and every backend root hangs under one of them.
+    let dispatches: Vec<_> = spans.iter().filter(|s| s.name == "dispatch").collect();
+    assert_eq!(dispatches.len(), 2, "one dispatch per backend");
+    let addrs: std::collections::HashSet<_> = dispatches
+        .iter()
+        .flat_map(|s| s.attrs.iter())
+        .filter(|(k, _)| k == "addr")
+        .map(|(_, v)| v.clone())
+        .collect();
+    assert_eq!(addrs.len(), 2, "dispatches target distinct backends");
+    let dispatch_ids: Vec<_> = dispatches.iter().map(|s| s.id).collect();
+    let backend_roots: Vec<_> = spans.iter().filter(|s| s.name == "run_job").collect();
+    assert_eq!(backend_roots.len(), 2, "one run_job root per backend");
+    for r in &backend_roots {
+        assert!(
+            r.parent.map(|p| dispatch_ids.contains(&p)) == Some(true),
+            "run_job must parent under a router dispatch span"
+        );
+    }
+
+    // Per-cell spans: one queue_wait + cell_execute pair per cell,
+    // and traced cells ran with the engine phase profiler on.
+    let execs: Vec<_> = spans.iter().filter(|s| s.name == "cell_execute").collect();
+    assert_eq!(execs.len(), 2, "one cell_execute per simulated cell");
+    for e in &execs {
+        assert!(e.end_us >= e.start_us);
+        assert!(
+            e.attrs.iter().any(|(k, _)| k.starts_with("phase.")),
+            "cell_execute must carry engine phase attributes: {:?}",
+            e.attrs
+        );
+        assert!(e.attrs.iter().any(|(k, _)| k == "label"));
+    }
+
+    // The router's registry resolves the same trace by trace id (the
+    // process-local half of GET /trace/<id>).
+    let registered = Registry::global()
+        .resolve(&trace.to_hex())
+        .and_then(|t| Registry::global().spans(t))
+        .expect("router registry holds the trace");
+    assert!(
+        registered.iter().any(|s| s.service == "bumpr")
+            && registered.iter().any(|s| s.service == "bumpd"),
+        "registry view spans router and backends"
     );
 }
