@@ -4,8 +4,11 @@
 //! few picojoules per lookup — §V.F).
 
 use bump::{Bump, BumpConfig};
+use bump_cache::{EventSubscriptions, Llc, LlcConfig};
 use bump_prefetch::{Prefetcher, SmsPrefetcher, StridePrefetcher};
-use bump_types::{AccessKind, BlockAddr, MemoryRequest, Pc, RegionAddr, RegionConfig};
+use bump_types::{
+    AccessKind, AssocTable, BlockAddr, MemoryRequest, Pc, RegionAddr, RegionConfig, TrafficClass,
+};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn region_block(region: u64, offset: u32) -> BlockAddr {
@@ -86,9 +89,84 @@ fn bench_prefetchers(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_assoc_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assoc_table");
+    // The predictor-table hot path: repeated hits promoting entries to
+    // MRU in a warm table. The stamp representation makes this a store
+    // instead of a memmove through the recency bucket.
+    g.bench_function("touch_hit_warm", |b| {
+        let mut t: AssocTable<u64, u32> = AssocTable::new(64, 8);
+        for k in 0..512u64 {
+            t.insert(k, k as u32);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 97) % 512;
+            black_box(t.touch(&k));
+        });
+    });
+    // Steady-state capacity churn: every insert of a fresh key evicts
+    // the set's LRU victim (the min-stamp scan).
+    g.bench_function("insert_evict_churn", |b| {
+        let mut t: AssocTable<u64, u32> = AssocTable::new(64, 8);
+        for k in 0..512u64 {
+            t.insert(k, k as u32);
+        }
+        let mut k = 512u64;
+        b.iter(|| {
+            k += 1;
+            black_box(t.insert(k, k as u32));
+        });
+    });
+    g.finish();
+}
+
+fn bench_llc_pump(c: &mut Criterion) {
+    let region = RegionConfig::kilobyte();
+    let run = |llc: &mut Llc, scratch: &mut Vec<bump_cache::LlcEvent>, base: &mut u64| {
+        *base += 1;
+        for o in 0..8u32 {
+            let block = RegionAddr::from_index(*base).block_at(region, o);
+            let req = MemoryRequest::demand(block, Pc::new(0x400), AccessKind::Load, 0);
+            llc.access(req, 0);
+            let spec =
+                MemoryRequest::speculative(block, Pc::new(0x400), TrafficClass::BulkRead, 0);
+            llc.access(spec, 0);
+        }
+        llc.drain_events_into(scratch);
+        black_box(scratch.len());
+        scratch.clear();
+    };
+    let mut g = c.benchmark_group("llc_pump");
+    // Every emission site live: the pre-gating behavior.
+    g.bench_function("access_drain_all_on", |b| {
+        let mut llc = Llc::new(LlcConfig::paper());
+        llc.set_event_subscriptions(EventSubscriptions::all());
+        let mut scratch = Vec::new();
+        let mut base = 0u64;
+        b.iter(|| run(&mut llc, &mut scratch, &mut base));
+    });
+    // The system's production subscription set: speculative accesses
+    // and fills are never consumed, so they are never materialized.
+    g.bench_function("access_drain_gated", |b| {
+        let mut llc = Llc::new(LlcConfig::paper());
+        llc.set_event_subscriptions(EventSubscriptions {
+            demand_access: true,
+            spec_access: false,
+            writeback_in: true,
+            fill: false,
+            evict: true,
+        });
+        let mut scratch = Vec::new();
+        let mut base = 0u64;
+        b.iter(|| run(&mut llc, &mut scratch, &mut base));
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_bump_engine, bench_prefetchers
+    targets = bench_bump_engine, bench_prefetchers, bench_assoc_table, bench_llc_pump
 }
 criterion_main!(benches);

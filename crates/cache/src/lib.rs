@@ -34,7 +34,7 @@ mod set_assoc;
 
 pub use l1::{L1Cache, L1Outcome, L1Stats};
 pub use llc::{
-    AccessAction, AccessOutcome, ClassCounts, EvictionKind, FillOutcome, Llc, LlcConfig, LlcEvent,
-    LlcStats, MshrError, Waiter,
+    AccessAction, AccessOutcome, ClassCounts, EventSubscriptions, EvictionKind, FillOutcome, Llc,
+    LlcConfig, LlcEvent, LlcStats, MshrError, Waiter,
 };
 pub use set_assoc::{Line, SetAssocCache};

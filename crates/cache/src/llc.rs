@@ -168,6 +168,50 @@ pub enum LlcEvent {
     },
 }
 
+/// Which [`LlcEvent`] kinds the caller's monitors actually consume.
+///
+/// The LLC is a producer with exactly one consumer (the system's event
+/// pump); a kind nobody subscribes to is pure allocation churn — the
+/// Base presets, for example, run no SMS/BuMP/VWQ monitor at all, yet
+/// used to pay one `Vec` push per access. Unsubscribed kinds are
+/// simply never emitted; everything else (stats, cache state, MSHR
+/// bookkeeping) is unaffected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventSubscriptions {
+    /// Demand `Access` events (density profiler + prefetcher feeds).
+    pub demand_access: bool,
+    /// Speculative `Access` events (no current consumer: every monitor
+    /// keys off demand traffic).
+    pub spec_access: bool,
+    /// `WritebackIn` events (RDTT dirty bits, VWQ).
+    pub writeback_in: bool,
+    /// `Fill` events (no current consumer: fill accounting lives in
+    /// `LlcStats`).
+    pub fill: bool,
+    /// `Evict` events (generation closure for every region monitor).
+    pub evict: bool,
+}
+
+impl EventSubscriptions {
+    /// Every kind emitted — the conservative default for direct users
+    /// of [`Llc`] (tests, tools) that inspect the raw stream.
+    pub fn all() -> Self {
+        EventSubscriptions {
+            demand_access: true,
+            spec_access: true,
+            writeback_in: true,
+            fill: true,
+            evict: true,
+        }
+    }
+}
+
+impl Default for EventSubscriptions {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
 /// Traffic and outcome statistics (Figures 8 and 12).
 #[derive(Clone, Debug, Default)]
 pub struct LlcStats {
@@ -270,6 +314,7 @@ pub struct Llc {
     bank_free: Vec<Cycle>,
     stats: LlcStats,
     events: Vec<LlcEvent>,
+    subs: EventSubscriptions,
 }
 
 impl Llc {
@@ -282,7 +327,16 @@ impl Llc {
             bank_free: vec![0; config.banks as usize],
             stats: LlcStats::default(),
             events: Vec::new(),
+            subs: EventSubscriptions::all(),
         }
+    }
+
+    /// Declares which event kinds the consumer will read; unsubscribed
+    /// kinds are never emitted. Call once at construction time — the
+    /// subscription set is part of the consumer contract, not per-cycle
+    /// state.
+    pub fn set_event_subscriptions(&mut self, subs: EventSubscriptions) {
+        self.subs = subs;
     }
 
     /// The configuration in force.
@@ -375,7 +429,14 @@ impl Llc {
             }
             resident
         };
-        self.events.push(LlcEvent::Access { req, hit });
+        let subscribed = if is_demand {
+            self.subs.demand_access
+        } else {
+            self.subs.spec_access
+        };
+        if subscribed {
+            self.events.push(LlcEvent::Access { req, hit });
+        }
         if hit {
             return AccessOutcome {
                 hit,
@@ -454,7 +515,9 @@ impl Llc {
     pub fn writeback_from_l1(&mut self, block: BlockAddr, now: Cycle) -> Option<BlockAddr> {
         let _ = self.charge_bank(block, now);
         self.stats.l1_writebacks += 1;
-        self.events.push(LlcEvent::WritebackIn { block });
+        if self.subs.writeback_in {
+            self.events.push(LlcEvent::WritebackIn { block });
+        }
         if let Some(line) = self.cache.touch(block) {
             if !line.meta.dirty && line.meta.eager_cleaned {
                 self.stats.redirty_after_eager += 1;
@@ -499,10 +562,12 @@ impl Llc {
             .unwrap_or_else(|| panic!("fill without MSHR for {block:?}"));
         self.stats.fills += 1;
         self.stats.fills_by_class.inc(m.class);
-        self.events.push(LlcEvent::Fill {
-            block,
-            class: m.class,
-        });
+        if self.subs.fill {
+            self.events.push(LlcEvent::Fill {
+                block,
+                class: m.class,
+            });
+        }
         let spec = if m.class.is_speculative() && !m.demanded {
             Some(m.class)
         } else {
@@ -530,10 +595,12 @@ impl Llc {
         if let Some(spec) = v.meta.spec {
             self.stats.overfetch.inc(spec);
         }
-        self.events.push(LlcEvent::Evict {
-            block: v.block,
-            dirty: v.meta.dirty,
-        });
+        if self.subs.evict {
+            self.events.push(LlcEvent::Evict {
+                block: v.block,
+                dirty: v.meta.dirty,
+            });
+        }
         if v.meta.dirty {
             self.stats.dirty_evictions += 1;
             Some(v.block)

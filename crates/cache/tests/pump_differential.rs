@@ -1,0 +1,181 @@
+//! Differential property test for the subscription-gated LLC event
+//! pump: an [`Llc`] with any subscription set must behave *identically*
+//! to an all-subscriptions LLC — same access outcomes, same fill
+//! results, same stats — and its event stream must be exactly the
+//! all-on stream with the unsubscribed kinds filtered out. Gating is an
+//! allocation optimization, never a semantic one.
+
+use bump_cache::{EventSubscriptions, Llc, LlcConfig, LlcEvent};
+use bump_types::{AccessKind, BlockAddr, CacheGeometry, MemoryRequest, Pc, TrafficClass};
+use proptest::prelude::*;
+
+fn small_config() -> LlcConfig {
+    // Tiny and shallow so arbitrary streams exercise evictions,
+    // speculative overfetch, and MSHR churn quickly.
+    LlcConfig {
+        geometry: CacheGeometry::new(16 * 64, 2),
+        banks: 1,
+        hit_latency: 8,
+        mshrs: 8,
+        demand_reserved_mshrs: 2,
+    }
+}
+
+fn subscribed(subs: EventSubscriptions, ev: &LlcEvent) -> bool {
+    match ev {
+        LlcEvent::Access { req, .. } => {
+            if req.class == TrafficClass::Demand {
+                subs.demand_access
+            } else {
+                subs.spec_access
+            }
+        }
+        LlcEvent::WritebackIn { .. } => subs.writeback_in,
+        LlcEvent::Fill { .. } => subs.fill,
+        LlcEvent::Evict { .. } => subs.evict,
+    }
+}
+
+proptest! {
+    /// Any subscription set produces the filtered all-on stream and
+    /// identical cache behavior.
+    #[test]
+    fn gated_pump_is_filtered_all_on(
+        ops in prop::collection::vec((0u8..4, 0u64..64, 0u8..2), 1..400),
+        mask in 0u32..32,
+    ) {
+        let subs = EventSubscriptions {
+            demand_access: mask & 1 != 0,
+            spec_access: mask & 2 != 0,
+            writeback_in: mask & 4 != 0,
+            fill: mask & 8 != 0,
+            evict: mask & 16 != 0,
+        };
+        let mut reference = Llc::new(small_config());
+        let mut gated = Llc::new(small_config());
+        gated.set_event_subscriptions(subs);
+
+        let mut ref_events = Vec::new();
+        let mut gated_events = Vec::new();
+        let mut pending: Vec<BlockAddr> = Vec::new();
+        let mut now = 0u64;
+        for (op, b, flavor) in ops {
+            now += 1;
+            let block = BlockAddr::from_index(b);
+            match op {
+                0 => {
+                    let kind = if flavor == 0 { AccessKind::Load } else { AccessKind::Store };
+                    let req = MemoryRequest::demand(block, Pc::new(1), kind, 0);
+                    let a = reference.access(req, now);
+                    let b = gated.access(req, now);
+                    prop_assert_eq!(a.hit, b.hit);
+                    prop_assert_eq!(a.action, b.action);
+                    if a.action == bump_cache::AccessAction::IssueDramRead {
+                        pending.push(block);
+                    }
+                }
+                1 => {
+                    let class = if flavor == 0 {
+                        TrafficClass::BulkRead
+                    } else {
+                        TrafficClass::SmsPrefetch
+                    };
+                    let req = MemoryRequest::speculative(block, Pc::new(1), class, 0);
+                    let a = reference.access(req, now);
+                    let b = gated.access(req, now);
+                    prop_assert_eq!(a.hit, b.hit);
+                    prop_assert_eq!(a.action, b.action);
+                    if a.action == bump_cache::AccessAction::IssueDramRead {
+                        pending.push(block);
+                    }
+                }
+                2 => {
+                    let a = reference.writeback_from_l1(block, now);
+                    let b = gated.writeback_from_l1(block, now);
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    if let Some(fill_block) = pending.pop() {
+                        let a = reference.fill(fill_block, now);
+                        let b = gated.fill(fill_block, now);
+                        prop_assert_eq!(a.waiters, b.waiters);
+                    }
+                }
+            }
+            // Drain mid-stream at varying points so event-buffer state
+            // never diverges structurally.
+            if now % 7 == 0 {
+                reference.drain_events_into(&mut ref_events);
+                gated.drain_events_into(&mut gated_events);
+            }
+        }
+        for fill_block in pending.drain(..) {
+            let a = reference.fill(fill_block, now);
+            let b = gated.fill(fill_block, now);
+            prop_assert_eq!(a.waiters, b.waiters);
+        }
+        reference.drain_events_into(&mut ref_events);
+        gated.drain_events_into(&mut gated_events);
+
+        // The gated stream is exactly the all-on stream with the
+        // unsubscribed kinds dropped.
+        let filtered: Vec<LlcEvent> =
+            ref_events.iter().copied().filter(|e| subscribed(subs, e)).collect();
+        prop_assert_eq!(&gated_events, &filtered);
+
+        // Gating never perturbs behavior: the stats blocks agree.
+        prop_assert_eq!(format!("{:?}", reference.stats()), format!("{:?}", gated.stats()));
+    }
+
+    /// The production subscription set (what `System::new` installs)
+    /// drops exactly the two kinds no monitor consumes.
+    #[test]
+    fn production_subs_drop_only_spec_access_and_fill(
+        blocks in prop::collection::vec(0u64..32, 1..200),
+    ) {
+        let subs = EventSubscriptions {
+            demand_access: true,
+            spec_access: false,
+            writeback_in: true,
+            fill: false,
+            evict: true,
+        };
+        let mut reference = Llc::new(small_config());
+        let mut gated = Llc::new(small_config());
+        gated.set_event_subscriptions(subs);
+        let mut pending: Vec<BlockAddr> = Vec::new();
+        let mut now = 0u64;
+        for b in blocks {
+            now += 1;
+            let block = BlockAddr::from_index(b);
+            let spec = MemoryRequest::speculative(block, Pc::new(1), TrafficClass::BulkRead, 0);
+            let demand = MemoryRequest::demand(block, Pc::new(1), AccessKind::Load, 0);
+            for req in [spec, demand] {
+                let a = reference.access(req, now);
+                let b = gated.access(req, now);
+                prop_assert_eq!(a.action, b.action);
+                if a.action == bump_cache::AccessAction::IssueDramRead {
+                    pending.push(block);
+                }
+            }
+            if pending.len() > 3 {
+                let fill_block = pending.remove(0);
+                reference.fill(fill_block, now);
+                gated.fill(fill_block, now);
+            }
+        }
+        let mut ref_events = Vec::new();
+        let mut gated_events = Vec::new();
+        reference.drain_events_into(&mut ref_events);
+        gated.drain_events_into(&mut gated_events);
+        let filtered: Vec<LlcEvent> = ref_events
+            .iter()
+            .copied()
+            .filter(|e| {
+                !matches!(e, LlcEvent::Fill { .. })
+                    && !matches!(e, LlcEvent::Access { req, .. } if req.class != TrafficClass::Demand)
+            })
+            .collect();
+        prop_assert_eq!(&gated_events, &filtered);
+    }
+}

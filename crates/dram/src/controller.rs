@@ -276,6 +276,25 @@ impl MemoryController {
         }
     }
 
+    /// Whether every channel is in the refresh-only idle regime (no
+    /// queued or in-flight work, all banks precharged, no pre-span
+    /// timing constraint gating a refresh) so a long idle span can be
+    /// replayed in closed form by [`MemoryController::skip_refresh_idle`]
+    /// instead of re-entering the tick path once per refresh.
+    pub fn refresh_only_idle(&self) -> bool {
+        self.channels.iter().all(Channel::refresh_only_idle)
+    }
+
+    /// Replays memory ticks `[m0, m0 + cycles)` on every channel in
+    /// closed form: bulk background-energy accounting plus exact
+    /// replay of each refresh the span contains. Only legal when
+    /// [`MemoryController::refresh_only_idle`] holds at `m0`.
+    pub fn skip_refresh_idle(&mut self, m0: MemCycle, cycles: u64) {
+        for ch in &mut self.channels {
+            ch.skip_refresh_idle(m0, cycles);
+        }
+    }
+
     /// Column commands issued across all channels — the only events
     /// that pop queue entries and so unblock backpressured enqueues.
     pub fn columns_issued(&self) -> u64 {

@@ -127,13 +127,32 @@ fn normalize(counts: [u64; 3]) -> [f64; 3] {
     }
 }
 
+/// Lifecycle state of one region: an open generation, or the
+/// post-eviction window that follows it.
+///
+/// A region is in exactly one of the two states at a time, so both
+/// live in *one* map: the previous two-map layout paid a failed
+/// `post.remove` probe plus an `active` entry probe on every demand
+/// access, and a `remove` + `insert` pair on every generation
+/// termination. Here an access is one entry probe (with the
+/// Post→Active transition rewriting the slot in place) and a
+/// termination rewrites Active→Post in place — no rehashing at all on
+/// the hot paths.
+#[derive(Clone, Copy, Debug)]
+enum RegionState {
+    Active(Generation),
+    Post(PostWindow),
+}
+
 /// The profiler: feed it the demand LLC streams; read the profile out.
 #[derive(Debug)]
 pub struct DensityProfiler {
     region_cfg: RegionConfig,
     threshold: DensityThreshold,
-    active: FxHashMap<RegionAddr, Generation>,
-    post: FxHashMap<RegionAddr, PostWindow>,
+    regions: FxHashMap<RegionAddr, RegionState>,
+    /// Number of `RegionState::Active` entries, maintained across
+    /// transitions (the map mixes both states).
+    active_count: usize,
     profile: DensityProfile,
 }
 
@@ -144,8 +163,8 @@ impl DensityProfiler {
         DensityProfiler {
             region_cfg,
             threshold: DensityThreshold::paper(),
-            active: FxHashMap::default(),
-            post: FxHashMap::default(),
+            regions: FxHashMap::default(),
+            active_count: 0,
             profile: DensityProfile::default(),
         }
     }
@@ -160,7 +179,7 @@ impl DensityProfiler {
     /// Number of currently active generations (a measure of how much
     /// region state the hardware RDTT would need).
     pub fn active_generations(&self) -> usize {
-        self.active.len()
+        self.active_count
     }
 
     /// Observes a demand LLC access.
@@ -170,19 +189,36 @@ impl DensityProfiler {
         }
         let region = req.block.region(self.region_cfg);
         let offset = self.region_cfg.block_offset(req.block);
-        // A new access to a terminated region closes its post-window; a
-        // *store* arriving after the first eviction is exactly the late
-        // modification Table I counts.
-        if let Some(mut p) = self.post.remove(&region) {
-            if req.kind.is_store() && p.counted && p.late_pattern & (1 << offset) == 0 {
+        let is_store = req.kind.is_store();
+        let state = self
+            .regions
+            .entry(region)
+            .or_insert(RegionState::Active(Generation {
+                accessed: 0,
+                dirtied: 0,
+                dram_reads: 0,
+            }));
+        if let RegionState::Post(p) = state {
+            // A new access to a terminated region closes its
+            // post-window; a *store* arriving after the first eviction
+            // is exactly the late modification Table I counts.
+            if is_store && p.counted && p.late_pattern & (1 << offset) == 0 {
                 p.late_pattern |= 1 << offset;
                 p.late_dirty += 1;
             }
-            self.fold_post(p);
+            if p.counted {
+                self.profile.dirty_late += p.late_dirty;
+            }
+            *state = RegionState::Active(Generation::default());
         }
-        let g = self.active.entry(region).or_default();
+        let RegionState::Active(g) = state else {
+            unreachable!("post-window just transitioned to active");
+        };
+        if g.accessed == 0 {
+            self.active_count += 1;
+        }
         g.accessed |= 1 << offset;
-        if req.kind.is_store() {
+        if is_store {
             g.dirtied |= 1 << offset;
         }
         if !hit {
@@ -194,84 +230,109 @@ impl DensityProfiler {
     pub fn on_writeback_in(&mut self, block: BlockAddr) {
         let region = block.region(self.region_cfg);
         let offset = self.region_cfg.block_offset(block);
-        if let Some(g) = self.active.get_mut(&region) {
-            g.accessed |= 1 << offset;
-            g.dirtied |= 1 << offset;
-        } else if let Some(p) = self.post.get_mut(&region) {
-            // A post-window writeback is only a late *modification* if
-            // the block was not already dirtied inside the window.
-            if p.counted
-                && p.window_dirty & (1 << offset) == 0
-                && p.late_pattern & (1 << offset) == 0
-            {
-                p.late_pattern |= 1 << offset;
-                p.late_dirty += 1;
+        match self.regions.get_mut(&region) {
+            Some(RegionState::Active(g)) => {
+                g.accessed |= 1 << offset;
+                g.dirtied |= 1 << offset;
             }
+            Some(RegionState::Post(p)) => {
+                // A post-window writeback is only a late *modification*
+                // if the block was not already dirtied inside the
+                // window.
+                if p.counted
+                    && p.window_dirty & (1 << offset) == 0
+                    && p.late_pattern & (1 << offset) == 0
+                {
+                    p.late_pattern |= 1 << offset;
+                    p.late_dirty += 1;
+                }
+            }
+            None => {}
         }
     }
 
     /// Observes an LLC eviction: terminates the block's generation.
     pub fn on_eviction(&mut self, block: BlockAddr) {
         let region = block.region(self.region_cfg);
-        let Some(g) = self.active.remove(&region) else {
+        let Some(state) = self.regions.get_mut(&region) else {
             return;
         };
-        self.finish_generation(region, g);
+        let RegionState::Active(g) = *state else {
+            return;
+        };
+        self.active_count -= 1;
+        match Self::close_generation(&mut self.profile, self.region_cfg, &self.threshold, g) {
+            Some(post) => *state = RegionState::Post(post),
+            None => {
+                self.regions.remove(&region);
+            }
+        }
     }
 
-    fn finish_generation(&mut self, region: RegionAddr, g: Generation) {
-        let blocks = self.region_cfg.blocks_per_region();
+    /// Folds a finished generation into the profile; returns the
+    /// post-eviction window to install, or `None` for an untouched
+    /// (vacuous) generation.
+    fn close_generation(
+        profile: &mut DensityProfile,
+        region_cfg: RegionConfig,
+        threshold: &DensityThreshold,
+        g: Generation,
+    ) -> Option<PostWindow> {
+        let blocks = region_cfg.blocks_per_region();
         let touched = g.accessed.count_ones();
         let dirty = g.dirtied.count_ones();
         if touched == 0 {
-            return;
+            return None;
         }
         let class = DensityClass::classify(touched, blocks);
         let di = DensityProfile::density_index(class);
-        self.profile.generations += 1;
-        self.profile.reads_by_density[di] += g.dram_reads;
-        self.profile.writes_by_density[di] += u64::from(dirty);
+        profile.generations += 1;
+        profile.reads_by_density[di] += g.dram_reads;
+        profile.writes_by_density[di] += u64::from(dirty);
 
         // Ideal locality: with region-level interleaving, every DRAM
         // read after the first within the generation can hit the row.
         if g.dram_reads > 0 {
-            self.profile.ideal_read_hits += Ratio::new(g.dram_reads - 1, g.dram_reads);
+            profile.ideal_read_hits += Ratio::new(g.dram_reads - 1, g.dram_reads);
         }
         if dirty > 0 {
-            self.profile.ideal_write_hits += Ratio::new(u64::from(dirty) - 1, u64::from(dirty));
+            profile.ideal_write_hits += Ratio::new(u64::from(dirty) - 1, u64::from(dirty));
         }
 
-        let high_modified = dirty > 0 && self.threshold.is_high_density(touched, blocks);
+        let high_modified = dirty > 0 && threshold.is_high_density(touched, blocks);
         if high_modified {
-            self.profile.dirty_in_window += u64::from(dirty);
+            profile.dirty_in_window += u64::from(dirty);
         }
-        self.post.insert(
-            region,
-            PostWindow {
-                window_dirty: g.dirtied,
-                late_pattern: 0,
-                late_dirty: 0,
-                counted: high_modified,
-            },
-        );
-    }
-
-    fn fold_post(&mut self, p: PostWindow) {
-        if p.counted {
-            self.profile.dirty_late += p.late_dirty;
-        }
+        Some(PostWindow {
+            window_dirty: g.dirtied,
+            late_pattern: 0,
+            late_dirty: 0,
+            counted: high_modified,
+        })
     }
 
     /// Folds all remaining state into the profile (end of run).
     pub fn finalize(&mut self) {
-        let active: Vec<(RegionAddr, Generation)> = self.active.drain().collect();
-        for (r, g) in active {
-            self.finish_generation(r, g);
+        for (_, state) in self.regions.drain() {
+            match state {
+                RegionState::Active(g) => {
+                    // A just-closed window has no late modifications to
+                    // fold, so closing and folding collapse to closing.
+                    let _ = Self::close_generation(
+                        &mut self.profile,
+                        self.region_cfg,
+                        &self.threshold,
+                        g,
+                    );
+                }
+                RegionState::Post(p) => {
+                    if p.counted {
+                        self.profile.dirty_late += p.late_dirty;
+                    }
+                }
+            }
         }
-        let post: Vec<PostWindow> = self.post.drain().map(|(_, p)| p).collect();
-        for p in post {
-            self.fold_post(p);
-        }
+        self.active_count = 0;
     }
 
     /// Clears accumulated statistics but keeps active generation state
@@ -282,8 +343,10 @@ impl DensityProfiler {
     /// lifetime.
     pub fn reset_stats(&mut self) {
         self.profile = DensityProfile::default();
-        for g in self.active.values_mut() {
-            g.dram_reads = 0;
+        for state in self.regions.values_mut() {
+            if let RegionState::Active(g) = state {
+                g.dram_reads = 0;
+            }
         }
     }
 }

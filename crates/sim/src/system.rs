@@ -12,7 +12,7 @@ use crate::phase::{Phase, PhaseProfiler};
 use crate::profiler::DensityProfiler;
 use crate::report::{SimReport, TrafficBreakdown};
 use bump::{BulkAction, Bump, FullRegion};
-use bump_cache::{AccessAction, L1Cache, Llc, LlcEvent};
+use bump_cache::{AccessAction, EventSubscriptions, L1Cache, Llc, LlcEvent};
 use bump_cpu::{CoreWakeup, LeanCore, PendingAccess};
 use bump_dram::{MemoryController, Transaction};
 use bump_energy::{EnergyModel, SystemActivity};
@@ -366,9 +366,23 @@ impl System {
         let vwq = cfg.preset.has_vwq().then(VirtualWriteQueue::paper);
         let bump_engine = (cfg.preset == Preset::Bump).then(|| Bump::new(cfg.bump));
         let full = (cfg.preset == Preset::FullRegion).then(|| FullRegion::new(cfg.bump.region));
+        let mut llc = Llc::new(cfg.llc);
+        // Declare what the event pump actually reads: the density
+        // profiler consumes demand accesses, L1 writebacks, and
+        // evictions unconditionally, but no monitor in any preset
+        // consumes speculative Access events or Fill events
+        // (`process_llc_events` skips the former and has an empty arm
+        // for the latter), so the LLC never has to materialize them.
+        llc.set_event_subscriptions(EventSubscriptions {
+            demand_access: true,
+            spec_access: false,
+            writeback_in: true,
+            fill: false,
+            evict: true,
+        });
         System {
             bank: CoreBank::new(cores, l1s, gens),
-            llc: Llc::new(cfg.llc),
+            llc,
             noc: Noc::new(cfg.noc_latency),
             mc: MemoryController::new(cfg.dram),
             stride,
@@ -843,6 +857,28 @@ impl System {
         // keep their capacity across cycles (no per-cycle allocation).
         let mut events = std::mem::take(&mut self.scratch_events);
         self.llc.drain_events_into(&mut events);
+        // Base presets run no prefetch/streaming mechanism at all: the
+        // whole drain feeds only the density profiler, under a single
+        // Bookkeeping lap rather than one lap + dispatch per event.
+        if self.stride.is_none()
+            && self.sms.is_none()
+            && self.bump.is_none()
+            && self.full.is_none()
+            && self.vwq.is_none()
+        {
+            self.phase.enter(Phase::Bookkeeping);
+            for ev in events.drain(..) {
+                match ev {
+                    LlcEvent::Access { req, hit } => self.profiler.on_access(&req, hit),
+                    LlcEvent::WritebackIn { block } => self.profiler.on_writeback_in(block),
+                    LlcEvent::Evict { block, .. } => self.profiler.on_eviction(block),
+                    LlcEvent::Fill { .. } => {}
+                }
+            }
+            self.phase.exit();
+            self.scratch_events = events;
+            return;
+        }
         self.scratch_actions.clear();
         let mut actions = std::mem::take(&mut self.scratch_actions);
         for ev in events.drain(..) {
@@ -1104,6 +1140,16 @@ impl System {
             if limit <= self.now {
                 break; // an event (or the core wakeup) is due next cycle
             }
+            // When the controller has fully drained — nothing queued or
+            // in flight, every bank precharged — the only remaining
+            // events in the span are periodic refreshes, and those
+            // replay in closed form: skip straight to `limit` instead
+            // of re-entering the tick path once per refresh.
+            if self.mc.refresh_only_idle() {
+                core_idle_cycles += limit - self.now;
+                self.skip_cycles_refresh_only(limit - self.now);
+                break; // the cycle at `limit` needs a full step
+            }
             // The CPU cycle whose tick_dram performs the next eventful
             // memory cycle; everything strictly before it is null.
             let mem_event = self.mc.next_event_at(self.mem_cycle);
@@ -1197,6 +1243,24 @@ impl System {
         if ticks > 0 {
             self.mem_cycle += ticks;
             self.mc.skip_idle(ticks);
+        }
+        self.now += n;
+    }
+
+    /// [`System::skip_cycles`] for spans in which the memory controller
+    /// is in its refresh-only idle regime: the skipped memory ticks may
+    /// contain refresh commands, which the controller replays in closed
+    /// form instead of being individually stepped through `tick_dram`.
+    fn skip_cycles_refresh_only(&mut self, n: u64) {
+        self.measured_cycles += n;
+        let ratio = self.cfg.dram.freq_ratio_milli;
+        let total = self.mem_clock_acc + n * 1000;
+        let ticks = total / ratio;
+        self.mem_clock_acc = total % ratio;
+        if ticks > 0 {
+            let start = self.mem_cycle;
+            self.mem_cycle += ticks;
+            self.mc.skip_refresh_idle(start, ticks);
         }
         self.now += n;
     }

@@ -41,6 +41,13 @@ impl TableKey for Pc {
 
 /// Set-associative key→value table with true-LRU replacement.
 ///
+/// Storage is a flat `sets × ways` slot array with a monotonic recency
+/// stamp per slot: an LRU promotion is one stamp store, and the
+/// eviction victim is the minimum-stamp slot of the set. Stamps are
+/// strictly increasing, so their order *is* the MRU order the previous
+/// shift-based representation maintained explicitly — without the
+/// `Vec::remove` + `insert(0)` memmove per touch.
+///
 /// ```
 /// use bump_types::AssocTable;
 /// let mut t: AssocTable<u64, &str> = AssocTable::new(4, 2);
@@ -51,8 +58,14 @@ impl TableKey for Pc {
 pub struct AssocTable<K, V> {
     sets: usize,
     ways: usize,
-    /// `sets` buckets, each at most `ways` long, MRU first.
-    data: Vec<Vec<(K, V)>>,
+    /// Valid-entry count, maintained incrementally.
+    len: usize,
+    /// Monotonic recency clock; 0 is reserved for "never touched".
+    clock: u64,
+    /// Flat `sets × ways` slots; set `s` owns `[s*ways, (s+1)*ways)`.
+    slots: Vec<Option<(K, V)>>,
+    /// Recency stamp per slot, parallel to `slots`.
+    stamps: Vec<u64>,
 }
 
 impl<K: TableKey, V> AssocTable<K, V> {
@@ -70,7 +83,10 @@ impl<K: TableKey, V> AssocTable<K, V> {
         AssocTable {
             sets,
             ways,
-            data: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            len: 0,
+            clock: 0,
+            slots: (0..sets * ways).map(|_| None).collect(),
+            stamps: vec![0; sets * ways],
         }
     }
 
@@ -99,72 +115,99 @@ impl<K: TableKey, V> AssocTable<K, V> {
 
     /// Number of valid entries.
     pub fn len(&self) -> usize {
-        self.data.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.iter().all(Vec::is_empty)
+        self.len == 0
+    }
+
+    /// Slot index of `key` within its set, if present.
+    #[inline]
+    fn find(&self, key: &K) -> Option<usize> {
+        let base = self.set_of(*key) * self.ways;
+        self.slots[base..base + self.ways]
+            .iter()
+            .position(|slot| matches!(slot, Some((k, _)) if k == key))
+            .map(|off| base + off)
+    }
+
+    #[inline]
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 
     /// Reads the value for `key` without updating recency.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.data[self.set_of(*key)]
-            .iter()
-            .find(|(k, _)| k == key)
+        self.find(key)
+            .and_then(|i| self.slots[i].as_ref())
             .map(|(_, v)| v)
     }
 
     /// Mutable read without updating recency.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
-        let s = self.set_of(*key);
-        self.data[s]
-            .iter_mut()
-            .find(|(k, _)| k == key)
+        self.find(key)
+            .and_then(|i| self.slots[i].as_mut())
             .map(|(_, v)| v)
     }
 
     /// Looks up `key`, promoting the entry to MRU on a hit.
     pub fn touch(&mut self, key: &K) -> Option<&mut V> {
-        let s = self.set_of(*key);
-        let bucket = &mut self.data[s];
-        let pos = bucket.iter().position(|(k, _)| k == key)?;
-        let entry = bucket.remove(pos);
-        bucket.insert(0, entry);
-        Some(&mut bucket[0].1)
+        let i = self.find(key)?;
+        self.stamps[i] = self.next_stamp();
+        self.slots[i].as_mut().map(|(_, v)| v)
     }
 
     /// Inserts (or replaces) `key` as MRU. Returns the entry evicted to
     /// make room, if any. Replacing an existing key returns its old
     /// value as the "evicted" entry.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
-        let s = self.set_of(key);
-        let bucket = &mut self.data[s];
-        if let Some(pos) = bucket.iter().position(|(k, _)| *k == key) {
-            let old = bucket.remove(pos);
-            bucket.insert(0, (key, value));
-            return Some(old);
+        let base = self.set_of(key) * self.ways;
+        let stamp = self.next_stamp();
+        let mut empty = None;
+        for i in base..base + self.ways {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => {
+                    let old = self.slots[i].replace((key, value));
+                    self.stamps[i] = stamp;
+                    return old;
+                }
+                None if empty.is_none() => empty = Some(i),
+                _ => {}
+            }
         }
-        let victim = if bucket.len() >= self.ways {
-            bucket.pop()
-        } else {
-            None
-        };
-        bucket.insert(0, (key, value));
-        victim
+        if let Some(i) = empty {
+            self.slots[i] = Some((key, value));
+            self.stamps[i] = stamp;
+            self.len += 1;
+            return None;
+        }
+        // Set full: the minimum stamp is the LRU victim.
+        let mut victim = base;
+        for i in base + 1..base + self.ways {
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
+        let old = self.slots[victim].replace((key, value));
+        self.stamps[victim] = stamp;
+        old
     }
 
     /// Removes `key`, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let s = self.set_of(*key);
-        let bucket = &mut self.data[s];
-        let pos = bucket.iter().position(|(k, _)| k == key)?;
-        Some(bucket.remove(pos).1)
+        let i = self.find(key)?;
+        self.len -= 1;
+        self.stamps[i] = 0;
+        self.slots[i].take().map(|(_, v)| v)
     }
 
-    /// Iterates over all `(key, value)` pairs.
+    /// Iterates over all `(key, value)` pairs (slot order, not recency
+    /// order).
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.data.iter().flatten().map(|(k, v)| (k, v))
+        self.slots.iter().flatten().map(|(k, v)| (k, v))
     }
 }
 

@@ -1,0 +1,144 @@
+//! Differential property tests: the stamp-based `AssocTable` must be
+//! operation-for-operation identical to the shift-based MRU-first
+//! bucket representation it replaced. The model below *is* the old
+//! implementation (`Vec<Vec<(K, V)>>`, MRU first, evict the tail), so
+//! any observable divergence — hit/miss, returned value, eviction
+//! victim, occupancy — fails the suite.
+
+use bump_types::{AssocTable, TableKey};
+use proptest::prelude::*;
+
+/// The pre-PR-9 table: per-set `Vec<(K, V)>` kept MRU-first by
+/// `remove` + `insert(0)` shifting, LRU victim at the tail.
+struct ShiftModel {
+    sets: usize,
+    ways: usize,
+    data: Vec<Vec<(u64, u32)>>,
+}
+
+impl ShiftModel {
+    fn new(sets: usize, ways: usize) -> Self {
+        ShiftModel {
+            sets,
+            ways,
+            data: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key.hash64() >> 16) as usize & (self.sets - 1)
+    }
+
+    fn len(&self) -> usize {
+        self.data.iter().map(Vec::len).sum()
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        self.data[self.set_of(key)]
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    fn touch(&mut self, key: u64) -> Option<u32> {
+        let s = self.set_of(key);
+        let bucket = &mut self.data[s];
+        let pos = bucket.iter().position(|(k, _)| *k == key)?;
+        let entry = bucket.remove(pos);
+        bucket.insert(0, entry);
+        Some(bucket[0].1)
+    }
+
+    fn insert(&mut self, key: u64, value: u32) -> Option<(u64, u32)> {
+        let s = self.set_of(key);
+        let bucket = &mut self.data[s];
+        if let Some(pos) = bucket.iter().position(|(k, _)| *k == key) {
+            let old = bucket.remove(pos);
+            bucket.insert(0, (key, value));
+            return Some(old);
+        }
+        let victim = if bucket.len() >= self.ways {
+            bucket.pop()
+        } else {
+            None
+        };
+        bucket.insert(0, (key, value));
+        victim
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u32> {
+        let s = self.set_of(key);
+        let bucket = &mut self.data[s];
+        let pos = bucket.iter().position(|(k, _)| *k == key)?;
+        Some(bucket.remove(pos).1)
+    }
+}
+
+proptest! {
+    /// Every operation returns the same observable result as the old
+    /// implementation, including which entry an insert evicts.
+    #[test]
+    fn table_matches_shift_model(
+        ops in prop::collection::vec((0u8..4, 0u64..48, 0u32..1000), 1..500),
+        set_bits in 0u32..4,
+        ways in 1usize..6,
+    ) {
+        let sets = 1usize << set_bits;
+        let mut table: AssocTable<u64, u32> = AssocTable::new(sets, ways);
+        let mut model = ShiftModel::new(sets, ways);
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    let got = table.insert(key, value);
+                    let want = model.insert(key, value);
+                    prop_assert_eq!(got, want, "insert({}, {})", key, value);
+                }
+                1 => {
+                    let got = table.touch(&key).map(|v| *v);
+                    let want = model.touch(key);
+                    prop_assert_eq!(got, want, "touch({})", key);
+                }
+                2 => {
+                    let got = table.get(&key).copied();
+                    let want = model.get(key);
+                    prop_assert_eq!(got, want, "get({})", key);
+                }
+                _ => {
+                    let got = table.remove(&key);
+                    let want = model.remove(key);
+                    prop_assert_eq!(got, want, "remove({})", key);
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert_eq!(table.is_empty(), model.len() == 0);
+        }
+        // Final contents agree (iteration order is not part of the
+        // contract, so compare as sets).
+        let mut got: Vec<(u64, u32)> = table.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut want: Vec<(u64, u32)> =
+            model.data.iter().flatten().copied().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Eviction order within one set is exact LRU over a pure
+    /// insert/touch workload — the case the predictor tables exercise
+    /// hardest (single-set table makes every op collide).
+    #[test]
+    fn single_set_lru_order_is_exact(
+        ops in prop::collection::vec((0u8..2, 0u64..12), 1..200),
+        ways in 1usize..8,
+    ) {
+        let mut table: AssocTable<u64, u64> = AssocTable::new(1, ways);
+        let mut model = ShiftModel::new(1, ways);
+        for (op, key) in ops {
+            if op == 1 {
+                prop_assert_eq!(table.touch(&key).map(|v| *v as u32), model.touch(key));
+            } else {
+                let got = table.insert(key, key).map(|(k, v)| (k, v as u32));
+                prop_assert_eq!(got, model.insert(key, key as u32));
+            }
+        }
+    }
+}
