@@ -129,8 +129,7 @@ fn bench_llc_pump(c: &mut Criterion) {
             let block = RegionAddr::from_index(*base).block_at(region, o);
             let req = MemoryRequest::demand(block, Pc::new(0x400), AccessKind::Load, 0);
             llc.access(req, 0);
-            let spec =
-                MemoryRequest::speculative(block, Pc::new(0x400), TrafficClass::BulkRead, 0);
+            let spec = MemoryRequest::speculative(block, Pc::new(0x400), TrafficClass::BulkRead, 0);
             llc.access(spec, 0);
         }
         llc.drain_events_into(scratch);

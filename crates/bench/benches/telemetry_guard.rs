@@ -1,0 +1,109 @@
+//! Perf guard for the sim-time telemetry sampler: the flight recorder
+//! must be free when nobody asks for it, and cheap when they do.
+//!
+//! The engines consult the sampler on every lap; disabled, that is a
+//! single stride-check branch against a sentinel that never fires.
+//! This harness measures the paper's most expensive cell (Full-region,
+//! 16 cores, 4MB LLC — the worst case for per-lap overhead) three
+//! ways:
+//!
+//! 1. telemetry off (what every figure, daemon cell, and golden run
+//!    pays),
+//! 2. telemetry on at the default stride (what `--telemetry` runs
+//!    pay),
+//! 3. off again (guards against thermal/cache drift polluting 1 vs 2).
+//!
+//! It prints the min-of-N wall times, the on-arm's sampled point
+//! count, and the on/off ratio, asserts the simulated cycle count is
+//! identical across all three arms (recording must never perturb the
+//! simulation), and exits non-zero if telemetry-on costs more than
+//! GUARD_RATIO over off. The disabled path is strictly contained in
+//! the enabled path, so a passing run also bounds the disabled
+//! overhead well under the guard.
+//!
+//! Run with `cargo bench -p bump-bench --bench telemetry_guard`.
+
+use bump_sim::{config_for, run_experiment_with_config_instrumented, Preset, RunOptions};
+use bump_workloads::Workload;
+use std::time::Instant;
+
+/// Hard ceiling on the measured on/off ratio. Sampling at the default
+/// stride copies a handful of u64 gauges into a bounded buffer every
+/// 1024 cycles (with periodic compaction); the budget in ISSUE terms
+/// is <= 5% enabled, held with headroom for machine noise.
+const GUARD_RATIO: f64 = 1.05;
+
+/// Measurement iterations per arm (min-of-N defeats scheduler noise).
+const ITERS: usize = 3;
+
+fn cell() -> (bump_sim::SystemConfig, RunOptions) {
+    // The paper Full-region cell with the measurement window scaled
+    // down so three arms of three iterations finish in CI time; the
+    // per-lap cost being guarded is window-independent.
+    let opts = RunOptions::paper().scaled(0.2);
+    (
+        config_for(Preset::FullRegion, Workload::WebSearch, opts),
+        opts,
+    )
+}
+
+fn measure(telemetry: Option<u64>) -> (f64, u64, usize) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    let mut points = 0;
+    for _ in 0..ITERS {
+        let (cfg, opts) = cell();
+        let t0 = Instant::now();
+        let report = run_experiment_with_config_instrumented(cfg, opts, false, telemetry);
+        best = best.min(t0.elapsed().as_secs_f64());
+        cycles = report.cycles;
+        assert_eq!(
+            report.telemetry.is_some(),
+            telemetry.is_some(),
+            "series present iff telemetry was requested"
+        );
+        if let Some(series) = &report.telemetry {
+            series.validate().expect("recorded series is well-formed");
+            points = series.points.len();
+        }
+    }
+    (best, cycles, points)
+}
+
+fn main() {
+    // `cargo bench` passes --bench; a bare filter argument is ignored.
+    let (off_a, cycles_a, _) = measure(None);
+    let (on, cycles_on, points) = measure(Some(bump_sim::DEFAULT_STRIDE));
+    let (off_b, cycles_b, _) = measure(None);
+    assert_eq!(cycles_a, cycles_b, "off runs must be deterministic");
+    assert_eq!(
+        cycles_a, cycles_on,
+        "telemetry must not change simulated results"
+    );
+    let off = off_a.min(off_b);
+    let ratio = on / off;
+    println!(
+        "telemetry_guard: Full-region paper cell ({cycles_a} cycles, {points} samples)\n  \
+         off: {off_a:.3}s / {off_b:.3}s (min {off:.3}s)\n  \
+         on:  {on:.3}s\n  \
+         on/off ratio: {ratio:.4} (guard {GUARD_RATIO})"
+    );
+    let drift = (off_a.max(off_b) / off - 1.0).abs();
+    if drift > 0.25 {
+        eprintln!(
+            "telemetry_guard: warning: off-arm drift {:.1}% — machine too noisy for a tight bound",
+            drift * 100.0
+        );
+    }
+    if ratio > GUARD_RATIO {
+        eprintln!(
+            "telemetry_guard: FAIL: enabling telemetry costs {:.1}% (> {:.0}% guard); \
+             the disabled path is one branch per lap, so check for work outside the \
+             stride check (an allocation, a clone, an unconditional gauge read)",
+            (ratio - 1.0) * 100.0,
+            (GUARD_RATIO - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("telemetry_guard: PASS");
+}

@@ -10,7 +10,7 @@
 //! independent cells run `--threads`-wide (default: all cores).
 
 use bump_bench::experiment::{
-    run_grid_profiled_with, ExperimentGrid, GridArgs, IncrementalCsv, MetricRow, SeedSummary,
+    run_grid_instrumented_with, ExperimentGrid, GridArgs, IncrementalCsv, MetricRow, SeedSummary,
 };
 use bump_bench::figures;
 use std::time::Instant;
@@ -37,10 +37,11 @@ fn main() {
     // Stream rows to results/repro_all.csv as cells land, so an
     // interrupted --full sweep leaves every finished cell on disk.
     let stream = IncrementalCsv::new("repro_all");
-    let all = run_grid_profiled_with(
+    let all = run_grid_instrumented_with(
         &expanded,
         args.threads,
         args.profile,
+        args.telemetry,
         move |_, spec, report| {
             stream.append(&MetricRow::of(spec, report));
         },
@@ -73,6 +74,7 @@ fn main() {
         }
     }
     all.write_files("repro_all");
+    all.write_telemetry_files("repro_all");
     if args.seeds > 1 {
         SeedSummary::from_results(&grid, &all, args.seeds).write_files("repro_all");
     }

@@ -22,7 +22,7 @@
 
 use crate::Scale;
 use bump_sim::{
-    config_for_scenario, run_experiment_with_config_profiled, Preset, RunOptions, Scenario,
+    config_for_scenario, run_experiment_with_config_instrumented, Preset, RunOptions, Scenario,
     SimReport, SystemConfig,
 };
 use bump_workloads::Workload;
@@ -115,11 +115,20 @@ impl ExperimentSpec {
     /// cell's journal identity; with `profile` set, the report carries
     /// `phase: Some(...)`.
     pub fn run_profiled(&self, profile: bool) -> SimReport {
+        self.run_instrumented(profile, None)
+    }
+
+    /// [`ExperimentSpec::run_profiled`] with the sim-time telemetry
+    /// sampler on at the given stride (`Some(0)` selects the default).
+    /// Like profiling, telemetry changes neither the simulated results
+    /// nor the cell's journal identity; with it on, the report carries
+    /// `telemetry: Some(...)`.
+    pub fn run_instrumented(&self, profile: bool, telemetry: Option<u64>) -> SimReport {
         let cfg = match &self.config {
             Some(cfg) => cfg.clone(),
             None => config_for_scenario(self.preset, self.workload, self.options, &self.scenario),
         };
-        run_experiment_with_config_profiled(cfg, self.options, profile)
+        run_experiment_with_config_instrumented(cfg, self.options, profile, telemetry)
     }
 }
 
@@ -375,6 +384,25 @@ pub fn run_grid_profiled_with<F>(
 where
     F: Fn(usize, &ExperimentSpec, &SimReport) + Send + Sync + 'static,
 {
+    run_grid_instrumented_with(grid, threads, profile, None, on_cell)
+}
+
+/// [`run_grid_profiled_with`] with the sim-time telemetry switch: with
+/// `telemetry = Some(stride)` every cell's report carries its gauge
+/// series (write them with [`GridResults::write_telemetry_files`]).
+/// Series are keyed on simulated cycles and cells carry spec-fixed
+/// seeds, so like every other grid output they are byte-identical for
+/// any thread count.
+pub fn run_grid_instrumented_with<F>(
+    grid: &ExperimentGrid,
+    threads: usize,
+    profile: bool,
+    telemetry: Option<u64>,
+    on_cell: F,
+) -> GridResults
+where
+    F: Fn(usize, &ExperimentSpec, &SimReport) + Send + Sync + 'static,
+{
     let cells = grid.cells();
     if cells.is_empty() {
         return GridResults { rows: Vec::new() };
@@ -383,9 +411,10 @@ where
     let sched = crate::sched::Scheduler::new(threads);
     let slots: Arc<Vec<Mutex<Option<SimReport>>>> =
         Arc::new(cells.iter().map(|_| Mutex::new(None)).collect());
-    let handle = sched.submit_profiled(
+    let handle = sched.submit_instrumented(
         cells.to_vec(),
         profile,
+        telemetry,
         Box::new({
             let slots = Arc::clone(&slots);
             move |i, spec, report, _timing| {
@@ -529,6 +558,34 @@ impl GridResults {
         for (ext, content) in [("csv", self.to_csv()), ("json", self.to_json())] {
             let path = dir.join(format!("{name}.{ext}"));
             write_atomically(&path, &content);
+        }
+    }
+
+    /// Writes `results/telemetry_<name>.csv` / `.json` from the cells
+    /// whose reports carry a telemetry series (a no-op when none do —
+    /// the run was not instrumented). The renderers live in the sim
+    /// crate and consume the series values directly, so a routed job's
+    /// artifacts are byte-identical to a local run's.
+    pub fn write_telemetry_files(&self, name: &str) {
+        let cells: Vec<(usize, &str, &bump_sim::TelemetrySeries)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (spec, r))| r.telemetry.as_ref().map(|t| (i, spec.label.as_str(), t)))
+            .collect();
+        if cells.is_empty() {
+            return;
+        }
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        for (ext, content) in [
+            ("csv", bump_sim::cells_to_csv(&cells)),
+            ("json", bump_sim::cells_to_json(&cells)),
+        ] {
+            write_atomically(&dir.join(format!("telemetry_{name}.{ext}")), &content);
         }
     }
 }
@@ -935,6 +992,11 @@ pub struct GridArgs {
     /// Run cells with the engine phase profiler on and write the
     /// per-phase wall-clock breakdown as `results/profile_<name>.json`.
     pub profile: bool,
+    /// Run cells with the sim-time telemetry sampler on at this stride
+    /// (`--telemetry` = default stride, `--telemetry=N` = every N
+    /// cycles) and write the gauge series as
+    /// `results/telemetry_<name>.{csv,json}`.
+    pub telemetry: Option<u64>,
 }
 
 impl GridArgs {
@@ -977,14 +1039,38 @@ impl GridArgs {
             }
         }
         crate::set_default_engine(engine);
+        let telemetry = parse_telemetry_flag(&args).unwrap_or_else(|| {
+            eprintln!("error: --telemetry expects a positive cycle stride (--telemetry=N)");
+            std::process::exit(2);
+        });
         GridArgs {
             scale,
             threads,
             seeds,
             engine,
             profile: args.iter().any(|a| a == "--profile"),
+            telemetry,
         }
     }
+}
+
+/// Parses `--telemetry` / `--telemetry=N` out of `args`. `Ok` values:
+/// `None` (flag absent), `Some(0)` (bare flag — default stride),
+/// `Some(n)` (explicit stride). A malformed or zero stride is `None`
+/// at the outer level (parse error).
+fn parse_telemetry_flag(args: &[String]) -> Option<Option<u64>> {
+    let mut out = None;
+    for a in args {
+        if a == "--telemetry" {
+            out = Some(0);
+        } else if let Some(v) = a.strip_prefix("--telemetry=") {
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => out = Some(n),
+                _ => return None,
+            }
+        }
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -1220,6 +1306,35 @@ mod tests {
         assert_eq!(csv.lines().count(), 2);
         let json = summary.to_json();
         assert!(json.contains("\"ipc\":{\"mean\":"));
+    }
+
+    #[test]
+    fn telemetry_flag_parses_bare_and_strided_forms() {
+        let argv = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_telemetry_flag(&argv(&["fig"])), Some(None));
+        assert_eq!(
+            parse_telemetry_flag(&argv(&["fig", "--telemetry"])),
+            Some(Some(0))
+        );
+        assert_eq!(
+            parse_telemetry_flag(&argv(&["fig", "--telemetry=4096"])),
+            Some(Some(4096))
+        );
+        assert_eq!(parse_telemetry_flag(&argv(&["fig", "--telemetry=0"])), None);
+        assert_eq!(parse_telemetry_flag(&argv(&["fig", "--telemetry=x"])), None);
+    }
+
+    #[test]
+    fn grid_telemetry_runs_produce_series_and_artifacts() {
+        let grid = ExperimentGrid::cartesian(&[Preset::BaseOpen], &[Workload::WebSearch], opts());
+        let results = run_grid_instrumented_with(&grid, 1, false, Some(2048), |_, _, _| {});
+        let (_, report) = &results.rows[0];
+        let series = report.telemetry.as_ref().expect("telemetry requested");
+        series.validate().expect("series well-formed");
+        assert!(series.points.len() > 1);
+        // Uninstrumented runs carry no series and write no files.
+        let plain = run_grid(&grid, 1);
+        assert!(plain.rows[0].1.telemetry.is_none());
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! figures from the shared results.
 
 use crate::experiment::{
-    run_grid_profiled_with, ExperimentGrid, ExperimentSpec, GridArgs, GridResults, IncrementalCsv,
-    SeedSummary,
+    run_grid_instrumented_with, ExperimentGrid, ExperimentSpec, GridArgs, GridResults,
+    IncrementalCsv, SeedSummary,
 };
 use crate::{emit, paper, pct, Scale, TextTable};
 use bump::BumpConfig;
@@ -199,10 +199,11 @@ pub fn run_figure(figure: &Figure, args: GridArgs) {
     let grid = (figure.grid)(args.scale);
     let expanded = grid.replicate_seeds(args.seeds);
     let stream = IncrementalCsv::new(figure.name);
-    let all = run_grid_profiled_with(
+    let all = run_grid_instrumented_with(
         &expanded,
         args.threads,
         args.profile,
+        args.telemetry,
         move |_, spec, report| {
             stream.append(&crate::experiment::MetricRow::of(spec, report));
         },
@@ -229,6 +230,7 @@ pub fn run_figure(figure: &Figure, args: GridArgs) {
     emit(figure.name, &out);
     if !all.is_empty() {
         all.write_files(figure.name);
+        all.write_telemetry_files(figure.name);
     }
 }
 

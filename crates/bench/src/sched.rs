@@ -122,6 +122,10 @@ struct JobShared {
     /// Run cells with the engine phase profiler on (reports carry
     /// `phase: Some(...)`); simulated results are unaffected.
     profile: bool,
+    /// Run cells with the sim-time telemetry sampler on at this stride
+    /// (reports carry `telemetry: Some(...)`); like `profile`, the
+    /// simulated results are unaffected.
+    telemetry: Option<u64>,
     /// When the job entered the injector (queue-wait baseline).
     submitted: Instant,
     progress: Mutex<JobProgress>,
@@ -223,6 +227,20 @@ impl Scheduler {
         profile: bool,
         on_cell: CellCallback,
     ) -> JobHandle {
+        self.submit_instrumented(cells, profile, None, on_cell)
+    }
+
+    /// [`Scheduler::submit_profiled`] with a sim-time telemetry switch:
+    /// with `telemetry = Some(stride)` every cell's report carries the
+    /// measurement window's gauge series. Out-of-band for the same
+    /// journal-identity reason as `profile`.
+    pub fn submit_instrumented(
+        &self,
+        cells: Vec<ExperimentSpec>,
+        profile: bool,
+        telemetry: Option<u64>,
+        on_cell: CellCallback,
+    ) -> JobHandle {
         let mut injector = self.shared.injector.lock().expect("injector poisoned");
         assert!(!injector.shutdown, "submit on a shut-down scheduler");
         let id = injector.next_job_id;
@@ -236,6 +254,7 @@ impl Scheduler {
             cells,
             on_cell,
             profile,
+            telemetry,
             submitted: Instant::now(),
             progress: Mutex::new(JobProgress {
                 remaining,
@@ -376,7 +395,7 @@ fn worker_loop(shared: &Shared) {
         let started = Instant::now();
         let queue_wait = started.duration_since(job.submitted);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let report = spec.run_profiled(job.profile);
+            let report = spec.run_instrumented(job.profile, job.telemetry);
             let timing = CellTiming {
                 queue_wait,
                 execution: started.elapsed(),
@@ -525,6 +544,7 @@ mod tests {
                 cells,
                 on_cell: Box::new(|_, _, _, _| {}),
                 profile: false,
+                telemetry: None,
                 submitted: Instant::now(),
                 progress: Mutex::new(JobProgress {
                     remaining,

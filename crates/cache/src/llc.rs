@@ -262,6 +262,14 @@ impl LlcStats {
     pub fn total_updates(&self) -> u64 {
         self.fills + self.l1_writebacks
     }
+
+    /// Speculative fetches that ended up serving demand — covered fills
+    /// plus demand misses merged into in-flight speculative fetches,
+    /// over the speculative read classes. The telemetry sampler's
+    /// prefetch-usefulness gauge (accuracy = useful / issued).
+    pub fn prefetch_useful(&self) -> u64 {
+        self.covered.speculative_total() + self.covered_late.speculative_total()
+    }
 }
 
 /// Per-[`TrafficClass`] counters.

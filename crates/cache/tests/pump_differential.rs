@@ -104,7 +104,7 @@ proptest! {
             }
             // Drain mid-stream at varying points so event-buffer state
             // never diverges structurally.
-            if now % 7 == 0 {
+            if now.is_multiple_of(7) {
                 reference.drain_events_into(&mut ref_events);
                 gated.drain_events_into(&mut gated_events);
             }

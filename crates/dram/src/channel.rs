@@ -107,6 +107,10 @@ pub struct Channel {
     /// for a backpressured transaction — the event loop watches this to
     /// know when an enqueue retry could succeed.
     columns_issued: u64,
+    /// Columns that hit the open row at issue time. Together with
+    /// `columns_issued` this gives the telemetry sampler a per-channel
+    /// bandwidth/row-locality gauge without walking completions.
+    row_hits_issued: u64,
 }
 
 impl Channel {
@@ -148,6 +152,7 @@ impl Channel {
             horizon: None,
             commands_issued: 0,
             columns_issued: 0,
+            row_hits_issued: 0,
         }
     }
 
@@ -515,7 +520,12 @@ impl Channel {
             let pending_at = |rank: &RankTimer| -> MemCycle {
                 rank.refresh_until().unwrap_or(0).max(rank.refresh_due())
             };
-            let t = self.ranks.iter().map(pending_at).min().unwrap_or(MemCycle::MAX);
+            let t = self
+                .ranks
+                .iter()
+                .map(pending_at)
+                .min()
+                .unwrap_or(MemCycle::MAX);
             let now = t.max(cursor);
             if now >= m_end {
                 break;
@@ -544,6 +554,11 @@ impl Channel {
     /// Column commands issued so far (the queue-popping events).
     pub fn columns_issued(&self) -> u64 {
         self.columns_issued
+    }
+
+    /// Columns issued that hit the already-open row.
+    pub fn row_hits_issued(&self) -> u64 {
+        self.row_hits_issued
     }
 
     /// The earliest cycle an in-flight *read* finishes its data burst,
@@ -802,6 +817,9 @@ impl Channel {
                 q.coord.row,
                 &self.timing,
             );
+        }
+        if !q.caused_activation {
+            self.row_hits_issued += 1;
         }
         self.in_flight.push(InFlight {
             id: q.id,

@@ -301,6 +301,26 @@ impl MemoryController {
         self.channels.iter().map(|c| c.columns_issued()).sum()
     }
 
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Per-channel `(columns issued, row hits at issue)` cumulative
+    /// counters, in channel order — the telemetry sampler's bandwidth
+    /// and row-locality gauges. Neither counter is cleared by
+    /// [`MemoryController::reset_stats`] (the event loop's drain logic
+    /// watches `columns_issued` monotonically); samplers difference
+    /// against a base snapshot instead.
+    pub fn channel_activity(&self, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        out.extend(
+            self.channels
+                .iter()
+                .map(|c| (c.columns_issued(), c.row_hits_issued())),
+        );
+    }
+
     /// The earliest cycle an in-flight read completes on any channel.
     pub fn next_read_completion(&self) -> Option<MemCycle> {
         self.channels

@@ -42,6 +42,9 @@ pub struct DeliveryQueue<T> {
     times: BinaryHeap<Reverse<Cycle>>,
     slots: bump_types::FxHashMap<Cycle, Vec<(Route, T)>>,
     pool: Vec<Vec<(Route, T)>>,
+    /// Payloads currently queued (maintained so telemetry can gauge
+    /// queue depth in O(1) instead of walking the slot map).
+    queued: usize,
 }
 
 impl<T> Default for DeliveryQueue<T> {
@@ -50,6 +53,7 @@ impl<T> Default for DeliveryQueue<T> {
             times: BinaryHeap::new(),
             slots: bump_types::FxHashMap::default(),
             pool: Vec::new(),
+            queued: 0,
         }
     }
 }
@@ -58,6 +62,7 @@ impl<T> DeliveryQueue<T> {
     /// Enqueues `what` for delivery at `at` along `route`.
     pub fn push(&mut self, at: Cycle, route: Route, what: T) {
         use std::collections::hash_map::Entry;
+        self.queued += 1;
         match self.slots.entry(at) {
             Entry::Occupied(e) => e.into_mut().push((route, what)),
             Entry::Vacant(e) => {
@@ -82,6 +87,16 @@ impl<T> DeliveryQueue<T> {
         self.slots.get(&at).map_or(0, Vec::len)
     }
 
+    /// Payloads currently queued across all delivery cycles.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
     /// Removes and returns the slot due at or before `now`, if any.
     /// The caller drains it in order and hands it back via
     /// [`DeliveryQueue::recycle`].
@@ -90,7 +105,11 @@ impl<T> DeliveryQueue<T> {
             return None;
         }
         let Reverse(t) = self.times.pop().expect("peeked");
-        self.slots.remove(&t)
+        let slot = self.slots.remove(&t);
+        if let Some(v) = &slot {
+            self.queued -= v.len();
+        }
+        slot
     }
 
     /// Returns a drained slot vector to the pool.
@@ -164,14 +183,17 @@ mod tests {
         q.push(5, Route::To(0), "c");
         assert_eq!(q.next_at(), Some(3));
         assert_eq!(q.slot_len(5), 2);
+        assert_eq!(q.len(), 3);
         assert_eq!(q.take_due(2).map(|v| v.len()), None);
         let v = q.take_due(3).unwrap();
         assert_eq!(v, vec![(Route::To(1), "b")]);
+        assert_eq!(q.len(), 2);
         let mut v = v;
         v.clear();
         q.recycle(v);
         let v = q.take_due(9).unwrap();
         assert_eq!(v, vec![(Route::Ordered, "a"), (Route::To(0), "c")]);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn main() {
     let mut engine = Engine::default();
     let mut local = false;
     let mut trace = false;
+    let mut telemetry: Option<u64> = None;
     let mut threads = bump_bench::experiment::default_threads();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -82,6 +83,19 @@ fn main() {
             }
             "--local" => local = true,
             "--trace" => trace = true,
+            // `--telemetry` samples at the default stride;
+            // `--telemetry=N` overrides it. Normalized here, so local
+            // and routed runs submit the identical stride.
+            "--telemetry" => telemetry = Some(bump_sim::DEFAULT_STRIDE),
+            other if other.starts_with("--telemetry=") => {
+                telemetry = Some(
+                    other["--telemetry=".len()..]
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--telemetry= expects a positive cycle stride")),
+                );
+            }
             "--threads" => {
                 threads = expect_value(&args, &mut i, "--threads")
                     .parse::<usize>()
@@ -117,7 +131,23 @@ fn main() {
             usage("--trace needs a server to trace; drop --local");
         }
         eprintln!("bumpc: running {cells} cells locally on {threads} threads");
-        print!("{}", client::local_csv(&spec, threads));
+        if telemetry.is_some() {
+            // Same scheduler path as the plain run, plus per-cell gauge
+            // series; the artifact writers live in the sim crate so a
+            // routed job produces byte-identical files.
+            let results = bump_bench::experiment::run_grid_instrumented_with(
+                &spec.to_grid(),
+                threads,
+                false,
+                telemetry,
+                |_, _, _| {},
+            );
+            results.write_telemetry_files("bumpc");
+            eprintln!("bumpc: telemetry -> results/telemetry_bumpc.csv + .json");
+            print!("{}", results.to_csv());
+        } else {
+            print!("{}", client::local_csv(&spec, threads));
+        }
         return;
     }
     // With --trace, bumpc opens the trace's root span and sends the
@@ -145,6 +175,7 @@ fn main() {
     batch.trace = trace_id
         .zip(root_id)
         .map(|(t, parent)| TraceContext { trace: t, parent });
+    batch.telemetry = telemetry;
     let stream_span = trace_id.map(|t| ActiveSpan::begin(t, root_id, "stream", "bumpc"));
     let mut streamed = 0u64;
     let outcome = client::submit_batch_with(&mut stream, &batch, &mut |frame| match frame {
@@ -175,6 +206,27 @@ fn main() {
         outcome.cells.len(),
         outcome.cached()
     );
+    if telemetry.is_some() {
+        let cells = outcome.telemetry_cells();
+        if cells.is_empty() {
+            // Cached cells skip re-simulation, so a fully-cached job
+            // legitimately streams no series.
+            eprintln!("bumpc: no telemetry streamed (all cells cached?)");
+        } else {
+            let _ = std::fs::create_dir_all("results");
+            let csv = bump_sim::cells_to_csv(&cells);
+            let json = bump_sim::cells_to_json(&cells);
+            match std::fs::write("results/telemetry_bumpc.csv", csv)
+                .and_then(|()| std::fs::write("results/telemetry_bumpc.json", json))
+            {
+                Ok(()) => eprintln!(
+                    "bumpc: telemetry ({} cells) -> results/telemetry_bumpc.csv + .json",
+                    cells.len()
+                ),
+                Err(e) => eprintln!("bumpc: cannot write telemetry files: {e}"),
+            }
+        }
+    }
     if let (Some(t), Some(mut r)) = (trace_id, root.take()) {
         r.attr("job", outcome.job);
         r.attr("cells", outcome.cells.len());
@@ -222,7 +274,7 @@ fn usage(error: &str) -> ! {
         "usage: bumpc [--addr HOST:PORT | --router HOST:PORT] [--presets A,B]\n\
          \x20            [--workloads X,Y] [--scenario NAME] [--full|--quick]\n\
          \x20            [--seeds N] [--resume] [--engine cycle|event] [--local]\n\
-         \x20            [--threads N] [--trace]\n\
+         \x20            [--threads N] [--trace] [--telemetry[=STRIDE]]\n\
          \n\
          Submit a preset x workload grid to a bumpd daemon (--addr) or a\n\
          bumpr cluster router (--router) and print the streamed results as\n\
@@ -230,7 +282,10 @@ fn usage(error: &str) -> ! {
          (byte-identical output). --trace follows the job end to end:\n\
          spans from bumpc, the router, and every backend come back under\n\
          one trace id and land in results/trace_<id>.json (Perfetto) and\n\
-         .ndjson (see docs/OBSERVABILITY.md). --scenario selects a\n\
+         .ndjson (see docs/OBSERVABILITY.md). --telemetry records each\n\
+         cell's architectural gauge series (every STRIDE cycles, default\n\
+         1024) into results/telemetry_bumpc.csv/.json — byte-identical\n\
+         whether the grid ran locally or routed. --scenario selects a\n\
          platform variation\n\
          (see docs/SCENARIOS.md), e.g. ddr4_2400, lpddr4_3200+llc512k, or\n\
          \"mix(websearch:dataserving)\". Defaults: all presets, all\n\

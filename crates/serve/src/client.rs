@@ -3,6 +3,7 @@
 use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
 use crate::trace::Span;
 use bump_bench::experiment::{run_grid, MetricRow};
+use bump_sim::TelemetrySeries;
 use std::io::{BufRead as _, Write as _};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -17,12 +18,37 @@ pub struct JobOutcome {
     /// The server side's spans, when the submission carried a trace
     /// context (a `trace_spans` frame arrives just before `job_done`).
     pub spans: Vec<Span>,
+    /// Per-cell telemetry series by grid index, when the submission
+    /// carried a telemetry stride (each `cell_telemetry` frame arrives
+    /// right before its `cell_result`). Journal-cached cells have none.
+    pub telemetry: Vec<(u64, TelemetrySeries)>,
 }
 
 impl JobOutcome {
     /// How many cells were served from the daemon's resume journal.
     pub fn cached(&self) -> usize {
         self.cells.iter().filter(|c| c.cached).count()
+    }
+
+    /// The telemetry series joined with their cell labels, sorted by
+    /// grid index — the shape `bump_sim::cells_to_csv/json` consume,
+    /// so a routed client renders artifacts byte-identical to a local
+    /// `GridResults::write_telemetry_files` run.
+    pub fn telemetry_cells(&self) -> Vec<(usize, &str, &TelemetrySeries)> {
+        let mut out: Vec<(usize, &str, &TelemetrySeries)> = self
+            .telemetry
+            .iter()
+            .map(|(index, series)| {
+                let label = self
+                    .cells
+                    .iter()
+                    .find(|c| c.index == *index)
+                    .map_or("", |c| c.label.as_str());
+                (*index as usize, label, series)
+            })
+            .collect();
+        out.sort_by_key(|&(index, _, _)| index);
+        out
     }
 
     /// The results as a CSV table in *grid order* (header +
@@ -103,6 +129,7 @@ pub fn submit_batch_with(
     let mut expected: u64 = 0;
     let mut cells: Vec<CellResult> = Vec::new();
     let mut spans: Vec<Span> = Vec::new();
+    let mut telemetry: Vec<(u64, TelemetrySeries)> = Vec::new();
     for line in reader.lines() {
         let line = line.map_err(|e| format!("connection lost: {e}"))?;
         let frame = Frame::parse(&line).map_err(|e| format!("bad frame from daemon: {e}"))?;
@@ -133,11 +160,21 @@ pub fn submit_batch_with(
                     job: id,
                     cells,
                     spans,
+                    telemetry,
                 });
             }
             Frame::TraceSpans { job: id, spans: s } => {
                 if Some(id) == job {
                     spans.extend(s);
+                }
+            }
+            Frame::CellTelemetry {
+                job: id,
+                index,
+                series,
+            } => {
+                if Some(id) == job {
+                    telemetry.push((index, series));
                 }
             }
             Frame::Error { message } => return Err(format!("daemon error: {message}")),

@@ -128,6 +128,17 @@ pub enum DispatchEvent {
         /// Human-readable reason (logged by the router).
         error: String,
     },
+    /// The backend streamed one cell's telemetry series (a
+    /// `cell_telemetry` frame; arrives right before that cell's
+    /// `Cell`, index already mapped to the client grid).
+    Telemetry {
+        /// Router-assigned id of the reporting dispatch stream.
+        dispatch: usize,
+        /// Client-grid index of the cell.
+        global: usize,
+        /// The cell's sampled series.
+        series: bump_sim::TelemetrySeries,
+    },
     /// The backend returned its finished spans for a traced dispatch
     /// (a `trace_spans` frame; arrives before the stream's `Done`).
     Spans {
@@ -151,6 +162,7 @@ pub fn dispatch(
     addr: String,
     units: Vec<WorkUnit>,
     trace: Option<TraceContext>,
+    telemetry: Option<u64>,
     events: Sender<DispatchEvent>,
 ) {
     let fail = |error: String| {
@@ -193,6 +205,7 @@ pub fn dispatch(
             &mut lines,
             chunk,
             trace,
+            telemetry,
             &events,
         ) {
             return fail(error);
@@ -203,6 +216,7 @@ pub fn dispatch(
 
 /// Submits one wire-legal chunk of units and pumps its frames until
 /// `job_done`. Any anomaly is the whole dispatch's failure.
+#[allow(clippy::too_many_arguments)]
 fn stream_chunk(
     dispatch: usize,
     addr: &str,
@@ -210,6 +224,7 @@ fn stream_chunk(
     lines: &mut std::io::Lines<std::io::BufReader<TcpStream>>,
     units: &[WorkUnit],
     trace: Option<TraceContext>,
+    telemetry: Option<u64>,
     events: &Sender<DispatchEvent>,
 ) -> Result<(), String> {
     // Batch-local index layout: unit u's cells occupy
@@ -223,6 +238,7 @@ fn stream_chunk(
     let batch = SubmitBatch {
         jobs: units.iter().map(|u| u.spec.clone()).collect(),
         trace,
+        telemetry,
     };
     stream
         .write_all(format!("{}\n", Frame::Submit(batch).encode()).as_bytes())
@@ -252,6 +268,22 @@ fn stream_chunk(
                     dispatch,
                     global,
                     cell,
+                });
+            }
+            Ok(Frame::CellTelemetry { index, series, .. }) => {
+                let local = index as usize;
+                if local >= total {
+                    return Err(format!("{addr} streamed out-of-range telemetry {local}"));
+                }
+                let unit = match offsets.binary_search(&local) {
+                    Ok(u) => u,
+                    Err(next) => next - 1,
+                };
+                let global = units[unit].globals[local - offsets[unit]];
+                let _ = events.send(DispatchEvent::Telemetry {
+                    dispatch,
+                    global,
+                    series,
                 });
             }
             Ok(Frame::TraceSpans { spans, .. }) => {
@@ -297,7 +329,7 @@ mod tests {
             cost: 1,
         };
         let (tx, rx) = std::sync::mpsc::channel();
-        dispatch(3, "127.0.0.1:1".to_string(), vec![unit], None, tx);
+        dispatch(3, "127.0.0.1:1".to_string(), vec![unit], None, None, tx);
         match rx.recv().expect("one terminal event") {
             DispatchEvent::Failed { dispatch: 3, error } => {
                 assert!(error.contains("connect"), "{error}");

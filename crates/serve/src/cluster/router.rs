@@ -40,10 +40,11 @@ use crate::journal::{cell_identity, cell_key, JournalEntry};
 use crate::metrics::{Histogram, MetricsBuf};
 use crate::proto::{CellResult, Frame, SubmitBatch, SubmitSpec};
 use crate::slog::{self, Level};
-use crate::trace::{ActiveSpan, Registry, Span, TraceContext};
+use crate::telemetry::TelemetryStore;
+use crate::trace::{correlate, ActiveSpan, Registry, Span, TraceContext};
 use bump_bench::sched::estimated_unit_cost;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::net::TcpListener;
+use std::net::{TcpListener, ToSocketAddrs as _};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -81,6 +82,9 @@ pub struct Router {
     /// Latency from job start to each remotely-served cell's arrival
     /// (`bumpr_cell_latency_seconds`).
     cell_hist: Histogram,
+    /// Per-job telemetry series re-emitted from backends, behind
+    /// `GET /telemetry/<job>`.
+    telemetry: TelemetryStore,
 }
 
 impl Router {
@@ -95,6 +99,7 @@ impl Router {
             ping_timeout: Duration::from_secs(2),
             job_hist: Histogram::latency(),
             cell_hist: Histogram::latency(),
+            telemetry: TelemetryStore::new(),
         })
     }
 
@@ -224,6 +229,9 @@ impl Router {
         let mut root =
             ctx.map(|c| ActiveSpan::begin(c.trace, Some(c.parent), "route_job", "bumpr"));
         let root_id = root.as_ref().map(ActiveSpan::id);
+        // Log lines from this routing thread (notably `backend_failed`
+        // during failover) carry trace=/span= while the job is traced.
+        let _correlation = ctx.zip(root_id).map(|(c, id)| correlate(c.trace, id));
         let mut spans: Vec<Span> = Vec::new();
         let (grid, _resume) = match batch.expand() {
             Ok(expanded) => expanded,
@@ -355,6 +363,11 @@ impl Router {
         let mut next_dispatch = 0usize;
         let mut waves = 0usize;
         let wave_cap = 2 * alive.len() + 4;
+        let telemetry_stride = batch.telemetry;
+        // Cells whose series already reached the client (a failover
+        // re-dispatch re-runs cells; determinism makes the duplicate
+        // series identical, but the client should see each one once).
+        let mut telemetry_sent: HashSet<usize> = HashSet::new();
         let launch = |router: &Router,
                       unit_ids: &[usize],
                       excluded: &HashSet<usize>,
@@ -401,7 +414,8 @@ impl Router {
                     forwarded
                 });
                 let tx = events_tx.clone();
-                std::thread::spawn(move || dispatch(id, addr, work, child_ctx, tx));
+                let stride = telemetry_stride;
+                std::thread::spawn(move || dispatch(id, addr, work, child_ctx, stride, tx));
                 spawned += 1;
             }
             spawned
@@ -485,6 +499,31 @@ impl Router {
                             row: cell.row,
                         },
                     );
+                }
+                DispatchEvent::Telemetry {
+                    global,
+                    series,
+                    dispatch: _,
+                } => {
+                    // Forwarded immediately (clients key series by
+                    // index, so stream position is irrelevant), and
+                    // only for cells this job still awaits.
+                    if missing.contains(&global) && telemetry_sent.insert(global) {
+                        self.telemetry.record(
+                            job,
+                            global as u64,
+                            &cells[global].label,
+                            series.clone(),
+                        );
+                        send(
+                            outbox,
+                            &Frame::CellTelemetry {
+                                job,
+                                index: global as u64,
+                                series,
+                            },
+                        );
+                    }
                 }
                 DispatchEvent::Spans {
                     spans: backend_spans,
@@ -577,7 +616,7 @@ impl Router {
                             spans.push(s.finish());
                         }
                     }
-                    Ok(DispatchEvent::Cell { .. }) => {}
+                    Ok(DispatchEvent::Cell { .. }) | Ok(DispatchEvent::Telemetry { .. }) => {}
                     Err(_) => break,
                 }
             }
@@ -594,6 +633,98 @@ impl Router {
                 cells: cells.len() as u64,
             },
         );
+    }
+
+    /// Scrapes every live backend's `/metrics` endpoint and re-emits
+    /// the union with each sample re-labelled `backend=<addr>` — one
+    /// fleet-wide exposition behind `GET /metrics/fleet`, so a scraper
+    /// pointed at the router alone still sees every `bumpd_*` family.
+    ///
+    /// Families are grouped across backends (`# HELP`/`# TYPE` emitted
+    /// once, first backend wins; all samples of one family contiguous)
+    /// to keep the output valid Prometheus text exposition. Backends
+    /// that fail to answer are counted, not fatal.
+    fn fleet_metrics(&self) -> String {
+        let pool: Vec<(String, bool)> = lock_recover(&self.backends)
+            .iter()
+            .map(|b| (b.addr.clone(), b.alive))
+            .collect();
+        // family name -> aggregated meta + samples; BTreeMap for a
+        // deterministic family order independent of scrape order.
+        #[derive(Default)]
+        struct FamilyAgg {
+            help: Option<String>,
+            typ: Option<String>,
+            samples: Vec<String>,
+        }
+        let mut families: BTreeMap<String, FamilyAgg> = BTreeMap::new();
+        let mut scraped = 0u64;
+        let mut errors = 0u64;
+        for (addr, alive) in &pool {
+            if !*alive {
+                continue;
+            }
+            let Some(body) = scrape_metrics(addr, self.ping_timeout) else {
+                errors += 1;
+                continue;
+            };
+            scraped += 1;
+            // The exposition format emits a family's `# HELP`/`# TYPE`
+            // immediately before its samples, so "current family"
+            // tracking groups correctly without suffix heuristics
+            // (`_bucket`/`_sum`/`_count` stay with their histogram).
+            let mut current: Option<String> = None;
+            for line in body.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(rest) = line.strip_prefix("# ") {
+                    // `# HELP name …` / `# TYPE name …`
+                    if let Some(name) = rest.split_whitespace().nth(1) {
+                        let entry = families.entry(name.to_string()).or_default();
+                        let slot = if rest.starts_with("HELP") {
+                            &mut entry.help
+                        } else {
+                            &mut entry.typ
+                        };
+                        // First backend to report a family names it.
+                        if slot.is_none() {
+                            *slot = Some(line.to_string());
+                        }
+                        current = Some(name.to_string());
+                    }
+                    continue;
+                }
+                let family = current
+                    .clone()
+                    .unwrap_or_else(|| line.split(['{', ' ']).next().unwrap_or(line).to_string());
+                families
+                    .entry(family)
+                    .or_default()
+                    .samples
+                    .push(relabel_sample(line, addr));
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            "# HELP bumpr_fleet_backends_scraped Backends whose /metrics answered this scrape.\n",
+        );
+        out.push_str("# TYPE bumpr_fleet_backends_scraped gauge\n");
+        out.push_str(&format!("bumpr_fleet_backends_scraped {scraped}\n"));
+        out.push_str("# HELP bumpr_fleet_scrape_errors Live backends that failed this scrape.\n");
+        out.push_str("# TYPE bumpr_fleet_scrape_errors gauge\n");
+        out.push_str(&format!("bumpr_fleet_scrape_errors {errors}\n"));
+        for family in families.values() {
+            for line in family.help.iter().chain(family.typ.iter()) {
+                out.push_str(line);
+                out.push('\n');
+            }
+            for line in &family.samples {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// Marks a pool backend dead and logs why.
@@ -646,6 +777,18 @@ impl Service for Router {
             ),
             Err(message) => send(outbox, &Frame::Error { message }),
         }
+    }
+
+    /// Router-specific HTTP endpoints on the sniffed port:
+    /// `/metrics/fleet` (scrape-through of every live backend, samples
+    /// re-labelled `backend=<addr>`) and `/telemetry/<job>` (telemetry
+    /// series re-emitted from backends for a routed job).
+    fn http(&self, path: &str) -> Option<(&'static str, String)> {
+        if path == "/metrics/fleet" {
+            return Some(("text/plain; version=0.0.4", self.fleet_metrics()));
+        }
+        let job = path.strip_prefix("/telemetry/")?.parse().ok()?;
+        Some(("application/json", self.telemetry.render(job)?))
     }
 
     /// `bumpr_*` families: the backend pool (with per-backend series
@@ -727,6 +870,11 @@ impl Service for Router {
             "Backend failures that triggered a re-dispatch.",
             stats.failovers,
         );
+        buf.gauge(
+            "bumpr_telemetry_jobs",
+            "Jobs with telemetry series held for GET /telemetry/<job>.",
+            self.telemetry.len() as u64,
+        );
     }
 }
 
@@ -756,6 +904,41 @@ fn finish_trace(
 /// Settles one health-sweep ping thread. A panicked ping must read as
 /// "backend unhealthy", never kill the sweep: one bad address would
 /// otherwise take the whole router down mid-job.
+/// Fetches `GET /metrics` from a backend over its sniffed-HTTP port.
+/// `Some(body)` only for a `200` response; any connect, I/O, or status
+/// failure is `None` (the caller counts it as a scrape error).
+fn scrape_metrics(addr: &str, timeout: Duration) -> Option<String> {
+    use std::io::{Read as _, Write as _};
+    let sockaddr = addr.to_socket_addrs().ok()?.next()?;
+    let mut stream = std::net::TcpStream::connect_timeout(&sockaddr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").ok()?;
+    // The event loop answers one-shot and closes, so read-to-EOF is
+    // the whole response.
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (head, body) = response.split_once("\r\n\r\n")?;
+    let status = head.lines().next()?;
+    if !status.starts_with("HTTP/1.0 200") && !status.starts_with("HTTP/1.1 200") {
+        return None;
+    }
+    Some(body.to_string())
+}
+
+/// Re-labels one exposition sample with `backend=<addr>` as the first
+/// label: `name{a="b"} 1` becomes `name{backend="<addr>",a="b"} 1`,
+/// and a bare `name 1` becomes `name{backend="<addr>"} 1`.
+fn relabel_sample(line: &str, addr: &str) -> String {
+    if let Some((name, rest)) = line.split_once('{') {
+        format!("{name}{{backend=\"{addr}\",{rest}")
+    } else if let Some((name, value)) = line.split_once(' ') {
+        format!("{name}{{backend=\"{addr}\"}} {value}")
+    } else {
+        line.to_string()
+    }
+}
+
 fn join_ping(addr: String, result: std::thread::Result<Backend>) -> Backend {
     result.unwrap_or_else(|_| {
         slog::log(
@@ -916,6 +1099,7 @@ mod tests {
         let batch = SubmitBatch {
             jobs: vec![a, b],
             trace: None,
+            telemetry: None,
         };
         let (grid, _) = batch.expand().unwrap();
         let units = plan_units(&batch);
@@ -954,6 +1138,7 @@ mod tests {
         let batch = SubmitBatch {
             jobs: vec![job],
             trace: None,
+            telemetry: None,
         };
         let (grid, _) = batch.expand().unwrap();
         assert_eq!(grid.len(), 4, "2 unique base cells × 2 replicas");

@@ -25,7 +25,8 @@ use crate::journal::{cell_identity, cell_key, Journal, JournalEntry};
 use crate::json::Json;
 use crate::metrics::{Histogram, MetricsBuf};
 use crate::proto::{CellResult, Frame, SubmitBatch};
-use crate::trace::{now_us, ActiveSpan, Registry, Span, SpanId};
+use crate::telemetry::TelemetryStore;
+use crate::trace::{correlate, now_us, ActiveSpan, Registry, Span, SpanId};
 use bump_bench::experiment::MetricRow;
 use bump_bench::sched::Scheduler;
 use std::net::TcpListener;
@@ -44,6 +45,7 @@ pub struct Daemon {
     job_hist: Histogram,
     cell_hist: Histogram,
     queue_hist: Histogram,
+    telemetry: TelemetryStore,
 }
 
 /// The sending half of a connection's outbox: frames queued here are
@@ -64,6 +66,7 @@ impl Daemon {
             job_hist: Histogram::latency(),
             cell_hist: Histogram::latency(),
             queue_hist: Histogram::latency(),
+            telemetry: TelemetryStore::new(),
         })
     }
 
@@ -136,6 +139,9 @@ impl Daemon {
         let ctx = batch.trace;
         let mut root = ctx.map(|c| ActiveSpan::begin(c.trace, Some(c.parent), "run_job", "bumpd"));
         let root_id = root.as_ref().map(ActiveSpan::id);
+        // While this runner thread works the job, its log lines carry
+        // trace=/span= so operators can pivot from logs to the trace.
+        let _correlation = ctx.zip(root_id).map(|(c, id)| correlate(c.trace, id));
         let mut spans: Vec<Span> = Vec::new();
         let cells = grid.cells();
         let keys: Vec<u64> = cells.iter().map(cell_key).collect();
@@ -203,9 +209,10 @@ impl Daemon {
             // Arc of the daemon for journal access rather than
             // borrowing this connection handler's stack.
             let daemon = Arc::clone(self);
-            let handle = self.sched.submit_profiled(
+            let handle = self.sched.submit_instrumented(
                 pending_specs,
                 ctx.is_some(),
+                batch.telemetry,
                 Box::new(move |j, spec, report, timing| {
                     // The worker invokes the callback right after the
                     // simulation returns, so "now" is the execution
@@ -279,6 +286,26 @@ impl Daemon {
                             attrs: vec![("cell".to_string(), cell)],
                         };
                         lock_recover(&cell_spans).extend([queue_span, exec_span, append_span]);
+                    }
+                    // The telemetry frame precedes its cell_result, so
+                    // once the last cell_result lands every series has
+                    // too (connections deliver in order) — the router's
+                    // merge loop and the client both lean on this.
+                    if let Some(series) = &report.telemetry {
+                        daemon.telemetry.record(
+                            job,
+                            grid_index[j] as u64,
+                            &spec.label,
+                            series.clone(),
+                        );
+                        send(
+                            &cell_outbox,
+                            &Frame::CellTelemetry {
+                                job,
+                                index: grid_index[j] as u64,
+                                series: series.clone(),
+                            },
+                        );
                     }
                     send(
                         &cell_outbox,
@@ -418,6 +445,18 @@ impl Service for Daemon {
             "Time an executed cell waited for a scheduler worker.",
             &self.queue_hist.snapshot(),
         );
+        buf.gauge(
+            "bumpd_telemetry_jobs",
+            "Jobs whose telemetry series are retained for GET /telemetry/<job>.",
+            self.telemetry.len() as u64,
+        );
+    }
+
+    /// `GET /telemetry/<job>` → the job's recorded series as the
+    /// `sim-telemetry-v1` cells document.
+    fn http(&self, path: &str) -> Option<(&'static str, String)> {
+        let job = path.strip_prefix("/telemetry/")?.parse().ok()?;
+        Some(("application/json", self.telemetry.render(job)?))
     }
 }
 

@@ -114,6 +114,14 @@ pub(crate) trait Service: Send + Sync + 'static {
     fn handle(self: Arc<Self>, frame: Result<Frame, String>, outbox: &ConnSender);
     /// Appends service-specific metric families to the exposition.
     fn metrics(&self, buf: &mut MetricsBuf);
+    /// Answers a service-specific HTTP GET beyond the shared
+    /// `/metrics` and `/trace` routes: `Some((content_type, body))`
+    /// serves a 200, `None` falls through to the loop's 404. Runs on
+    /// the event-loop thread, so implementations must stay fast.
+    fn http(&self, path: &str) -> Option<(&'static str, String)> {
+        let _ = path;
+        None
+    }
 }
 
 /// The sending half of a connection's outbox (the `Outbox` type both
@@ -682,9 +690,11 @@ impl<S: Service> LoopCore<S> {
     }
 
     /// Answers one HTTP request (`GET /metrics` → the exposition,
-    /// `GET /trace/<trace-id|job-id>` → Chrome trace-event JSON,
-    /// `GET /trace/<key>.ndjson` → the NDJSON span journal, anything
-    /// else → 404) and closes.
+    /// `GET /trace` → the recent-trace index, `GET
+    /// /trace/<trace-id|job-id>` → Chrome trace-event JSON, `GET
+    /// /trace/<key>.ndjson` → the NDJSON span journal, anything else →
+    /// the service's [`Service::http`] hook — `bumpd`/`bumpr` serve
+    /// `GET /telemetry/<job>` there — or 404) and closes.
     fn process_http(&mut self, token: u64) {
         let request = {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -717,10 +727,22 @@ impl<S: Service> LoopCore<S> {
             http_response("200 OK", &self.render_metrics())
         } else if method == "GET" && path.starts_with("/trace/") {
             trace_response(&path["/trace/".len()..])
+        } else if method == "GET" && path == "/trace" {
+            trace_index_response()
+        } else if method == "GET" {
+            match self.service.http(path) {
+                Some((content_type, body)) => http_response_typed("200 OK", content_type, &body),
+                None => http_response(
+                    "404 Not Found",
+                    "not found; try GET /metrics, /trace, /trace/<id>, \
+                     or /telemetry/<job>\n",
+                ),
+            }
         } else {
             http_response(
                 "404 Not Found",
-                "not found; try GET /metrics or GET /trace/<id>\n",
+                "not found; try GET /metrics, /trace, /trace/<id>, \
+                 or /telemetry/<job>\n",
             )
         };
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -1124,15 +1146,11 @@ fn trace_response(key: &str) -> Vec<u8> {
     let spans = registry.resolve(key).and_then(|t| registry.spans(t));
     match spans {
         Some(spans) if ndjson => http_response("200 OK", &crate::trace::export_ndjson(&spans)),
-        Some(spans) => {
-            let body = crate::trace::export_chrome(&spans);
-            format!(
-                "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n\
-                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-                body.len()
-            )
-            .into_bytes()
-        }
+        Some(spans) => http_response_typed(
+            "200 OK",
+            "application/json",
+            &crate::trace::export_chrome(&spans),
+        ),
         None => http_response(
             "404 Not Found",
             "unknown trace; keys age out after 64 traces\n",
@@ -1140,11 +1158,40 @@ fn trace_response(key: &str) -> Vec<u8> {
     }
 }
 
+/// Answers `GET /trace` (no key): a JSON index of the traces the
+/// bounded registry currently holds, newest first, each with its span
+/// count and the job ids bound to it — the starting point for an
+/// operator who wants a trace id to feed `GET /trace/<id>`.
+fn trace_index_response() -> Vec<u8> {
+    use crate::json::Json;
+    let traces = crate::trace::Registry::global()
+        .index()
+        .into_iter()
+        .map(|summary| {
+            Json::obj(vec![
+                ("trace", Json::from(summary.trace.to_hex())),
+                ("spans", Json::from(summary.spans as u64)),
+                (
+                    "jobs",
+                    Json::Arr(summary.jobs.into_iter().map(Json::from).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let body = format!("{}\n", Json::obj(vec![("traces", Json::Arr(traces))]));
+    http_response_typed("200 OK", "application/json", &body)
+}
+
 /// A minimal HTTP/1.0 response; `Connection: close` because the
 /// serving loop answers exactly one request per connection.
 fn http_response(status: &str, body: &str) -> Vec<u8> {
+    http_response_typed(status, "text/plain; version=0.0.4; charset=utf-8", body)
+}
+
+/// [`http_response`] with an explicit `Content-Type` (JSON endpoints).
+fn http_response_typed(status: &str, content_type: &str, body: &str) -> Vec<u8> {
     format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )

@@ -27,10 +27,13 @@
 //! * [`cluster`] — the `bumpr` sharding router + LRU result cache in
 //!   front of a fleet of daemons (`docs/CLUSTER.md`).
 //! * [`metrics`] — Prometheus-style text exposition formatter.
-//! * [`slog`] — structured `key=value` log lines on stderr.
+//! * [`slog`] — structured `key=value` log lines on stderr (carrying
+//!   `trace=`/`span=` correlation fields inside active spans).
 //! * [`trace`] — distributed trace spans, the bounded in-process span
-//!   registry behind `GET /trace/<id>`, and the NDJSON/Chrome-trace
-//!   exporters (`docs/OBSERVABILITY.md`).
+//!   registry behind `GET /trace` / `GET /trace/<id>`, and the
+//!   NDJSON/Chrome-trace exporters (`docs/OBSERVABILITY.md`).
+//! * [`telemetry`] — the bounded per-job store of sim-time telemetry
+//!   series behind `GET /telemetry/<job>`.
 //!
 //! Binaries: `bumpd` (daemon), `bumpc` (client / `--local` runner),
 //! and `bumpr` (cluster router); the wire format reference lives in
@@ -47,4 +50,5 @@ pub mod json;
 pub mod metrics;
 pub mod proto;
 pub mod slog;
+pub mod telemetry;
 pub mod trace;

@@ -19,7 +19,7 @@
 use crate::json::Json;
 use crate::trace::{Span, TraceContext};
 use bump_bench::experiment::ExperimentGrid;
-use bump_sim::{Engine, Preset, RunOptions, Scenario};
+use bump_sim::{Engine, Preset, RunOptions, Scenario, TelemetryPoint, TelemetrySeries};
 use bump_workloads::Workload;
 
 /// An experiment submission: the cartesian grid `presets × workloads`
@@ -99,6 +99,15 @@ pub struct SubmitBatch {
     /// under the given span and returns them on a `trace_spans` frame
     /// before `job_done`.
     pub trace: Option<TraceContext>,
+    /// Sim-time telemetry request (the optional `"telemetry"` wire
+    /// field: the sampling stride in cycles, >= 1). Absent for plain
+    /// submissions — and absent means *absent on the wire*, so an
+    /// untelemetered submission encodes byte-identically to the
+    /// pre-telemetry protocol, exactly like `trace`. When present, the
+    /// executing daemon runs every non-cached cell with the sampler on
+    /// and streams one `cell_telemetry` frame per cell, each right
+    /// before that cell's `cell_result`.
+    pub telemetry: Option<u64>,
 }
 
 impl From<SubmitSpec> for SubmitBatch {
@@ -106,6 +115,7 @@ impl From<SubmitSpec> for SubmitBatch {
         SubmitBatch {
             jobs: vec![spec],
             trace: None,
+            telemetry: None,
         }
     }
 }
@@ -197,6 +207,22 @@ pub enum Frame {
         /// Finished spans, in recording order.
         spans: Vec<Span>,
     },
+    /// Daemon/router → client: the telemetry series one cell recorded.
+    /// Sent only when the submission carried a `telemetry` stride, one
+    /// frame per simulated cell, each immediately *before* that cell's
+    /// `cell_result` (so when the last `cell_result` lands, every
+    /// series has too). Journal-cached cells carry no series — the
+    /// journal predates the request's stride.
+    CellTelemetry {
+        /// Job id.
+        job: u64,
+        /// Cell index in the submission's grid order (matches the
+        /// `cell_result` that follows).
+        index: u64,
+        /// The cell's sampled series, validated on parse (a torn or
+        /// non-monotone series is a protocol error).
+        series: TelemetrySeries,
+    },
     /// Daemon → client: the last line could not be acted on.
     Error {
         /// Human-readable reason.
@@ -250,6 +276,9 @@ impl Frame {
                     if let Some(ctx) = &batch.trace {
                         fields.push(("trace", Json::from(ctx.encode())));
                     }
+                    if let Some(stride) = batch.telemetry {
+                        fields.push(("telemetry", Json::from(stride)));
+                    }
                     Json::obj(fields)
                 } else {
                     let mut fields = vec![
@@ -267,6 +296,9 @@ impl Frame {
                     ];
                     if let Some(ctx) = &batch.trace {
                         fields.push(("trace", Json::from(ctx.encode())));
+                    }
+                    if let Some(stride) = batch.telemetry {
+                        fields.push(("telemetry", Json::from(stride)));
                     }
                     Json::obj(fields)
                 }
@@ -298,6 +330,12 @@ impl Frame {
                     "spans",
                     Json::Arr(spans.iter().map(Span::to_json).collect()),
                 ),
+            ]),
+            Frame::CellTelemetry { job, index, series } => Json::obj(vec![
+                ("type", Json::from("cell_telemetry")),
+                ("job", Json::from(*job)),
+                ("index", Json::from(*index)),
+                ("series", series_to_wire(series)),
             ]),
             Frame::Error { message } => Json::obj(vec![
                 ("type", Json::from("error")),
@@ -342,10 +380,22 @@ impl Frame {
                         Some(TraceContext::decode(s).map_err(|e| format!("bad trace: {e}"))?)
                     }
                 };
+                let telemetry = match value.get("telemetry") {
+                    None => None,
+                    Some(v) => match v.as_u64() {
+                        Some(n) if n >= 1 => Some(n),
+                        _ => {
+                            return Err(
+                                "field \"telemetry\" must be a positive cycle stride".to_string()
+                            )
+                        }
+                    },
+                };
                 if value.get("jobs").is_some() {
                     // Batched form: the frame carries only the job list
-                    // (plus the optional frame-level trace context).
-                    reject_unknown_keys(&value, &["type", "jobs", "trace"])?;
+                    // (plus the optional frame-level trace context and
+                    // telemetry stride).
+                    reject_unknown_keys(&value, &["type", "jobs", "trace", "telemetry"])?;
                     let jobs_json = value
                         .get("jobs")
                         .and_then(Json::as_arr)
@@ -378,7 +428,11 @@ impl Frame {
                             parse_submit(job)
                         })
                         .collect::<Result<Vec<_>, String>>()?;
-                    Ok(Frame::Submit(SubmitBatch { jobs, trace }))
+                    Ok(Frame::Submit(SubmitBatch {
+                        jobs,
+                        trace,
+                        telemetry,
+                    }))
                 } else {
                     reject_unknown_keys(
                         &value,
@@ -391,11 +445,13 @@ impl Frame {
                             "seeds",
                             "resume",
                             "trace",
+                            "telemetry",
                         ],
                     )?;
                     Ok(Frame::Submit(SubmitBatch {
                         jobs: vec![parse_submit(&value)?],
                         trace,
+                        telemetry,
                     }))
                 }
             }
@@ -440,6 +496,19 @@ impl Frame {
                 Ok(Frame::TraceSpans {
                     job: field_u64(&value, "job")?,
                     spans,
+                })
+            }
+            "cell_telemetry" => {
+                reject_unknown_keys(&value, &["type", "job", "index", "series"])?;
+                let series = series_from_wire(
+                    value
+                        .get("series")
+                        .ok_or("missing object field \"series\"")?,
+                )?;
+                Ok(Frame::CellTelemetry {
+                    job: field_u64(&value, "job")?,
+                    index: field_u64(&value, "index")?,
+                    series,
                 })
             }
             "error" => {
@@ -583,6 +652,106 @@ fn options_from_json(value: &Json) -> Result<RunOptions, String> {
     })
 }
 
+/// Renders a telemetry series as its wire JSON value. The field order
+/// mirrors `bump_sim::series_to_json` exactly, so the `"series"` value
+/// on a `cell_telemetry` frame is byte-for-byte the artifact rendering
+/// (asserted in the tests) — a routed client can splice received
+/// series into `telemetry_*.json` files identical to a local run's.
+fn series_to_wire(series: &TelemetrySeries) -> Json {
+    let point_to_wire = |p: &TelemetryPoint| {
+        let nums = |xs: &[u64]| Json::Arr(xs.iter().map(|&x| Json::from(x)).collect());
+        Json::obj(vec![
+            ("cycle", Json::from(p.cycle)),
+            ("dram_columns", nums(&p.dram_columns)),
+            ("dram_row_hits", nums(&p.dram_row_hits)),
+            ("mshr", Json::from(p.mshr_occupancy)),
+            ("noc_depth", Json::from(p.noc_queue_depth)),
+            ("prefetch_issued", Json::from(p.prefetch_issued)),
+            ("prefetch_useful", Json::from(p.prefetch_useful)),
+            ("storm_parked", Json::from(p.storm_parked)),
+            ("load_stall_cycles", Json::from(p.load_stall_cycles)),
+        ])
+    };
+    Json::obj(vec![
+        ("schema", Json::from(bump_sim::TELEMETRY_SCHEMA)),
+        ("stride", Json::from(series.stride)),
+        ("channels", Json::from(u64::from(series.channels))),
+        ("cores", Json::from(u64::from(series.cores))),
+        (
+            "points",
+            Json::Arr(series.points.iter().map(point_to_wire).collect()),
+        ),
+    ])
+}
+
+/// Parses the `"series"` value of a `cell_telemetry` frame, strictly:
+/// unknown keys (at the series and point level), a wrong schema tag,
+/// and torn series (`TelemetrySeries::validate`) are all errors.
+fn series_from_wire(value: &Json) -> Result<TelemetrySeries, String> {
+    reject_unknown_keys(value, &["schema", "stride", "channels", "cores", "points"])?;
+    let schema = field_str(value, "schema")?;
+    if schema != bump_sim::TELEMETRY_SCHEMA {
+        return Err(format!("unsupported telemetry schema {schema:?}"));
+    }
+    let field_u32 = |key: &str| -> Result<u32, String> {
+        u32::try_from(field_u64(value, key)?).map_err(|_| format!("field {key:?} out of range"))
+    };
+    let points = value
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"points\"")?
+        .iter()
+        .map(|p| {
+            reject_unknown_keys(
+                p,
+                &[
+                    "cycle",
+                    "dram_columns",
+                    "dram_row_hits",
+                    "mshr",
+                    "noc_depth",
+                    "prefetch_issued",
+                    "prefetch_useful",
+                    "storm_parked",
+                    "load_stall_cycles",
+                ],
+            )?;
+            let nums = |key: &str| -> Result<Vec<u64>, String> {
+                p.get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("missing array field {key:?}"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .ok_or_else(|| format!("field {key:?} holds a non-integer"))
+                    })
+                    .collect()
+            };
+            Ok(TelemetryPoint {
+                cycle: field_u64(p, "cycle")?,
+                dram_columns: nums("dram_columns")?,
+                dram_row_hits: nums("dram_row_hits")?,
+                mshr_occupancy: field_u64(p, "mshr")?,
+                noc_queue_depth: field_u64(p, "noc_depth")?,
+                prefetch_issued: field_u64(p, "prefetch_issued")?,
+                prefetch_useful: field_u64(p, "prefetch_useful")?,
+                storm_parked: field_u64(p, "storm_parked")?,
+                load_stall_cycles: field_u64(p, "load_stall_cycles")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let series = TelemetrySeries {
+        stride: field_u64(value, "stride")?,
+        channels: field_u32("channels")?,
+        cores: field_u32("cores")?,
+        points,
+    };
+    series
+        .validate()
+        .map_err(|e| format!("torn telemetry series: {e}"))?;
+    Ok(series)
+}
+
 fn parse_submit(value: &Json) -> Result<SubmitSpec, String> {
     let presets = value
         .get("presets")
@@ -684,6 +853,7 @@ mod tests {
         let batch = SubmitBatch {
             jobs: vec![a.clone(), b.clone()],
             trace: None,
+            telemetry: None,
         };
         let line = Frame::Submit(batch.clone()).encode();
         assert!(line.contains("\"jobs\""), "{line}");
@@ -700,6 +870,7 @@ mod tests {
         let overlap = SubmitBatch {
             jobs: vec![a.clone(), a],
             trace: None,
+            telemetry: None,
         };
         let err = overlap.expand().expect_err("overlap must fail");
         assert!(err.contains("overlap"), "{err}");
@@ -707,6 +878,7 @@ mod tests {
         let single = Frame::Submit(SubmitBatch {
             jobs: vec![b],
             trace: None,
+            telemetry: None,
         });
         assert!(!single.encode().contains("\"jobs\""));
         assert_eq!(Frame::parse(&single.encode()), Ok(single));
@@ -812,6 +984,7 @@ mod tests {
                 SubmitSpec::new(vec![Preset::BaseOpen], vec![Workload::DataServing], opts()),
             ],
             trace: Some(ctx),
+            telemetry: None,
         };
         let line = Frame::Submit(batch.clone()).encode();
         assert!(

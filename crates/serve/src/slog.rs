@@ -8,7 +8,10 @@
 //! ```
 //!
 //! The fixed prefix (`time`, `level`, `service`, `event`) makes the
-//! stream machine-splittable with nothing but `key=value` parsing;
+//! stream machine-splittable with nothing but `key=value` parsing —
+//! and when the emitting thread is inside an active trace span
+//! (`crate::trace::correlate`), `trace=<hex> span=<hex>` follow
+//! `event=`, so a log line pivots straight to `GET /trace/<id>`;
 //! values containing spaces, quotes, or `=` are double-quoted with
 //! `\"`/`\\` escapes. Set `BUMP_LOG=debug` to also emit
 //! [`Level::Debug`] lines (per-connection read/write chatter); the
@@ -97,6 +100,16 @@ pub fn log(level: Level, service: &str, event: &str, fields: &[(&str, String)]) 
 /// the `bad_log_level` warning can be emitted from *inside* the
 /// threshold initializer without re-entering the `OnceLock`.
 fn emit_line(level: Level, service: &str, event: &str, fields: &[(&str, String)]) {
+    let line = format_line(level, service, event, fields);
+    // One write_all per line keeps concurrent handlers' lines whole
+    // (stderr is line-buffered per write, not per byte).
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Builds the line [`emit_line`] writes (split out so tests can assert
+/// on the exact bytes). Correlation fields come right after `event=`,
+/// ahead of the caller's fields, keeping the prefix fixed-position.
+fn format_line(level: Level, service: &str, event: &str, fields: &[(&str, String)]) -> String {
     let mut line = String::with_capacity(96);
     line.push_str("time=");
     line.push_str(&utc_now());
@@ -106,6 +119,12 @@ fn emit_line(level: Level, service: &str, event: &str, fields: &[(&str, String)]
     line.push_str(service);
     line.push_str(" event=");
     line.push_str(event);
+    if let Some((trace, span)) = crate::trace::current_correlation() {
+        line.push_str(" trace=");
+        line.push_str(&trace.to_hex());
+        line.push_str(" span=");
+        line.push_str(&span.to_hex());
+    }
     for (key, value) in fields {
         line.push(' ');
         line.push_str(key);
@@ -113,9 +132,7 @@ fn emit_line(level: Level, service: &str, event: &str, fields: &[(&str, String)]
         push_value(&mut line, value);
     }
     line.push('\n');
-    // One write_all per line keeps concurrent handlers' lines whole
-    // (stderr is line-buffered per write, not per byte).
-    let _ = std::io::stderr().write_all(line.as_bytes());
+    line
 }
 
 /// Appends `value`, double-quoting it when it contains anything that
@@ -200,6 +217,32 @@ mod tests {
         assert_eq!(parse_level("ERROR"), Some(Level::Error));
         assert_eq!(parse_level("verbose"), None);
         assert_eq!(parse_level(""), None);
+    }
+
+    #[test]
+    fn lines_carry_correlation_fields_inside_active_spans() {
+        use crate::trace::{correlate, SpanId, TraceId};
+        let fields = [("peer", "10.0.0.7:4077".to_string())];
+        let plain = format_line(Level::Info, "bumpd", "conn_accept", &fields);
+        assert!(
+            !plain.contains(" trace=") && !plain.contains(" span="),
+            "uncorrelated lines stay unchanged: {plain}"
+        );
+        let trace = TraceId(0xabcd);
+        let span = SpanId(0x1234);
+        let guard = correlate(trace, span);
+        let traced = format_line(Level::Warn, "bumpr", "backend_failed", &fields);
+        assert!(
+            traced.contains(&format!(
+                " event=backend_failed trace={} span={} ",
+                trace.to_hex(),
+                span.to_hex()
+            )),
+            "correlation follows event=, before caller fields: {traced}"
+        );
+        drop(guard);
+        let after = format_line(Level::Info, "bumpd", "conn_accept", &fields);
+        assert!(!after.contains(" trace="), "guard drop restores: {after}");
     }
 
     #[test]

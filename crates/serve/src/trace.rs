@@ -386,6 +386,35 @@ impl Registry {
         inner.jobs.get(&job).copied().map(TraceId)
     }
 
+    /// A summary of every retained trace, newest first — what `GET
+    /// /trace` (no key) serves, so an operator can discover ids
+    /// without grepping logs. Each entry carries the span count (the
+    /// buffer cap makes this at most [`MAX_SPANS_PER_TRACE`]) and the
+    /// local job ids bound to the trace, sorted ascending.
+    pub fn index(&self) -> Vec<TraceSummary> {
+        let inner = crate::eventloop::lock_recover(&self.inner);
+        inner
+            .order
+            .iter()
+            .rev()
+            .map(|&key| {
+                let buf = &inner.traces[&key];
+                let mut jobs: Vec<u64> = inner
+                    .jobs
+                    .iter()
+                    .filter(|&(_, &trace)| trace == key)
+                    .map(|(&job, _)| job)
+                    .collect();
+                jobs.sort_unstable();
+                TraceSummary {
+                    trace: TraceId(key),
+                    spans: buf.spans.len(),
+                    jobs,
+                }
+            })
+            .collect()
+    }
+
     /// Number of traces currently retained.
     pub fn len(&self) -> usize {
         crate::eventloop::lock_recover(&self.inner).traces.len()
@@ -394,6 +423,57 @@ impl Registry {
     /// Whether no traces are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// One row of [`Registry::index`]: a retained trace, its span count,
+/// and the local job ids bound to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The trace id.
+    pub trace: TraceId,
+    /// Spans currently buffered for it.
+    pub spans: usize,
+    /// Job ids bound via [`Registry::bind_job`], ascending.
+    pub jobs: Vec<u64>,
+}
+
+thread_local! {
+    /// The (trace, span) pair log lines on this thread should carry.
+    static CORRELATION: std::cell::Cell<Option<(u128, u64)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Marks the current thread as working inside `span` of `trace` until
+/// the returned guard drops: every `slog` line emitted meanwhile gains
+/// `trace=<hex> span=<hex>` fields, so an operator can pivot from a
+/// log line (say, `backend_failed`) straight to `GET /trace/<id>`.
+/// Guards nest; dropping restores the previous correlation.
+#[must_use = "correlation lasts only while the guard lives"]
+pub fn correlate(trace: TraceId, span: SpanId) -> CorrelationGuard {
+    let prev = CORRELATION.with(|c| c.replace(Some((trace.0, span.0))));
+    CorrelationGuard { prev }
+}
+
+/// The active correlation on this thread, if any (what `slog` stamps
+/// onto its lines).
+pub fn current_correlation() -> Option<(TraceId, SpanId)> {
+    CORRELATION
+        .with(std::cell::Cell::get)
+        .map(|(trace, span)| (TraceId(trace), SpanId(span)))
+}
+
+/// RAII guard for [`correlate`]; restores the previous correlation on
+/// drop.
+#[derive(Debug)]
+pub struct CorrelationGuard {
+    prev: Option<(u128, u64)>,
+}
+
+impl Drop for CorrelationGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CORRELATION.with(|c| c.set(prev));
     }
 }
 
@@ -549,6 +629,54 @@ mod tests {
         assert_eq!(reg.len(), MAX_TRACES);
         assert_eq!(reg.spans(first), None);
         assert_eq!(reg.resolve("17"), None);
+    }
+
+    #[test]
+    fn index_lists_traces_newest_first_with_job_bindings() {
+        let reg = Registry::default();
+        let old = TraceId::generate();
+        let new = TraceId::generate();
+        reg.record([span(old, "job", "bumpd"), span(old, "cell", "bumpd")]);
+        reg.record([span(new, "job", "bumpr")]);
+        reg.bind_job(9, old);
+        reg.bind_job(4, old);
+        let index = reg.index();
+        assert_eq!(
+            index,
+            vec![
+                TraceSummary {
+                    trace: new,
+                    spans: 1,
+                    jobs: vec![],
+                },
+                TraceSummary {
+                    trace: old,
+                    spans: 2,
+                    jobs: vec![4, 9],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn correlation_guard_nests_and_restores() {
+        assert_eq!(current_correlation(), None);
+        let (t1, s1) = (TraceId::generate(), SpanId::generate());
+        let (t2, s2) = (TraceId::generate(), SpanId::generate());
+        {
+            let _outer = correlate(t1, s1);
+            assert_eq!(current_correlation(), Some((t1, s1)));
+            {
+                let _inner = correlate(t2, s2);
+                assert_eq!(current_correlation(), Some((t2, s2)));
+            }
+            assert_eq!(current_correlation(), Some((t1, s1)));
+            // Other threads are unaffected: correlation is per-thread.
+            std::thread::spawn(|| assert_eq!(current_correlation(), None))
+                .join()
+                .unwrap();
+        }
+        assert_eq!(current_correlation(), None);
     }
 
     #[test]

@@ -121,6 +121,7 @@ proptest! {
         let frame = Frame::Submit(SubmitBatch {
             jobs: specs.clone(),
             trace: None,
+            telemetry: None,
         });
         let line = frame.encode();
         prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
@@ -274,12 +275,12 @@ proptest! {
         specs in prop::collection::vec(arb_submit(), 1..3),
         trace in arb_trace(),
     ) {
-        let traced = Frame::Submit(SubmitBatch { jobs: specs.clone(), trace: Some(trace) });
+        let traced = Frame::Submit(SubmitBatch { jobs: specs.clone(), trace: Some(trace), telemetry: None });
         let line = traced.encode();
         prop_assert!(line.contains("\"trace\""), "traced form carries the context: {line}");
         prop_assert_eq!(Frame::parse(&line), Ok(traced));
 
-        let untraced = Frame::Submit(SubmitBatch { jobs: specs, trace: None });
+        let untraced = Frame::Submit(SubmitBatch { jobs: specs, trace: None, telemetry: None });
         let line = untraced.encode();
         prop_assert!(!line.contains("\"trace\""), "untraced form omits the key: {line}");
         prop_assert_eq!(Frame::parse(&line), Ok(untraced));
@@ -307,11 +308,15 @@ fn pre_tracing_submit_lines_still_parse_and_bad_contexts_are_rejected() {
          \"max_cycles\":1,\"seed\":1,\"small_llc\":true,\"engine\":\"event\"}}";
     let parsed = Frame::parse(legacy).expect("legacy submit parses");
     match &parsed {
-        Frame::Submit(batch) => assert_eq!(batch.trace, None),
+        Frame::Submit(batch) => {
+            assert_eq!(batch.trace, None);
+            assert_eq!(batch.telemetry, None);
+        }
         other => panic!("parsed as {other:?}"),
     }
-    // Round-trip stays in the legacy shape: no trace key appears.
+    // Round-trip stays in the legacy shape: no optional keys appear.
     assert!(!parsed.encode().contains("\"trace\""));
+    assert!(!parsed.encode().contains("\"telemetry\""));
 
     let traced = legacy.replacen(
         "\"type\":\"submit\"",
@@ -320,4 +325,148 @@ fn pre_tracing_submit_lines_still_parse_and_bad_contexts_are_rejected() {
     );
     let err = Frame::parse(&traced).expect_err("bad trace context must be rejected");
     assert!(err.contains("trace"), "{err}");
+}
+
+fn arb_series() -> impl proptest::strategy::Strategy<Value = bump_sim::TelemetrySeries> {
+    use bump_sim::{TelemetryPoint, TelemetrySeries};
+    (
+        (1u64..=4096, 1u32..4, 1u32..8, 0usize..6),
+        prop::collection::vec(
+            (
+                prop::collection::vec(0u64..50, 0..8),
+                (0u64..50, 0u64..50, 0u64..50),
+                (0u64..50, 0u64..50, 0u64..50, 0u64..50, 0u64..50),
+            ),
+            6..7,
+        ),
+    )
+        .prop_map(|((stride, channels, cores, n), raw)| {
+            // Points are built cumulatively so the series honours the
+            // sampler's invariants (cycle 0 start, stride multiples,
+            // monotone counters) — validate() must accept it.
+            let ch = channels as usize;
+            let mut points: Vec<TelemetryPoint> = Vec::new();
+            for (i, (col_deltas, (mshr, noc, parked), counters)) in
+                raw.into_iter().take(n).enumerate()
+            {
+                let mut p = points.last().cloned().unwrap_or(TelemetryPoint {
+                    dram_columns: vec![0; ch],
+                    dram_row_hits: vec![0; ch],
+                    ..TelemetryPoint::default()
+                });
+                p.cycle = i as u64 * stride;
+                for c in 0..ch {
+                    let d = col_deltas.get(c).copied().unwrap_or(1);
+                    p.dram_columns[c] += d;
+                    p.dram_row_hits[c] += d / 2;
+                }
+                let (pi, pu, stall, _, _) = counters;
+                p.prefetch_issued += pi;
+                p.prefetch_useful += pu;
+                p.load_stall_cycles += stall;
+                p.mshr_occupancy = mshr;
+                p.noc_queue_depth = noc;
+                p.storm_parked = parked;
+                points.push(p);
+            }
+            let series = TelemetrySeries {
+                stride,
+                channels,
+                cores,
+                points,
+            };
+            series.validate().expect("generated series is well-formed");
+            series
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The telemetry stride is optional wire state exactly like the
+    /// trace context: instrumented submissions round-trip, and
+    /// uninstrumented ones omit the key entirely (absence — not null —
+    /// keeps pre-telemetry daemons accepting the frames).
+    #[test]
+    fn telemetry_submissions_round_trip_and_plain_stay_byte_identical(
+        specs in prop::collection::vec(arb_submit(), 1..3),
+        stride in 1u64..u64::MAX,
+    ) {
+        let on = Frame::Submit(SubmitBatch {
+            jobs: specs.clone(),
+            trace: None,
+            telemetry: Some(stride),
+        });
+        let line = on.encode();
+        prop_assert!(line.contains("\"telemetry\""), "instrumented form carries the stride: {line}");
+        prop_assert_eq!(Frame::parse(&line), Ok(on));
+
+        let off = Frame::Submit(SubmitBatch { jobs: specs, trace: None, telemetry: None });
+        let line = off.encode();
+        prop_assert!(!line.contains("\"telemetry\""), "plain form omits the key: {line}");
+        prop_assert_eq!(Frame::parse(&line), Ok(off));
+    }
+
+    /// `cell_telemetry` frames round-trip, and the embedded series
+    /// object is byte-identical to the sim crate's `series_to_json`
+    /// rendering — the contract that makes a routed job's telemetry
+    /// artifacts match a local run's without re-serialization.
+    #[test]
+    fn cell_telemetry_frames_round_trip(
+        job in any::<u64>(),
+        index in any::<u64>(),
+        series in arb_series(),
+    ) {
+        let rendered = bump_sim::series_to_json(&series);
+        let frame = Frame::CellTelemetry { job, index, series };
+        let line = frame.encode();
+        prop_assert!(!line.contains('\n'), "frame must be one line: {line}");
+        prop_assert!(
+            line.contains(&rendered),
+            "wire series must be the series_to_json bytes: {line}"
+        );
+        prop_assert_eq!(Frame::parse(&line), Ok(frame));
+    }
+}
+
+/// A `cell_telemetry` frame whose series violates the sampler's
+/// invariants (here: a cycle that is not a stride multiple) must be
+/// rejected as torn, not silently accepted — a half-written series is
+/// worse than none.
+#[test]
+fn torn_telemetry_series_are_rejected() {
+    let good = Frame::CellTelemetry {
+        job: 7,
+        index: 2,
+        series: bump_sim::TelemetrySeries {
+            stride: 1024,
+            channels: 1,
+            cores: 2,
+            points: vec![
+                bump_sim::TelemetryPoint {
+                    dram_columns: vec![3],
+                    dram_row_hits: vec![1],
+                    ..bump_sim::TelemetryPoint::default()
+                },
+                bump_sim::TelemetryPoint {
+                    cycle: 1024,
+                    dram_columns: vec![5],
+                    dram_row_hits: vec![2],
+                    ..bump_sim::TelemetryPoint::default()
+                },
+            ],
+        },
+    };
+    let line = good.encode();
+    assert_eq!(Frame::parse(&line), Ok(good));
+
+    // Tear the second point off its stride grid.
+    let torn = line.replacen("\"cycle\":1024", "\"cycle\":1000", 1);
+    let err = Frame::parse(&torn).expect_err("torn series must be rejected");
+    assert!(err.contains("torn telemetry series"), "{err}");
+
+    // An unsupported schema tag is likewise a hard error.
+    let wrong = line.replacen("sim-telemetry-v1", "sim-telemetry-v0", 1);
+    let err = Frame::parse(&wrong).expect_err("unknown schema must be rejected");
+    assert!(err.contains("unsupported telemetry schema"), "{err}");
 }

@@ -36,6 +36,7 @@ mod report;
 mod runner;
 mod scenario;
 mod system;
+mod telemetry;
 
 pub use config::{Engine, Preset, SystemConfig};
 pub use phase::{Phase, PhaseProfile, PhaseSample, PHASE_NAMES};
@@ -43,7 +44,11 @@ pub use profiler::{DensityProfile, DensityProfiler};
 pub use report::{SimReport, TrafficBreakdown};
 pub use runner::{
     config_for, config_for_scenario, run_experiment, run_experiment_with_config,
-    run_experiment_with_config_profiled, RunOptions,
+    run_experiment_with_config_instrumented, run_experiment_with_config_profiled, RunOptions,
 };
 pub use scenario::Scenario;
 pub use system::System;
+pub use telemetry::{
+    cells_to_csv, cells_to_json, series_to_json, TelemetryPoint, TelemetrySampler, TelemetrySeries,
+    DEFAULT_STRIDE, MAX_POINTS, TELEMETRY_SCHEMA,
+};

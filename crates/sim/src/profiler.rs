@@ -235,19 +235,17 @@ impl DensityProfiler {
                 g.accessed |= 1 << offset;
                 g.dirtied |= 1 << offset;
             }
-            Some(RegionState::Post(p)) => {
-                // A post-window writeback is only a late *modification*
-                // if the block was not already dirtied inside the
-                // window.
+            // A post-window writeback is only a late *modification*
+            // if the block was not already dirtied inside the window.
+            Some(RegionState::Post(p))
                 if p.counted
                     && p.window_dirty & (1 << offset) == 0
-                    && p.late_pattern & (1 << offset) == 0
-                {
-                    p.late_pattern |= 1 << offset;
-                    p.late_dirty += 1;
-                }
+                    && p.late_pattern & (1 << offset) == 0 =>
+            {
+                p.late_pattern |= 1 << offset;
+                p.late_dirty += 1;
             }
-            None => {}
+            _ => {}
         }
     }
 

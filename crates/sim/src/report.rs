@@ -117,6 +117,12 @@ pub struct SimReport {
     /// engines' Debug output, which `tests/engine_equivalence.rs`
     /// depends on.
     pub phase: Option<crate::phase::PhaseProfile>,
+    /// Sim-time gauge series, `Some` only when telemetry was enabled
+    /// for the run ([`crate::System::enable_telemetry`]). Like `phase`,
+    /// `None` renders identically in both engines; when enabled, the
+    /// series itself must be byte-identical across engines
+    /// (`tests/telemetry_equivalence.rs`).
+    pub telemetry: Option<crate::telemetry::TelemetrySeries>,
 }
 
 impl SimReport {

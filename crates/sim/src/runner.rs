@@ -116,11 +116,31 @@ pub fn run_experiment_with_config_profiled(
     opts: RunOptions,
     profile: bool,
 ) -> SimReport {
+    run_experiment_with_config_instrumented(cfg, opts, profile, None)
+}
+
+/// [`run_experiment_with_config_profiled`] with a sim-time telemetry
+/// switch: `telemetry` is the sampling stride in measured cycles
+/// (`Some(0)` selects [`crate::telemetry::DEFAULT_STRIDE`]). Telemetry
+/// travels out-of-band for the same reason profiling does — an
+/// instrumented run simulates identically to a plain one, so the two
+/// share a journal/cache identity. With it on, the report's `telemetry`
+/// holds the measurement window's gauge series (the sampler resets at
+/// the warmup boundary).
+pub fn run_experiment_with_config_instrumented(
+    cfg: SystemConfig,
+    opts: RunOptions,
+    profile: bool,
+    telemetry: Option<u64>,
+) -> SimReport {
     let mut cfg = cfg;
     cfg.engine = opts.engine;
     let mut sys = System::new(cfg);
     if profile {
         sys.enable_phase_profiling();
+    }
+    if let Some(stride) = telemetry {
+        sys.enable_telemetry(stride);
     }
     sys.run(opts.warmup_instructions, opts.max_cycles);
     sys.reset_stats();

@@ -11,6 +11,7 @@ use crate::config::{Engine, Preset, SystemConfig};
 use crate::phase::{Phase, PhaseProfiler};
 use crate::profiler::DensityProfiler;
 use crate::report::{SimReport, TrafficBreakdown};
+use crate::telemetry::{TelemetryPoint, TelemetrySampler};
 use bump::{BulkAction, Bump, FullRegion};
 use bump_cache::{AccessAction, EventSubscriptions, L1Cache, Llc, LlcEvent};
 use bump_cpu::{CoreWakeup, LeanCore, PendingAccess};
@@ -36,6 +37,11 @@ enum Pending {
     /// Event engine only: one coalesced Full-region retry round for
     /// the parked batch with this id (see [`StormState`]).
     StormRetry(usize),
+    /// Cycle engine only: one individually scheduled Full-region retry.
+    /// Identical to `LlcRequest` on delivery, but tagged so the oracle
+    /// can maintain the same parked-retry gauge the event engine derives
+    /// from its [`StormState`] batches.
+    StormRetryOne(MemoryRequest),
 }
 
 /// Cached wakeup classification for one core, kept in [`CoreBank`]'s
@@ -129,6 +135,22 @@ impl CoreBank {
         for i in 0..self.cores.len() {
             self.flush_idle(i);
         }
+    }
+
+    /// Aggregate ROB-head load-stall cycles *as of now*, without
+    /// flushing: folded stats plus each core's accrued-but-unflushed
+    /// idle under its cached load-stall classification (`owed[i]` is
+    /// nonzero only while `stall[i]` is valid). The telemetry sampler
+    /// reads this mid-run, where a flush would perturb nothing but
+    /// costs a pass over the cold core structs.
+    fn effective_load_stalls(&self) -> u64 {
+        let mut total: u64 = self.cores.iter().map(|c| c.stats().load_stall_cycles).sum();
+        for i in 0..self.cores.len() {
+            if self.stall[i] & 1 != 0 {
+                total += self.owed[i];
+            }
+        }
+        total
     }
 
     /// Flushes and marks core `i`'s classification stale — required
@@ -336,6 +358,32 @@ pub struct System {
     /// Speculative requests dropped because no MSHR was free.
     spec_dropped: u64,
 
+    /// Sim-time gauge sampler; `None` (the default) costs the step loop
+    /// exactly one predicted branch per cycle (the `telemetry_next`
+    /// compare), like the phase profiler.
+    telemetry: Option<Box<TelemetrySampler>>,
+    /// Measured cycle of the next telemetry sample, `u64::MAX` while
+    /// telemetry is off — the hot loops compare against this and never
+    /// touch the sampler.
+    telemetry_next: u64,
+    /// Per-channel (columns, row hits) at telemetry enable/reset.
+    /// Channel counters are monotone across `reset_stats` (the drain
+    /// fast-path watches them), so samples difference against this base.
+    telemetry_dram_base: Vec<(u64, u64)>,
+    /// Scratch for channel-activity snapshots.
+    telemetry_dram_scratch: Vec<(u64, u64)>,
+    /// Fast-forward idle cycles observed in the current quiet span but
+    /// not yet accrued to the cores (telemetry only; 0 outside a span).
+    ff_idle: u64,
+    /// How many cores are in a ROB-head load stall for the current
+    /// quiet span (telemetry only; classifications are frozen within a
+    /// span, so this is constant across it).
+    ff_stall_rate: u64,
+    /// Full-region retries currently parked by the *cycle* engine (each
+    /// is an individually scheduled [`Pending::StormRetryOne`]); the
+    /// event engine derives the same gauge from its batches.
+    storm_parked: u64,
+
     // Scratch buffers reused across cycles.
     scratch_requests: Vec<PendingAccess>,
     scratch_writebacks: Vec<BlockAddr>,
@@ -407,6 +455,13 @@ impl System {
             measured_instructions: 0,
             measured_cycles: 0,
             spec_dropped: 0,
+            telemetry: None,
+            telemetry_next: u64::MAX,
+            telemetry_dram_base: Vec::new(),
+            telemetry_dram_scratch: Vec::new(),
+            ff_idle: 0,
+            ff_stall_rate: 0,
+            storm_parked: 0,
             scratch_requests: Vec::new(),
             scratch_writebacks: Vec::new(),
             scratch_candidates: Vec::new(),
@@ -448,6 +503,97 @@ impl System {
     /// Whether the engine phase profiler is on.
     pub fn phase_profiling_enabled(&self) -> bool {
         self.phase.is_enabled()
+    }
+
+    /// Switches the sim-time telemetry sampler on: every `stride`
+    /// measured cycles (0 selects [`crate::telemetry::DEFAULT_STRIDE`])
+    /// the system snapshots its architectural gauges, and the final
+    /// report's `telemetry` field becomes `Some`. Sampling is keyed on
+    /// the measured-cycle counter, so both engines observe identical
+    /// instants and produce byte-identical series; it reads counters the
+    /// simulation already maintains, so every simulated outcome stays
+    /// byte-identical with it on or off.
+    pub fn enable_telemetry(&mut self, stride: u64) {
+        let channels = self.mc.channel_count() as u32;
+        let cores = self.bank.len() as u32;
+        self.telemetry = Some(Box::new(TelemetrySampler::new(stride, channels, cores)));
+        self.telemetry_rebase();
+        self.telemetry_capture();
+    }
+
+    /// Whether the telemetry sampler is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Re-anchors the cumulative-counter base for counters that survive
+    /// `reset_stats` (the monotone per-channel DRAM activity).
+    fn telemetry_rebase(&mut self) {
+        let mut act = std::mem::take(&mut self.telemetry_dram_scratch);
+        self.mc.channel_activity(&mut act);
+        self.telemetry_dram_base.clear();
+        self.telemetry_dram_base.extend_from_slice(&act);
+        self.telemetry_dram_scratch = act;
+    }
+
+    /// Captures one telemetry point at the current measured cycle.
+    /// Off the hot path: reached only when `measured_cycles` hits
+    /// `telemetry_next` (at most once per stride).
+    #[cold]
+    fn telemetry_capture(&mut self) {
+        let Some(mut sampler) = self.telemetry.take() else {
+            return;
+        };
+        let mut act = std::mem::take(&mut self.telemetry_dram_scratch);
+        self.mc.channel_activity(&mut act);
+        let mut dram_columns = Vec::with_capacity(act.len());
+        let mut dram_row_hits = Vec::with_capacity(act.len());
+        for (i, (cols, hits)) in act.iter().enumerate() {
+            let (base_cols, base_hits) = self.telemetry_dram_base[i];
+            dram_columns.push(cols - base_cols);
+            dram_row_hits.push(hits - base_hits);
+        }
+        self.telemetry_dram_scratch = act;
+        // The parked-retry and queue-depth gauges must agree across
+        // engines: the event engine's queue holds one marker per parked
+        // batch where the oracle's holds each member retry, so markers
+        // are swapped out for live-member counts.
+        let (noc_queue_depth, storm_parked) = if self.cfg.engine == Engine::Event {
+            let live: usize = self
+                .storm
+                .batches
+                .iter()
+                .filter(|b| b.in_use)
+                .map(StormBatch::live)
+                .sum();
+            (
+                (self.events.len() - self.storm.live + live) as u64,
+                live as u64,
+            )
+        } else {
+            (self.events.len() as u64, self.storm_parked)
+        };
+        let point = TelemetryPoint {
+            cycle: self.measured_cycles,
+            dram_columns,
+            dram_row_hits,
+            mshr_occupancy: self.llc.mshrs_in_use() as u64,
+            noc_queue_depth,
+            prefetch_issued: self.traffic.stride_reads
+                + self.traffic.sms_reads
+                + self.traffic.bulk_reads
+                + self.traffic.full_region_reads,
+            prefetch_useful: self.llc.stats().prefetch_useful(),
+            storm_parked,
+            // Cores frozen mid-span have this span's stall charge
+            // pending in `ff_idle`; integrate it so samples inside a
+            // fast-forwarded null span match the oracle's per-cycle
+            // accounting exactly.
+            load_stall_cycles: self.bank.effective_load_stalls()
+                + self.ff_idle * self.ff_stall_rate,
+        };
+        self.telemetry_next = sampler.record(point);
+        self.telemetry = Some(sampler);
     }
 
     fn schedule(&mut self, at: Cycle, what: Pending) {
@@ -543,7 +689,8 @@ impl System {
                     if self.cfg.engine == Engine::Event {
                         self.park_storm_retry(req);
                     } else {
-                        self.schedule(self.now + 16, Pending::LlcRequest(req));
+                        self.storm_parked += 1;
+                        self.schedule(self.now + 16, Pending::StormRetryOne(req));
                     }
                 } else {
                     self.spec_dropped += 1;
@@ -1028,6 +1175,12 @@ impl System {
                         self.storm_round(id);
                         self.phase.exit();
                     }
+                    Pending::StormRetryOne(req) => {
+                        // Un-park before the probe: a re-refusal
+                        // re-parks through the normal path.
+                        self.storm_parked -= 1;
+                        self.handle_llc_request(req);
+                    }
                 }
             }
             self.events.recycle(due);
@@ -1055,6 +1208,11 @@ impl System {
         self.phase.enter(Phase::LlcPump);
         self.process_llc_events();
         self.phase.exit();
+        // End-of-cycle telemetry sample: one predicted compare
+        // (`telemetry_next` is `u64::MAX` while telemetry is off).
+        if self.measured_cycles == self.telemetry_next {
+            self.telemetry_capture();
+        }
         self.now += 1;
     }
 
@@ -1121,6 +1279,18 @@ impl System {
         let Some(core_bound) = self.core_quiet_bound() else {
             return;
         };
+        let telemetry_on = self.telemetry.is_some();
+        if telemetry_on {
+            // A sample landing inside this span must charge the cores'
+            // pending per-cycle stall accounting, which is accrued only
+            // at span end. Classifications are frozen across the span
+            // (core_quiet_bound just cached them all and nothing
+            // invalidates them inside the loop), so the charge is
+            // linear: (idle cycles so far) × (cores in a load stall).
+            self.ff_stall_rate = (0..self.bank.len())
+                .filter(|&i| self.bank.stall[i] & 1 != 0)
+                .count() as u64;
+        }
         // The cores stay frozen for the whole span (no event delivery
         // happens inside this loop), so their per-cycle stall
         // accounting is linear and can be replayed once at span end.
@@ -1146,8 +1316,9 @@ impl System {
             // replay in closed form: skip straight to `limit` instead
             // of re-entering the tick path once per refresh.
             if self.mc.refresh_only_idle() {
-                core_idle_cycles += limit - self.now;
-                self.skip_cycles_refresh_only(limit - self.now);
+                let n = limit - self.now;
+                self.skip_span(n, true, core_idle_cycles);
+                core_idle_cycles += n;
                 break; // the cycle at `limit` needs a full step
             }
             // The CPU cycle whose tick_dram performs the next eventful
@@ -1155,15 +1326,20 @@ impl System {
             let mem_event = self.mc.next_event_at(self.mem_cycle);
             let dram_cycle = self.cpu_cycle_for_mem(mem_event);
             if dram_cycle >= limit {
-                core_idle_cycles += limit - self.now;
-                self.skip_cycles(limit - self.now);
+                let n = limit - self.now;
+                self.skip_span(n, false, core_idle_cycles);
+                core_idle_cycles += n;
                 break; // the cycle at `limit` needs a full step
             }
             if dram_cycle > self.now {
-                core_idle_cycles += dram_cycle - self.now;
-                self.skip_cycles(dram_cycle - self.now);
+                let n = dram_cycle - self.now;
+                self.skip_span(n, false, core_idle_cycles);
+                core_idle_cycles += n;
             }
             core_idle_cycles += 1;
+            if telemetry_on {
+                self.ff_idle = core_idle_cycles;
+            }
             self.step_dram_only();
             // Cores stay frozen (no event was delivered), so the core
             // bound still holds; the DRAM tick may have scheduled new
@@ -1176,6 +1352,45 @@ impl System {
             // nothing invalidated it inside the span.
             for i in 0..self.bank.len() {
                 self.bank.accrue_idle(i, core_idle_cycles);
+            }
+        }
+        if telemetry_on {
+            // The span's stall charge is in `owed` now.
+            self.ff_idle = 0;
+            self.ff_stall_rate = 0;
+        }
+    }
+
+    /// A telemetry-aware [`System::skip_cycles`] /
+    /// [`System::skip_cycles_refresh_only`]: with telemetry off it is
+    /// exactly the plain bulk skip; with it on, the skip is carved at
+    /// sample boundaries so the gauge series records the same points the
+    /// oracle's per-cycle stepping would — `idle_before` (the span's
+    /// idle cycles before this skip) keeps the integrated core-stall
+    /// charge exact at each carve.
+    fn skip_span(&mut self, n: u64, refresh_only: bool, idle_before: u64) {
+        if self.telemetry.is_none() {
+            if refresh_only {
+                self.skip_cycles_refresh_only(n);
+            } else {
+                self.skip_cycles(n);
+            }
+            return;
+        }
+        let mut done = 0;
+        while done < n {
+            // telemetry_next is finite and strictly ahead of
+            // measured_cycles while telemetry is on, so k > 0.
+            let k = (n - done).min(self.telemetry_next - self.measured_cycles);
+            if refresh_only {
+                self.skip_cycles_refresh_only(k);
+            } else {
+                self.skip_cycles(k);
+            }
+            done += k;
+            self.ff_idle = idle_before + done;
+            if self.measured_cycles == self.telemetry_next {
+                self.telemetry_capture();
             }
         }
     }
@@ -1222,6 +1437,9 @@ impl System {
         self.measured_cycles += 1;
         self.tick_dram();
         self.process_llc_events();
+        if self.measured_cycles == self.telemetry_next {
+            self.telemetry_capture();
+        }
         self.now += 1;
     }
 
@@ -1313,6 +1531,14 @@ impl System {
         self.measured_cycles = 0;
         self.spec_dropped = 0;
         self.phase.reset();
+        if let Some(t) = self.telemetry.as_mut() {
+            // Start the measurement window's series fresh: original
+            // stride, new cumulative-counter base, and a new cycle-0
+            // base snapshot of the instantaneous gauges.
+            t.reset();
+            self.telemetry_rebase();
+            self.telemetry_capture();
+        }
     }
 
     /// Produces the final report (finalizes the density profiler).
@@ -1362,6 +1588,7 @@ impl System {
             spec_dropped: self.spec_dropped,
             audit_errors: self.mc.audit_errors(),
             phase: self.phase.profile(),
+            telemetry: self.telemetry.as_ref().map(|t| t.series()),
         }
     }
 }

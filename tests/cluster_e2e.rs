@@ -190,6 +190,7 @@ fn batched_submissions_run_as_one_job_on_daemon_and_router() {
             },
         ],
         trace: None,
+        telemetry: None,
     };
     let direct = client::local_batch_csv(&batch, 2).expect("batch expands");
 
@@ -211,6 +212,7 @@ fn batched_submissions_run_as_one_job_on_daemon_and_router() {
     let overlap = SubmitBatch {
         jobs: vec![batch.jobs[0].clone(), batch.jobs[0].clone()],
         trace: None,
+        telemetry: None,
     };
     let err = client::submit_batch(&mut stream, &overlap).expect_err("overlap must fail");
     assert!(err.contains("overlap"), "{err}");
@@ -423,6 +425,7 @@ fn traced_job_collects_spans_from_router_and_both_backends_under_one_trace() {
             trace,
             parent: root.id(),
         }),
+        telemetry: None,
     };
     let mut stream =
         client::connect_retry(&addr, Duration::from_secs(10)).expect("connect to router");
